@@ -1,0 +1,137 @@
+//! The common accelerator evaluation interface and its report type.
+
+use crate::GpuModel;
+use serde::{Deserialize, Serialize};
+use star_attention::AttentionConfig;
+use star_device::{Energy, Latency, Power};
+
+/// The outcome of running one BERT-base attention layer on an accelerator
+/// model — everything Fig. 3 and the E1/A1 analyses need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Accelerator name.
+    pub name: String,
+    /// Arithmetic operations performed (the GOPs numerator).
+    pub ops: u64,
+    /// End-to-end latency of the layer.
+    pub latency: Latency,
+    /// Dynamic energy only.
+    pub dynamic_energy: Energy,
+    /// Dynamic + background (leakage/clock/buffer) energy.
+    pub total_energy: Energy,
+    /// Average power over the layer.
+    pub avg_power: Power,
+    /// The paper's computing-efficiency metric, GOPs/s/W (≡ ops/nJ).
+    pub efficiency_gops_per_watt: f64,
+    /// Time spent in matrix multiplication (projections + QKᵀ + PV).
+    pub matmul_latency: Latency,
+    /// Time attributable to softmax (serialized portion).
+    pub softmax_latency: Latency,
+    /// Time spent programming intermediate matrices into RRAM (zero for
+    /// designs that avoid it).
+    pub write_latency: Latency,
+}
+
+impl PerfReport {
+    /// Softmax share of the end-to-end latency.
+    pub fn softmax_share(&self) -> f64 {
+        self.softmax_latency.value() / self.latency.value()
+    }
+
+    /// Efficiency ratio `self / other` (the Fig. 3 "improvement" factors).
+    pub fn efficiency_gain_over(&self, other: &PerfReport) -> f64 {
+        self.efficiency_gops_per_watt / other.efficiency_gops_per_watt
+    }
+}
+
+/// An accelerator that can execute one attention layer of a configuration.
+pub trait Accelerator {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Evaluates one attention layer.
+    fn evaluate(&self, config: &AttentionConfig) -> PerfReport;
+}
+
+impl Accelerator for GpuModel {
+    fn name(&self) -> &str {
+        "gpu-titan-rtx"
+    }
+
+    fn evaluate(&self, config: &AttentionConfig) -> PerfReport {
+        let b = self.attention_breakdown(config);
+        let ops = config.attention_ops().total_ops();
+        let latency = b.total();
+        // The GPU burns board power for the duration.
+        let total_energy = self.power * latency;
+        PerfReport {
+            name: Accelerator::name(self).to_owned(),
+            ops,
+            latency,
+            dynamic_energy: total_energy,
+            total_energy,
+            avg_power: self.power,
+            efficiency_gops_per_watt: gops_per_watt(ops, total_energy),
+            matmul_latency: b.matmul(),
+            softmax_latency: b.softmax,
+            write_latency: Latency::ZERO,
+        }
+    }
+}
+
+/// Computing efficiency in GOPs/s/W from raw ops and energy.
+///
+/// GOPs/s/W ≡ (ops/s)/W = ops/J = ops / (10⁹ · nJ); with energy in pJ:
+/// `ops / (energy_pJ · 10⁻³)` ... i.e. `ops / energy_pJ · 1000 / 1e9`.
+///
+/// # Panics
+///
+/// Panics if energy is zero.
+pub fn gops_per_watt(ops: u64, energy: Energy) -> f64 {
+    assert!(energy.value() > 0.0, "efficiency undefined for zero energy");
+    let joules = energy.value() * 1e-12; // pJ → J
+    ops as f64 / joules / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gops_per_watt_units() {
+        // 1e9 ops in 1 J = 1 GOPs/J = 1 GOPs/s/W. 1 J = 1e12 pJ.
+        let eff = gops_per_watt(1_000_000_000, Energy::new(1e12));
+        assert!((eff - 1.0).abs() < 1e-9);
+        // 654 Mops at 20 GOPs/J needs 32.7 mJ.
+        let eff2 = gops_per_watt(654_000_000, Energy::new(3.27e10));
+        assert!((eff2 - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero energy")]
+    fn zero_energy_rejected() {
+        let _ = gops_per_watt(1, Energy::ZERO);
+    }
+
+    #[test]
+    fn gpu_report_consistent() {
+        let gpu = GpuModel::titan_rtx();
+        let cfg = star_attention::AttentionConfig::bert_base(128);
+        let r = gpu.evaluate(&cfg);
+        assert_eq!(r.name, "gpu-titan-rtx");
+        assert!(r.latency.value() > 0.0);
+        assert!((r.avg_power.as_watts() - 280.0).abs() < 1e-9);
+        // Cross-check with the direct method (same metric).
+        let eff = gpu.computing_efficiency(&cfg);
+        let eff2 = gops_per_watt(r.ops, r.total_energy);
+        assert!((eff - eff2).abs() / eff < 1e-9, "{eff} vs {eff2}");
+    }
+
+    #[test]
+    fn efficiency_gain_ratio() {
+        let gpu = GpuModel::titan_rtx();
+        let cfg = star_attention::AttentionConfig::bert_base(128);
+        let r = gpu.evaluate(&cfg);
+        assert!((r.efficiency_gain_over(&r) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! The crossbar MatMul engine (ReTransformer's configuration, which STAR
+//! adopts: 128×128 arrays, 5-bit ADCs).
+//!
+//! A logical GEMM is tiled onto 128×128 RRAM arrays: the stationary matrix
+//! lives in crossbars (8-bit weights, one bit per cell slice), the moving
+//! matrix streams through bit-serially. Tiles covering one output row work
+//! in parallel; their partial sums merge in digital shift-add trees.
+
+use serde::{Deserialize, Serialize};
+use star_crossbar::OpCost;
+use star_device::peripherals::PeripheralLibrary;
+use star_device::{AdcSpec, CostSheet, DriverSpec, Energy, Latency, Power, TechnologyParams};
+
+/// Configuration of the MatMul engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatMulEngineConfig {
+    /// Crossbar array dimension (rows = columns; the paper uses 128).
+    pub crossbar_size: usize,
+    /// ADC resolution (the paper uses 5 bits, after ReTransformer).
+    pub adc_bits: u8,
+    /// Weight precision in bits.
+    pub weight_bits: u8,
+    /// Bits stored per cell (1 = binary cells; 2 = ISAAC-style MLC,
+    /// halving the column slices).
+    pub bits_per_cell: u8,
+    /// Streaming input precision in bits (bit-serial cycles per VMM).
+    pub input_bits: u8,
+    /// Technology operating point.
+    pub tech: TechnologyParams,
+}
+
+impl MatMulEngineConfig {
+    /// The paper's §III configuration: 128×128 arrays, 5-bit ADC, 8-bit
+    /// weights and inputs.
+    pub fn paper() -> Self {
+        MatMulEngineConfig {
+            crossbar_size: 128,
+            adc_bits: 5,
+            weight_bits: 8,
+            bits_per_cell: 1,
+            input_bits: 8,
+            tech: TechnologyParams::cmos32(),
+        }
+    }
+
+    /// Overrides the cell density (ablation A3).
+    pub fn with_bits_per_cell(mut self, bits: u8) -> Self {
+        self.bits_per_cell = bits;
+        self
+    }
+
+    /// Overrides the ADC resolution (ablation A3).
+    pub fn with_adc_bits(mut self, bits: u8) -> Self {
+        self.adc_bits = bits;
+        self
+    }
+
+    /// Overrides the crossbar dimension (ablation A3).
+    pub fn with_crossbar_size(mut self, size: usize) -> Self {
+        self.crossbar_size = size;
+        self
+    }
+}
+
+impl Default for MatMulEngineConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Analytical cost model of the crossbar MatMul engine.
+///
+/// # Examples
+///
+/// ```
+/// use star_arch::{MatMulEngine, MatMulEngineConfig};
+///
+/// let engine = MatMulEngine::new(MatMulEngineConfig::paper());
+/// // One row of QKᵀ at seq 128, d_head 64, per head: 1×64 · 64×128.
+/// let cost = engine.row_cost(64, 128);
+/// assert!(cost.latency.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatMulEngine {
+    config: MatMulEngineConfig,
+    adc: AdcSpec,
+}
+
+impl MatMulEngine {
+    /// Builds the engine cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the crossbar size is zero.
+    pub fn new(config: MatMulEngineConfig) -> Self {
+        assert!(config.crossbar_size > 0, "crossbar size must be positive");
+        assert!((1..=4).contains(&config.bits_per_cell), "bits per cell must be in 1..=4");
+        MatMulEngine { config, adc: AdcSpec::sar(config.adc_bits) }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MatMulEngineConfig {
+        &self.config
+    }
+
+    /// Number of physical arrays holding a stationary `k × out` matrix:
+    /// `ceil(k/size) · ceil(out·weight_bits/size)` (bit slices widen the
+    /// matrix).
+    pub fn tile_count(&self, k: usize, out: usize) -> usize {
+        let s = self.config.crossbar_size;
+        let slices =
+            (self.config.weight_bits as usize).div_ceil(self.config.bits_per_cell as usize);
+        k.div_ceil(s) * (out * slices).div_ceil(s)
+    }
+
+    /// Energy and latency of one array performing one full bit-serial VMM.
+    pub fn tile_vmm_cost(&self) -> OpCost {
+        let s = self.config.crossbar_size;
+        let cycles = self.config.input_bits as f64;
+        let tech = &self.config.tech;
+        // Per cycle: wordline drives, cell reads (half conduct), one ADC
+        // conversion per column (time-multiplexed 8:1 in space, serial in
+        // time), digital shift-add merges.
+        let drivers = DriverSpec::wordline32().energy_per_toggle() * s as f64;
+        let cells = tech.cell_read_energy(tech.g_lrs()) * (s * s) as f64 * 0.5;
+        let adcs = self.adc.conversion_energy() * s as f64;
+        let sa = PeripheralLibrary::shift_add(32).energy_per_op() * s as f64;
+        let per_cycle: Energy = drivers + cells + adcs + sa;
+        let per_cycle_latency =
+            Latency::new(tech.crossbar_read_ns + self.adc.conversion_latency().value());
+        OpCost::new(per_cycle * cycles, per_cycle_latency * cycles)
+    }
+
+    /// Cost of producing **one output row** of a `1×k · k×out` product:
+    /// all tiles fire in parallel (latency = one tile VMM + merge),
+    /// energy scales with the tile count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `out` is zero.
+    pub fn row_cost(&self, k: usize, out: usize) -> OpCost {
+        assert!(k > 0 && out > 0, "GEMM dimensions must be positive");
+        let tiles = self.tile_count(k, out);
+        let tile = self.tile_vmm_cost();
+        let merge = PeripheralLibrary::int_adder(32);
+        let merge_ops = (tiles as u64).saturating_sub(1) * out as u64;
+        OpCost::new(
+            tile.energy * tiles as f64 + merge.energy_per_op() * merge_ops as f64,
+            tile.latency + Latency::new(merge.latency_per_op().value()),
+        )
+    }
+
+    /// Cost of a full `m×k · k×out` GEMM with rows streamed back-to-back
+    /// (row-pipelined: latency = m · row latency; the fill term is one row).
+    pub fn gemm_cost(&self, m: usize, k: usize, out: usize) -> OpCost {
+        self.row_cost(k, out).repeat(m as u64)
+    }
+
+    /// Area/power budget of the arrays and periphery holding a resident
+    /// `k × out` stationary matrix.
+    pub fn cost_sheet(&self, name: &str, k: usize, out: usize, activity: f64) -> CostSheet {
+        let tiles = self.tile_count(k, out) as f64;
+        let s = self.config.crossbar_size;
+        let tech = &self.config.tech;
+        let mut sheet = CostSheet::new(name.to_owned());
+        let cell_area = tech.rram_cell_area() * (s * s) as f64 * tiles;
+        let tile_cost = self.tile_vmm_cost();
+        let tile_power = (tile_cost.energy / tile_cost.latency) * activity * tiles;
+        sheet.add("crossbar tiles", cell_area, tile_power);
+        // ADCs shared 8:1 per array.
+        let adcs_per_tile = (s as f64 / 8.0).ceil();
+        sheet.add("adcs", self.adc.area() * adcs_per_tile * tiles, Power::ZERO);
+        let drv = DriverSpec::wordline32();
+        sheet.add("drivers", drv.area() * s as f64 * tiles, Power::ZERO);
+        // Shift-add accumulators are time-multiplexed with the shared ADCs
+        // (one per 8 columns), as in ISAAC's IMA.
+        let sa = PeripheralLibrary::shift_add(32);
+        sheet.add(
+            "shift-add",
+            sa.area() * adcs_per_tile * tiles,
+            sa.static_power() * adcs_per_tile * tiles,
+        );
+        sheet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config() {
+        let e = MatMulEngine::new(MatMulEngineConfig::paper());
+        assert_eq!(e.config().crossbar_size, 128);
+        assert_eq!(e.config().adc_bits, 5);
+    }
+
+    #[test]
+    fn tile_count_accounts_for_bit_slices() {
+        let e = MatMulEngine::new(MatMulEngineConfig::paper());
+        // 64×128 stationary matrix at 8-bit: 1 row-tile × 8 col-tiles.
+        assert_eq!(e.tile_count(64, 128), 8);
+        assert_eq!(e.tile_count(128, 128), 8);
+        assert_eq!(e.tile_count(768, 768), 6 * 48);
+    }
+
+    #[test]
+    fn row_cost_latency_independent_of_out_dim() {
+        // Tiles run in parallel: widening the output costs energy, not time.
+        let e = MatMulEngine::new(MatMulEngineConfig::paper());
+        let narrow = e.row_cost(64, 128);
+        let wide = e.row_cost(64, 512);
+        assert!((narrow.latency.value() - wide.latency.value()).abs() < 1e-9);
+        assert!(wide.energy.value() > narrow.energy.value() * 3.0);
+    }
+
+    #[test]
+    fn gemm_scales_with_rows() {
+        let e = MatMulEngine::new(MatMulEngineConfig::paper());
+        let one = e.row_cost(768, 768);
+        let full = e.gemm_cost(128, 768, 768);
+        assert!((full.latency.value() - 128.0 * one.latency.value()).abs() < 1e-6);
+        assert!((full.energy.value() - 128.0 * one.energy.value()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn more_adc_bits_cost_more() {
+        let lo = MatMulEngine::new(MatMulEngineConfig::paper().with_adc_bits(5));
+        let hi = MatMulEngine::new(MatMulEngineConfig::paper().with_adc_bits(8));
+        assert!(hi.tile_vmm_cost().energy.value() > lo.tile_vmm_cost().energy.value());
+    }
+
+    #[test]
+    fn mlc_halves_tiles() {
+        let slc = MatMulEngine::new(MatMulEngineConfig::paper());
+        let mlc = MatMulEngine::new(MatMulEngineConfig::paper().with_bits_per_cell(2));
+        assert_eq!(mlc.tile_count(768, 768), slc.tile_count(768, 768) / 2);
+        // Per-row energy halves with the tile count (same tile cost model).
+        let a = slc.row_cost(768, 768);
+        let b = mlc.row_cost(768, 768);
+        assert!(b.energy.value() < a.energy.value() * 0.6);
+    }
+
+    #[test]
+    fn cost_sheet_positive() {
+        let e = MatMulEngine::new(MatMulEngineConfig::paper());
+        let sheet = e.cost_sheet("matmul", 768, 768, 0.5);
+        assert!(sheet.total_area().value() > 0.0);
+        assert!(sheet.total_power().value() > 0.0);
+        assert_eq!(sheet.items().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let e = MatMulEngine::new(MatMulEngineConfig::paper());
+        let _ = e.row_cost(0, 128);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the accelerator models.
+
+use proptest::prelude::*;
+use star_arch::{gops_per_watt, Accelerator, GpuModel, MatMulEngine, MatMulEngineConfig, RramAccelerator};
+use star_attention::AttentionConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reports_internally_consistent(seq in 8usize..512) {
+        let cfg = AttentionConfig::bert_base(seq);
+        for report in [
+            GpuModel::titan_rtx().evaluate(&cfg),
+            RramAccelerator::pipelayer().evaluate(&cfg),
+            RramAccelerator::retransformer().evaluate(&cfg),
+            RramAccelerator::star().evaluate(&cfg),
+        ] {
+            prop_assert!(report.latency.value() > 0.0, "{}", report.name);
+            prop_assert!(report.total_energy >= report.dynamic_energy, "{}", report.name);
+            let eff = gops_per_watt(report.ops, report.total_energy);
+            prop_assert!((eff - report.efficiency_gops_per_watt).abs() / eff < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&report.softmax_share()), "{}", report.name);
+        }
+    }
+
+    #[test]
+    fn fig3_ordering_holds_for_all_lengths(seq in 16usize..512) {
+        let cfg = AttentionConfig::bert_base(seq);
+        let g = GpuModel::titan_rtx().evaluate(&cfg).efficiency_gops_per_watt;
+        let p = RramAccelerator::pipelayer().evaluate(&cfg).efficiency_gops_per_watt;
+        let r = RramAccelerator::retransformer().evaluate(&cfg).efficiency_gops_per_watt;
+        let s = RramAccelerator::star().evaluate(&cfg).efficiency_gops_per_watt;
+        prop_assert!(g < p && p < r && r < s, "seq {}: {} {} {} {}", seq, g, p, r, s);
+    }
+
+    #[test]
+    fn latency_monotone_in_sequence(a in 8usize..256, b in 8usize..256) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        if lo == hi {
+            return Ok(());
+        }
+        let star = RramAccelerator::star();
+        let ra = star.evaluate(&AttentionConfig::bert_base(lo));
+        let rb = star.evaluate(&AttentionConfig::bert_base(hi));
+        prop_assert!(rb.latency >= ra.latency);
+        prop_assert!(rb.total_energy >= ra.total_energy);
+        prop_assert!(rb.ops >= ra.ops);
+    }
+
+    #[test]
+    fn matmul_tile_count_covers_matrix(k in 1usize..2048, out in 1usize..2048) {
+        let engine = MatMulEngine::new(MatMulEngineConfig::paper());
+        let tiles = engine.tile_count(k, out);
+        let s = 128usize;
+        // Enough capacity for every weight bit.
+        prop_assert!(tiles * s * s >= k * out * 8);
+        // Not wasteful beyond one tile of padding per dimension.
+        prop_assert!(tiles <= (k / s + 1) * ((out * 8) / s + 1));
+    }
+
+    #[test]
+    fn gemm_cost_additive_in_rows(m1 in 1usize..64, m2 in 1usize..64) {
+        let engine = MatMulEngine::new(MatMulEngineConfig::paper());
+        let a = engine.gemm_cost(m1, 768, 768);
+        let b = engine.gemm_cost(m2, 768, 768);
+        let ab = engine.gemm_cost(m1 + m2, 768, 768);
+        prop_assert!((ab.energy.value() - a.energy.value() - b.energy.value()).abs() < 1e-3);
+        prop_assert!((ab.latency.value() - a.latency.value() - b.latency.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gpu_share_in_unit_interval(seq in 8usize..2048) {
+        let gpu = GpuModel::titan_rtx();
+        let share = gpu.softmax_share(&AttentionConfig::bert_base(seq));
+        prop_assert!((0.0..1.0).contains(&share));
+    }
+
+    #[test]
+    fn model_efficiency_dominates_layer(seq in 16usize..256) {
+        // FFN layers are pure matmul — more efficient than attention — so
+        // model-level efficiency is at least layer-level for RRAM designs.
+        let cfg = AttentionConfig::bert_base(seq);
+        let star = RramAccelerator::star();
+        let layer = star.evaluate(&cfg).efficiency_gops_per_watt;
+        let model = star.evaluate_model(&cfg).efficiency_gops_per_watt;
+        prop_assert!(model > layer * 0.9, "layer {} model {}", layer, model);
+    }
+}

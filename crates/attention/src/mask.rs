@@ -1,0 +1,228 @@
+//! Attention masking (causal and padding), expressed the way quantized
+//! softmax hardware sees it: masked positions are driven to the most
+//! negative representable score, so their exponential underflows to zero
+//! in any engine — exact or crossbar.
+
+use crate::{softmax_rows, AttentionOutput, Matrix, RowSoftmax, ShapeError};
+use serde::{Deserialize, Serialize};
+
+/// An attention mask over an `n × m` score matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttentionMask {
+    /// No masking.
+    None,
+    /// Causal (autoregressive): query `i` may only attend to keys `j ≤ i`.
+    Causal,
+    /// Padding: keys where the flag is `false` are masked for every query.
+    Padding(Vec<bool>),
+}
+
+impl AttentionMask {
+    /// Whether query `i` may attend to key `j`.
+    pub fn allows(&self, query: usize, key: usize) -> bool {
+        match self {
+            AttentionMask::None => true,
+            AttentionMask::Causal => key <= query,
+            AttentionMask::Padding(valid) => valid.get(key).copied().unwrap_or(false),
+        }
+    }
+
+    /// Validates the mask against a score-matrix shape: padding length must
+    /// match the key count, and every query must keep at least one
+    /// attendable key (an all-masked row has no softmax).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] describing the violation.
+    pub fn validate(&self, queries: usize, keys: usize) -> Result<(), ShapeError> {
+        match self {
+            AttentionMask::None => Ok(()),
+            AttentionMask::Causal => Ok(()), // row 0 can always see key 0
+            AttentionMask::Padding(valid) => {
+                if valid.len() != keys {
+                    return Err(ShapeError {
+                        lhs: (valid.len(), 1),
+                        rhs: (keys, 1),
+                        op: "mask_padding_len",
+                    });
+                }
+                if !valid.iter().any(|&v| v) {
+                    return Err(ShapeError { lhs: (queries, keys), rhs: (0, 0), op: "mask_all" });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies the mask to a score matrix: disallowed positions are
+    /// replaced with `mask_value` (hardware uses the format's most
+    /// negative code; `f64::NEG_INFINITY` gives the exact reference).
+    pub fn apply(&self, scores: &Matrix, mask_value: f64) -> Matrix {
+        Matrix::from_fn(scores.rows(), scores.cols(), |q, k| {
+            if self.allows(q, k) {
+                scores.get(q, k)
+            } else {
+                mask_value
+            }
+        })
+    }
+}
+
+/// Masked scaled dot-product attention: scores are computed, masked with a
+/// large negative value, then softmaxed with the pluggable engine.
+///
+/// `mask_value` should be at or below the engine's most negative
+/// representable score (`f64::NEG_INFINITY` is safe: quantized engines
+/// saturate it to their minimum code).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] on shape or mask inconsistency.
+///
+/// # Examples
+///
+/// ```
+/// use star_attention::{masked_attention, AttentionMask, ExactSoftmax, Matrix};
+///
+/// let x = Matrix::from_fn(3, 2, |r, c| (r + c) as f64 * 0.3);
+/// let out = masked_attention(&x, &x, &x, &AttentionMask::Causal,
+///                            f64::NEG_INFINITY, &mut ExactSoftmax::new())?;
+/// // Query 0 can only see key 0.
+/// assert!((out.probs.get(0, 0) - 1.0).abs() < 1e-12);
+/// assert_eq!(out.probs.get(0, 1), 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn masked_attention<S: RowSoftmax + ?Sized>(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    mask: &AttentionMask,
+    mask_value: f64,
+    softmax: &mut S,
+) -> Result<AttentionOutput, ShapeError> {
+    if q.cols() != k.cols() || k.rows() != v.rows() {
+        return Err(ShapeError { lhs: q.shape(), rhs: k.shape(), op: "masked_attention" });
+    }
+    mask.validate(q.rows(), k.rows())?;
+    let scale = 1.0 / (q.cols() as f64).sqrt();
+    let raw = q.matmul(&k.transpose())?.scale(scale);
+    let scores = mask.apply(&raw, mask_value);
+    let probs = softmax_rows(softmax, &scores);
+    let context = probs.matmul(v)?;
+    Ok(AttentionOutput { context, scores, probs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactSoftmax;
+
+    fn m(rows: usize, cols: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f64 * seed).sin())
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future() {
+        let x = m(4, 3, 0.7);
+        let out = masked_attention(
+            &x,
+            &x,
+            &x,
+            &AttentionMask::Causal,
+            f64::NEG_INFINITY,
+            &mut ExactSoftmax::new(),
+        )
+        .unwrap();
+        for q in 0..4 {
+            for k in 0..4 {
+                if k > q {
+                    assert_eq!(out.probs.get(q, k), 0.0, "({q},{k})");
+                } else {
+                    assert!(out.probs.get(q, k) > 0.0, "({q},{k})");
+                }
+            }
+            assert!((out.probs.row(q).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn padding_mask_zeroes_padded_keys() {
+        let x = m(3, 2, 0.9);
+        let mask = AttentionMask::Padding(vec![true, false, true]);
+        let out = masked_attention(&x, &x, &x, &mask, f64::NEG_INFINITY, &mut ExactSoftmax::new())
+            .unwrap();
+        for q in 0..3 {
+            assert_eq!(out.probs.get(q, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn none_mask_is_identity() {
+        let x = m(3, 2, 1.1);
+        let masked = masked_attention(
+            &x,
+            &x,
+            &x,
+            &AttentionMask::None,
+            f64::NEG_INFINITY,
+            &mut ExactSoftmax::new(),
+        )
+        .unwrap();
+        let plain = crate::scaled_dot_attention(&x, &x, &x, &mut ExactSoftmax::new()).unwrap();
+        assert!(masked.probs.max_abs_diff(&plain.probs).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn padding_length_mismatch_rejected() {
+        let x = m(3, 2, 0.4);
+        let mask = AttentionMask::Padding(vec![true, false]);
+        let err = masked_attention(&x, &x, &x, &mask, f64::NEG_INFINITY, &mut ExactSoftmax::new())
+            .unwrap_err();
+        assert_eq!(err.op, "mask_padding_len");
+    }
+
+    #[test]
+    fn all_masked_rejected() {
+        let x = m(2, 2, 0.4);
+        let mask = AttentionMask::Padding(vec![false, false]);
+        assert!(masked_attention(&x, &x, &x, &mask, f64::NEG_INFINITY, &mut ExactSoftmax::new())
+            .is_err());
+    }
+
+    #[test]
+    fn allows_logic() {
+        assert!(AttentionMask::None.allows(0, 5));
+        assert!(AttentionMask::Causal.allows(3, 3));
+        assert!(!AttentionMask::Causal.allows(2, 3));
+        let p = AttentionMask::Padding(vec![true, false]);
+        assert!(p.allows(9, 0));
+        assert!(!p.allows(9, 1));
+        assert!(!p.allows(9, 7)); // out of range = masked
+    }
+
+    #[test]
+    fn finite_mask_value_for_quantized_engines() {
+        // A finite large-negative mask behaves like −∞ once it saturates
+        // at the engine's minimum code; verified against the reference.
+        let x = m(4, 3, 0.55);
+        let inf = masked_attention(
+            &x,
+            &x,
+            &x,
+            &AttentionMask::Causal,
+            f64::NEG_INFINITY,
+            &mut ExactSoftmax::new(),
+        )
+        .unwrap();
+        let finite = masked_attention(
+            &x,
+            &x,
+            &x,
+            &AttentionMask::Causal,
+            -1e4,
+            &mut ExactSoftmax::new(),
+        )
+        .unwrap();
+        assert!(inf.probs.max_abs_diff(&finite.probs).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,327 @@
+//! Minimal dense matrix type.
+//!
+//! The attention substrate needs only a handful of dense operations
+//! (multiply, transpose, row access), so we implement them directly rather
+//! than pulling in a linear-algebra dependency.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error for shape-mismatched matrix operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Left operand shape.
+    pub lhs: (usize, usize),
+    /// Right operand shape.
+    pub rhs: (usize, usize),
+    /// The operation that failed.
+    pub op: &'static str,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+/// A row-major dense `f64` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use star_attention::Matrix;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]])?;
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c.get(0, 0), 19.0);
+/// assert_eq!(c.get(1, 1), 50.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if rows are empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, ShapeError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        if r == 0 || c == 0 || rows.iter().any(|row| row.len() != c) {
+            return Err(ShapeError { lhs: (r, c), rhs: (0, 0), op: "from_rows" });
+        }
+        let data = rows.iter().flatten().copied().collect();
+        Ok(Matrix { rows: r, cols: c, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Element mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// A view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Replaces one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or the slice length mismatches.
+    pub fn set_row(&mut self, row: usize, values: &[f64]) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert_eq!(values.len(), self.cols, "row length mismatch");
+        self.data[row * self.cols..(row + 1) * self.cols].copy_from_slice(values);
+    }
+
+    /// Iterator over rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.cols)
+    }
+
+    /// All elements, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError { lhs: self.shape(), rhs: other.shape(), op: "matmul" });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise scale.
+    pub fn scale(&self, factor: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * factor).collect(),
+        }
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on shape mismatch.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError { lhs: self.shape(), rhs: other.shape(), op: "add" });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+        })
+    }
+
+    /// Largest absolute element difference to another matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError { lhs: self.shape(), rhs: other.shape(), op: "max_abs_diff" });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for row in self.iter_rows().take(8) {
+            let cells: Vec<String> = row.iter().take(8).map(|v| format!("{v:8.3}")).collect();
+            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.matmul(&b).unwrap_err();
+        assert_eq!(err.op, "matmul");
+        assert!(err.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 10 + c) as f64);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(t.get(4, 2), 24.0);
+    }
+
+    #[test]
+    fn rows_access_and_set() {
+        let mut a = Matrix::zeros(2, 3);
+        a.set_row(1, &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(a.iter_rows().count(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert_eq!(err.op, "from_rows");
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0]]).unwrap();
+        let b = a.scale(2.0);
+        assert_eq!(b.row(0), &[2.0, -4.0]);
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.row(0), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![1.5, 1.0]]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.get(2, 0);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let a = Matrix::zeros(10, 10);
+        let s = a.to_string();
+        assert!(s.contains("Matrix 10x10"));
+        assert!(s.contains('…'));
+    }
+}

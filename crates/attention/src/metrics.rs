@@ -1,0 +1,173 @@
+//! Accuracy metrics for comparing approximate softmax/attention outputs
+//! against the exact reference.
+//!
+//! The paper's precision criterion is downstream *model accuracy*; our
+//! proxy (documented in DESIGN.md §4) is a bundle of distributional
+//! metrics on the attention probabilities and context, plus a top-1
+//! agreement rate that tracks how often the approximate attention would
+//! rank the same key first.
+
+use crate::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Comparison of an approximate probability matrix (or context) against a
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Largest absolute elementwise error.
+    pub max_abs_error: f64,
+    /// Mean absolute elementwise error.
+    pub mean_abs_error: f64,
+    /// Mean row-wise KL divergence `KL(reference ‖ approx)` in nats
+    /// (probability inputs only; NaN if rows are not distributions).
+    pub mean_kl_divergence: f64,
+    /// Mean row-wise cosine similarity.
+    pub mean_cosine_similarity: f64,
+    /// Fraction of rows whose argmax agrees with the reference.
+    pub top1_agreement: f64,
+}
+
+impl AccuracyReport {
+    /// Compares two equally shaped matrices row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn compare(reference: &Matrix, approx: &Matrix) -> Self {
+        assert_eq!(reference.shape(), approx.shape(), "accuracy comparison needs equal shapes");
+        let rows = reference.rows();
+        let mut max_abs = 0.0f64;
+        let mut sum_abs = 0.0f64;
+        let mut sum_kl = 0.0f64;
+        let mut sum_cos = 0.0f64;
+        let mut agree = 0usize;
+        for r in 0..rows {
+            let a = reference.row(r);
+            let b = approx.row(r);
+            for (&x, &y) in a.iter().zip(b) {
+                let e = (x - y).abs();
+                sum_abs += e;
+                max_abs = max_abs.max(e);
+            }
+            sum_kl += kl_divergence(a, b);
+            sum_cos += cosine_similarity(a, b);
+            if argmax(a) == argmax(b) {
+                agree += 1;
+            }
+        }
+        let elems = (rows * reference.cols()) as f64;
+        AccuracyReport {
+            max_abs_error: max_abs,
+            mean_abs_error: sum_abs / elems,
+            mean_kl_divergence: sum_kl / rows as f64,
+            mean_cosine_similarity: sum_cos / rows as f64,
+            top1_agreement: agree as f64 / rows as f64,
+        }
+    }
+
+    /// A coarse pass/fail for the precision sweep: high top-1 agreement and
+    /// small probability error.
+    pub fn meets(&self, min_top1: f64, max_mean_abs_error: f64) -> bool {
+        self.top1_agreement >= min_top1 && self.mean_abs_error <= max_mean_abs_error
+    }
+}
+
+/// Row KL divergence `Σ p_i · ln(p_i / q_i)` with the usual conventions
+/// (`0 · ln(0/q) = 0`); `q_i` is floored at 1e-12 to keep the result
+/// finite for quantized distributions that round tiny masses to zero.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "KL needs equal lengths");
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| if pi <= 0.0 { 0.0 } else { pi * (pi / qi.max(1e-12)).ln() })
+        .sum()
+}
+
+/// Cosine similarity of two vectors (1.0 for identical directions; 0 for a
+/// zero vector).
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine needs equal lengths");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Index of the largest element (first on ties).
+pub fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_perfect_report() {
+        let m = Matrix::from_rows(&[vec![0.7, 0.3], vec![0.1, 0.9]]).unwrap();
+        let rep = AccuracyReport::compare(&m, &m);
+        assert_eq!(rep.max_abs_error, 0.0);
+        assert_eq!(rep.mean_kl_divergence, 0.0);
+        assert!((rep.mean_cosine_similarity - 1.0).abs() < 1e-12);
+        assert_eq!(rep.top1_agreement, 1.0);
+        assert!(rep.meets(0.99, 1e-9));
+    }
+
+    #[test]
+    fn kl_is_nonnegative_and_zero_iff_equal() {
+        let p = [0.5, 0.3, 0.2];
+        let q = [0.4, 0.4, 0.2];
+        assert!(kl_divergence(&p, &q) > 0.0);
+        assert_eq!(kl_divergence(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn kl_handles_zero_mass() {
+        let p = [1.0, 0.0];
+        let q = [0.9, 0.1];
+        let kl = kl_divergence(&p, &q);
+        assert!(kl.is_finite() && kl > 0.0);
+        // Zero q mass is floored, not infinite.
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn cosine_known_values() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn top1_agreement_counts_rows() {
+        let a = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        let b = Matrix::from_rows(&[vec![0.8, 0.2], vec![0.6, 0.4]]).unwrap();
+        let rep = AccuracyReport::compare(&a, &b);
+        assert_eq!(rep.top1_agreement, 0.5);
+        assert!(!rep.meets(0.9, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        let _ = AccuracyReport::compare(&a, &b);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fully quantized attention — the accelerator's-eye view of the score
+//! path: Q and K are quantized to fixed point *before* the dot products
+//! (as when they stream out of 8-bit crossbar GEMMs), the products
+//! accumulate exactly in integer arithmetic, and the scaled scores land on
+//! the softmax engine's input grid.
+//!
+//! This complements [`scaled_dot_attention`](crate::scaled_dot_attention)
+//! (f64 scores, quantization only inside the softmax engine): comparing
+//! the two isolates how much error the *score path* contributes versus the
+//! softmax itself.
+
+use crate::{softmax_rows, AttentionOutput, Matrix, RowSoftmax, ShapeError};
+use star_fixed::{Fixed, QFormat, Rounding};
+
+/// Quantizes every matrix element onto a fixed-point grid (round to
+/// nearest, saturating) and returns the quantized real values.
+pub fn quantize_matrix(m: &Matrix, format: QFormat) -> Matrix {
+    Matrix::from_fn(m.rows(), m.cols(), |r, c| {
+        Fixed::from_f64(m.get(r, c), format, Rounding::Nearest).to_f64()
+    })
+}
+
+/// Scaled dot-product attention with a quantized score path:
+///
+/// 1. Q and K quantize to `operand_format` (the GEMM operand precision),
+/// 2. `QKᵀ` accumulates exactly over the quantized operands,
+/// 3. the `1/√d`-scaled scores quantize to `score_format` (the softmax
+///    engine's input grid),
+/// 4. the pluggable softmax and the `P·V` product run as usual.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] on inconsistent shapes.
+///
+/// # Examples
+///
+/// ```
+/// use star_attention::{quantized_attention, ExactSoftmax, Matrix};
+/// use star_fixed::QFormat;
+///
+/// let x = Matrix::from_fn(4, 8, |r, c| ((r * 8 + c) as f64 * 0.31).sin());
+/// let out = quantized_attention(
+///     &x, &x, &x,
+///     QFormat::new(2, 5)?,   // 8-bit operands
+///     QFormat::MRPC,          // 9-bit scores
+///     &mut ExactSoftmax::new(),
+/// )?;
+/// assert_eq!(out.context.shape(), (4, 8));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn quantized_attention<S: RowSoftmax + ?Sized>(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    operand_format: QFormat,
+    score_format: QFormat,
+    softmax: &mut S,
+) -> Result<AttentionOutput, ShapeError> {
+    if q.cols() != k.cols() || k.rows() != v.rows() {
+        return Err(ShapeError { lhs: q.shape(), rhs: k.shape(), op: "quantized_attention" });
+    }
+    let qq = quantize_matrix(q, operand_format);
+    let qk = quantize_matrix(k, operand_format);
+    let scale = 1.0 / (q.cols() as f64).sqrt();
+    let raw_scores = qq.matmul(&qk.transpose())?.scale(scale);
+    let scores = quantize_matrix(&raw_scores, score_format);
+    let probs = softmax_rows(softmax, &scores);
+    let context = probs.matmul(v)?;
+    Ok(AttentionOutput { context, scores, probs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scaled_dot_attention, AccuracyReport, ExactSoftmax};
+
+    fn m(rows: usize, cols: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * cols + c) as f64 * seed).sin() * 1.5)
+    }
+
+    #[test]
+    fn quantize_matrix_lands_on_grid() {
+        let x = m(3, 4, 0.71);
+        let fmt = QFormat::new(2, 3).expect("valid");
+        let q = quantize_matrix(&x, fmt);
+        let step = fmt.resolution();
+        for &v in q.as_slice() {
+            let k = v / step;
+            assert!((k - k.round()).abs() < 1e-12, "{v} not on the 2^-3 grid");
+        }
+        assert!(x.max_abs_diff(&q).expect("shape") <= step / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn wide_formats_converge_to_float_attention() {
+        let q = m(6, 8, 0.37);
+        let k = m(6, 8, 0.59);
+        let v = m(6, 8, 0.83);
+        let float = scaled_dot_attention(&q, &k, &v, &mut ExactSoftmax::new()).unwrap();
+        let fine = quantized_attention(
+            &q,
+            &k,
+            &v,
+            QFormat::new(2, 12).expect("valid"),
+            QFormat::new(5, 12).expect("valid"),
+            &mut ExactSoftmax::new(),
+        )
+        .unwrap();
+        let rep = AccuracyReport::compare(&float.probs, &fine.probs);
+        assert!(rep.max_abs_error < 1e-3, "{}", rep.max_abs_error);
+    }
+
+    #[test]
+    fn coarse_operands_add_error_beyond_score_quantization() {
+        let q = m(6, 8, 0.41);
+        let k = m(6, 8, 0.67);
+        let v = m(6, 8, 0.9);
+        let score_fmt = QFormat::MRPC;
+        let fine_ops = quantized_attention(
+            &q, &k, &v,
+            QFormat::new(2, 10).expect("valid"),
+            score_fmt,
+            &mut ExactSoftmax::new(),
+        )
+        .unwrap();
+        let coarse_ops = quantized_attention(
+            &q, &k, &v,
+            QFormat::new(2, 2).expect("valid"),
+            score_fmt,
+            &mut ExactSoftmax::new(),
+        )
+        .unwrap();
+        let float = scaled_dot_attention(&q, &k, &v, &mut ExactSoftmax::new()).unwrap();
+        let fine_err = AccuracyReport::compare(&float.probs, &fine_ops.probs).mean_abs_error;
+        let coarse_err = AccuracyReport::compare(&float.probs, &coarse_ops.probs).mean_abs_error;
+        assert!(coarse_err > fine_err, "coarse {coarse_err} vs fine {fine_err}");
+    }
+
+    #[test]
+    fn works_with_the_engine_grid() {
+        // Scores quantized to the engine's own grid make the engine's
+        // input quantization a no-op: engine and exact-softmax outputs on
+        // the quantized scores differ only by table/divider precision.
+        let q = m(5, 8, 0.53);
+        let out = quantized_attention(
+            &q,
+            &q,
+            &q,
+            QFormat::new(2, 6).expect("valid"),
+            QFormat::MRPC,
+            &mut ExactSoftmax::new(),
+        )
+        .unwrap();
+        for r in 0..out.scores.rows() {
+            for &s in out.scores.row(r) {
+                let k = s / QFormat::MRPC.resolution();
+                assert!((k - k.round()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert!(quantized_attention(
+            &a,
+            &b,
+            &b,
+            QFormat::CNEWS,
+            QFormat::CNEWS,
+            &mut ExactSoftmax::new()
+        )
+        .is_err());
+    }
+}

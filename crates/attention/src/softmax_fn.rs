@@ -1,0 +1,138 @@
+//! The pluggable softmax interface.
+//!
+//! Attention is executed with a caller-supplied softmax implementation so
+//! the exact FP64 reference, the CMOS baselines, Softermax and the STAR
+//! crossbar engine can all be dropped into the same model and compared
+//! end-to-end.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-wise softmax operator.
+///
+/// Implementations take one row of attention scores and return the
+/// normalized probability vector. They may be stateful (hardware engines
+/// track energy ledgers), hence `&mut self`.
+///
+/// Implementations must return a vector of the same length whose entries
+/// are non-negative; they *should* sum to ≈1 (quantized engines carry
+/// bounded normalization error, which the accuracy metrics measure).
+pub trait RowSoftmax {
+    /// Computes softmax over one score row.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on empty input.
+    fn softmax_row(&mut self, scores: &[f64]) -> Vec<f64>;
+
+    /// Human-readable engine name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Exact softmax in `f64` — the accuracy reference and the functional model
+/// of a full-precision GPU/CPU softmax.
+///
+/// Uses the numerically stable max-subtraction form, i.e. exactly the
+/// dataflow STAR implements in hardware:
+/// `softmax(x)_i = exp(x_i − max x) / Σ_j exp(x_j − max x)`.
+///
+/// # Examples
+///
+/// ```
+/// use star_attention::{ExactSoftmax, RowSoftmax};
+///
+/// let mut s = ExactSoftmax::new();
+/// let p = s.softmax_row(&[1.0, 2.0, 3.0]);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(p[2] > p[1] && p[1] > p[0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExactSoftmax;
+
+impl ExactSoftmax {
+    /// Creates the reference softmax.
+    pub fn new() -> Self {
+        ExactSoftmax
+    }
+}
+
+impl RowSoftmax for ExactSoftmax {
+    fn softmax_row(&mut self, scores: &[f64]) -> Vec<f64> {
+        assert!(!scores.is_empty(), "softmax of an empty row is undefined");
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.iter().map(|&e| e / sum).collect()
+    }
+
+    fn name(&self) -> &str {
+        "exact-f64"
+    }
+}
+
+/// Applies a [`RowSoftmax`] to every row of a matrix.
+pub fn softmax_rows<S: RowSoftmax + ?Sized>(
+    softmax: &mut S,
+    scores: &crate::Matrix,
+) -> crate::Matrix {
+    let mut out = crate::Matrix::zeros(scores.rows(), scores.cols());
+    for r in 0..scores.rows() {
+        let p = softmax.softmax_row(scores.row(r));
+        assert_eq!(p.len(), scores.cols(), "softmax changed the row length");
+        out.set_row(r, &p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn sums_to_one() {
+        let mut s = ExactSoftmax::new();
+        let p = s.softmax_row(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(p, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn stable_for_large_scores() {
+        let mut s = ExactSoftmax::new();
+        let p = s.softmax_row(&[1000.0, 999.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1]);
+    }
+
+    #[test]
+    fn invariant_to_shift() {
+        let mut s = ExactSoftmax::new();
+        let a = s.softmax_row(&[1.0, 2.0, 3.0]);
+        let b = s.softmax_row(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty row")]
+    fn empty_row_panics() {
+        let mut s = ExactSoftmax::new();
+        let _ = s.softmax_row(&[]);
+    }
+
+    #[test]
+    fn matrix_rows_normalized() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![-5.0, 5.0]]).unwrap();
+        let p = softmax_rows(&mut ExactSoftmax::new(), &m);
+        for r in 0..p.rows() {
+            assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        assert!(p.get(1, 1) > 0.999);
+    }
+
+    #[test]
+    fn name_reported() {
+        assert_eq!(ExactSoftmax::new().name(), "exact-f64");
+    }
+}

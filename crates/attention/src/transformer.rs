@@ -1,0 +1,284 @@
+//! A full transformer encoder layer (and stack) around the attention core:
+//! input projections, multi-head attention, residual + LayerNorm, and the
+//! GELU feed-forward block — the rest of the BERT-base model the paper
+//! evaluates on.
+//!
+//! Weights are caller-supplied (or generated deterministically for
+//! experiments); the softmax stays pluggable so the whole encoder can run
+//! on the exact reference or on the STAR engine.
+
+use crate::{multi_head_attention, AttentionConfig, Matrix, RowSoftmax, ShapeError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Learnable parameters of one encoder layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderLayerParams {
+    /// Query projection, `d_model × d_model`.
+    pub w_q: Matrix,
+    /// Key projection.
+    pub w_k: Matrix,
+    /// Value projection.
+    pub w_v: Matrix,
+    /// Output projection.
+    pub w_o: Matrix,
+    /// FFN expansion, `d_model × d_ff`.
+    pub w_ff1: Matrix,
+    /// FFN contraction, `d_ff × d_model`.
+    pub w_ff2: Matrix,
+}
+
+impl EncoderLayerParams {
+    /// Deterministic random initialization scaled like Xavier/Glorot.
+    pub fn random<R: Rng + ?Sized>(config: &AttentionConfig, rng: &mut R) -> Self {
+        let d = config.d_model;
+        let f = config.d_ff;
+        let mut mat = |rows: usize, cols: usize| {
+            let scale = (2.0 / (rows + cols) as f64).sqrt();
+            Matrix::from_fn(rows, cols, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+        };
+        EncoderLayerParams {
+            w_q: mat(d, d),
+            w_k: mat(d, d),
+            w_v: mat(d, d),
+            w_o: mat(d, d),
+            w_ff1: mat(d, f),
+            w_ff2: mat(f, d),
+        }
+    }
+
+    /// Validates shapes against a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] naming the first mismatched matrix.
+    pub fn validate(&self, config: &AttentionConfig) -> Result<(), ShapeError> {
+        let d = config.d_model;
+        let f = config.d_ff;
+        let checks: [(&Matrix, (usize, usize), &'static str); 6] = [
+            (&self.w_q, (d, d), "w_q"),
+            (&self.w_k, (d, d), "w_k"),
+            (&self.w_v, (d, d), "w_v"),
+            (&self.w_o, (d, d), "w_o"),
+            (&self.w_ff1, (d, f), "w_ff1"),
+            (&self.w_ff2, (f, d), "w_ff2"),
+        ];
+        for (m, want, op) in checks {
+            if m.shape() != want {
+                return Err(ShapeError { lhs: m.shape(), rhs: want, op });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Row-wise LayerNorm with unit gain and zero bias.
+///
+/// # Examples
+///
+/// ```
+/// use star_attention::{layer_norm, Matrix};
+///
+/// let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]])?;
+/// let y = layer_norm(&x, 1e-12);
+/// let row: Vec<f64> = y.row(0).to_vec();
+/// assert!((row.iter().sum::<f64>()).abs() < 1e-9); // zero mean
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn layer_norm(x: &Matrix, epsilon: f64) -> Matrix {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let n = row.len() as f64;
+        let mean = row.iter().sum::<f64>() / n;
+        let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / n;
+        let inv = 1.0 / (var + epsilon).sqrt();
+        let normed: Vec<f64> = row.iter().map(|&v| (v - mean) * inv).collect();
+        out.set_row(r, &normed);
+    }
+    out
+}
+
+/// The GELU activation (tanh approximation, as used by BERT).
+pub fn gelu(x: f64) -> f64 {
+    const C: f64 = 0.797_884_560_802_865_4; // sqrt(2/π)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Applies GELU element-wise.
+pub fn gelu_matrix(x: &Matrix) -> Matrix {
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| gelu(x.get(r, c)))
+}
+
+/// Output of one encoder layer, exposing the attention intermediates for
+/// the precision study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncoderLayerOutput {
+    /// The layer output, `seq_len × d_model`.
+    pub hidden: Matrix,
+    /// Raw attention scores (pre-softmax), `heads·seq_len × seq_len`.
+    pub scores: Matrix,
+    /// Attention probabilities, `heads·seq_len × seq_len`.
+    pub probs: Matrix,
+}
+
+/// Runs one encoder layer: `LN(x + MHA(x)) → LN(· + FFN(·))`.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the input or parameters mismatch the
+/// configuration.
+pub fn encoder_layer<S: RowSoftmax + ?Sized>(
+    config: &AttentionConfig,
+    params: &EncoderLayerParams,
+    input: &Matrix,
+    softmax: &mut S,
+) -> Result<EncoderLayerOutput, ShapeError> {
+    params.validate(config)?;
+    if input.shape() != (config.seq_len, config.d_model) {
+        return Err(ShapeError {
+            lhs: input.shape(),
+            rhs: (config.seq_len, config.d_model),
+            op: "encoder_layer",
+        });
+    }
+    let q = input.matmul(&params.w_q)?;
+    let k = input.matmul(&params.w_k)?;
+    let v = input.matmul(&params.w_v)?;
+    let attn = multi_head_attention(config, &q, &k, &v, softmax)?;
+    let projected = attn.context.matmul(&params.w_o)?;
+    let post_attn = layer_norm(&input.add(&projected)?, 1e-12);
+
+    let ff = gelu_matrix(&post_attn.matmul(&params.w_ff1)?).matmul(&params.w_ff2)?;
+    let hidden = layer_norm(&post_attn.add(&ff)?, 1e-12);
+    Ok(EncoderLayerOutput { hidden, scores: attn.scores, probs: attn.probs })
+}
+
+/// Runs a stack of encoder layers, returning the final hidden states and
+/// the per-layer attention scores (the §II range-analysis input).
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] on any mismatch.
+pub fn encoder_stack<S: RowSoftmax + ?Sized>(
+    config: &AttentionConfig,
+    layers: &[EncoderLayerParams],
+    input: &Matrix,
+    softmax: &mut S,
+) -> Result<(Matrix, Vec<Matrix>), ShapeError> {
+    let mut hidden = input.clone();
+    let mut all_scores = Vec::with_capacity(layers.len());
+    for params in layers {
+        let out = encoder_layer(config, params, &hidden, softmax)?;
+        hidden = out.hidden;
+        all_scores.push(out.scores);
+    }
+    Ok((hidden, all_scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactSoftmax;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig { d_model: 16, num_heads: 2, seq_len: 6, num_layers: 2, d_ff: 32 }
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0x7E57)
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Matrix::from_fn(4, 8, |r, c| (r * 8 + c) as f64 * 0.73 - 2.0);
+        let y = layer_norm(&x, 1e-12);
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean = row.iter().sum::<f64>() / 8.0;
+            let var = row.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / 8.0;
+            assert!(mean.abs() < 1e-9, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-6, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_constant_row_is_zero() {
+        let x = Matrix::from_rows(&[vec![5.0; 4]]).unwrap();
+        let y = layer_norm(&x, 1e-12);
+        assert!(y.row(0).iter().all(|&v| v.abs() < 1e-5));
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // Asymptotics: identity for large x, zero for very negative x.
+        assert!((gelu(10.0) - 10.0).abs() < 1e-6);
+        assert!(gelu(-10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn params_validate_shapes() {
+        let c = cfg();
+        let mut r = rng();
+        let p = EncoderLayerParams::random(&c, &mut r);
+        assert!(p.validate(&c).is_ok());
+        let mut bad = p.clone();
+        bad.w_ff1 = Matrix::zeros(3, 3);
+        let err = bad.validate(&c).unwrap_err();
+        assert_eq!(err.op, "w_ff1");
+    }
+
+    #[test]
+    fn encoder_layer_shapes_and_normalization() {
+        let c = cfg();
+        let mut r = rng();
+        let p = EncoderLayerParams::random(&c, &mut r);
+        let x = Matrix::from_fn(c.seq_len, c.d_model, |i, j| ((i * 31 + j) as f64 * 0.21).sin());
+        let out = encoder_layer(&c, &p, &x, &mut ExactSoftmax::new()).unwrap();
+        assert_eq!(out.hidden.shape(), (6, 16));
+        assert_eq!(out.scores.shape(), (12, 6)); // heads·seq × seq
+        // Output rows are layer-normed.
+        for row_i in 0..6 {
+            let row = out.hidden.row(row_i);
+            let mean = row.iter().sum::<f64>() / row.len() as f64;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn encoder_stack_runs_all_layers() {
+        let c = cfg();
+        let mut r = rng();
+        let layers: Vec<EncoderLayerParams> =
+            (0..3).map(|_| EncoderLayerParams::random(&c, &mut r)).collect();
+        let x = Matrix::from_fn(c.seq_len, c.d_model, |i, j| ((i + j) as f64 * 0.17).cos());
+        let (hidden, scores) = encoder_stack(&c, &layers, &x, &mut ExactSoftmax::new()).unwrap();
+        assert_eq!(hidden.shape(), (6, 16));
+        assert_eq!(scores.len(), 3);
+        // Different layers see different score distributions.
+        assert!(scores[0].max_abs_diff(&scores[1]).unwrap() > 1e-9);
+    }
+
+    #[test]
+    fn encoder_layer_rejects_bad_input() {
+        let c = cfg();
+        let mut r = rng();
+        let p = EncoderLayerParams::random(&c, &mut r);
+        let x = Matrix::zeros(3, 16);
+        assert!(encoder_layer(&c, &p, &x, &mut ExactSoftmax::new()).is_err());
+    }
+
+    #[test]
+    fn deterministic_params() {
+        let c = cfg();
+        let a = EncoderLayerParams::random(&c, &mut rng());
+        let b = EncoderLayerParams::random(&c, &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+//! Criterion companion to E3 / Fig. 3: evaluation throughput of the four
+//! accelerator models (the Fig. 3 numbers themselves come from
+//! `e3_fig3`; this bench tracks the model evaluation cost and guards the
+//! efficiency ordering as a side effect).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use star_arch::{Accelerator, GpuModel, RramAccelerator};
+use star_attention::AttentionConfig;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let cfg = AttentionConfig::bert_base(128);
+    let mut group = c.benchmark_group("fig3_evaluate");
+
+    let gpu = GpuModel::titan_rtx();
+    group.bench_function("gpu", |b| b.iter(|| gpu.evaluate(&cfg)));
+
+    let pl = RramAccelerator::pipelayer();
+    group.bench_function("pipelayer", |b| b.iter(|| pl.evaluate(&cfg)));
+
+    let rt = RramAccelerator::retransformer();
+    group.bench_function("retransformer", |b| b.iter(|| rt.evaluate(&cfg)));
+
+    let st = RramAccelerator::star();
+    group.bench_function("star", |b| b.iter(|| st.evaluate(&cfg)));
+
+    // Guard the paper's ordering while we're here.
+    let e = [
+        gpu.evaluate(&cfg).efficiency_gops_per_watt,
+        pl.evaluate(&cfg).efficiency_gops_per_watt,
+        rt.evaluate(&cfg).efficiency_gops_per_watt,
+        st.evaluate(&cfg).efficiency_gops_per_watt,
+    ];
+    assert!(e[0] < e[1] && e[1] < e[2] && e[2] < e[3], "Fig. 3 ordering violated: {e:?}");
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the crossbar substrate: CAM search,
+//! CAM/SUB stage 1, LUT readout, and VMM multiply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use star_crossbar::{CamSubCrossbar, LutCrossbar, Readout, VmmCrossbar};
+use star_device::{NoiseModel, TechnologyParams};
+use star_fixed::{Fixed, QFormat, Rounding};
+
+fn bench_cam_sub(c: &mut Criterion) {
+    let tech = TechnologyParams::cmos32();
+    let fmt = QFormat::MRPC;
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut xbar = CamSubCrossbar::new(fmt, &tech, NoiseModel::ideal(), &mut rng);
+    let mut group = c.benchmark_group("cam_sub_stage1");
+    for n in [32usize, 128] {
+        let xs: Vec<Fixed> = (0..n)
+            .map(|i| Fixed::from_f64(((i * 13) as f64 * 0.41).sin() * 20.0, fmt, Rounding::Nearest))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| xbar.stage1(xs).expect("ideal array"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lut_read(c: &mut Criterion) {
+    let tech = TechnologyParams::cmos32();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut lut = LutCrossbar::new(256, 18, &tech, NoiseModel::ideal(), &mut rng);
+    for r in 0..256 {
+        lut.store_word(r, (r as u64 * 977) & 0x3FFFF);
+    }
+    c.bench_function("lut_read_row", |b| {
+        let mut r = 0usize;
+        b.iter(|| {
+            r = (r + 1) % 256;
+            lut.read_row(r)
+        })
+    });
+}
+
+fn bench_vmm(c: &mut Criterion) {
+    let tech = TechnologyParams::cmos32();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut group = c.benchmark_group("vmm_multiply");
+    for readout in [("ideal", Readout::Ideal), ("adc5", Readout::Adc(star_device::AdcSpec::sar(5)))]
+    {
+        let mut xbar =
+            VmmCrossbar::new(256, 1, 18, readout.1, &tech, NoiseModel::ideal(), &mut rng);
+        let weights: Vec<Vec<u32>> = (0..256).map(|r| vec![(r * 1021) as u32 & 0x3FFFF]).collect();
+        xbar.store_weights(&weights);
+        let inputs: Vec<u64> = (0..256).map(|i| (i % 7) as u64).collect();
+        group.bench_function(readout.0, |b| b.iter(|| xbar.multiply(&inputs, 10)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cam_sub, bench_lut_read, bench_vmm);
+criterion_main!(benches);

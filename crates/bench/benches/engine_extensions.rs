@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the engine extensions: the generalized
+//! CAM+LUT function unit, the replicated engine bank, and the event-driven
+//! pipeline simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_core::{
+    simulate_pipeline, EngineBank, LutFunctionUnit, PipelineMode, RowDurations, RowSoftmax,
+    StarSoftmaxConfig,
+};
+use star_fixed::QFormat;
+
+fn bench_function_unit(c: &mut Criterion) {
+    let fmt = QFormat::new(3, 4).expect("valid");
+    let mut group = c.benchmark_group("lut_function_unit");
+    let mut gelu = LutFunctionUnit::gelu(fmt, 16);
+    group.bench_function("gelu_eval", |b| {
+        let mut x = -6.0;
+        b.iter(|| {
+            x = if x > 6.0 { -6.0 } else { x + 0.37 };
+            gelu.evaluate(x)
+        })
+    });
+    let mut sigmoid = LutFunctionUnit::sigmoid(fmt, 16);
+    let xs: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2) - 6.0).collect();
+    group.bench_function("sigmoid_batch64", |b| b.iter(|| sigmoid.evaluate_all(&xs)));
+    group.finish();
+}
+
+fn bench_engine_bank(c: &mut Criterion) {
+    let row: Vec<f64> = (0..128).map(|i| ((i * 37) as f64 * 0.613).sin() * 10.0).collect();
+    let mut group = c.benchmark_group("engine_bank_row128");
+    for units in [1usize, 4] {
+        let mut bank =
+            EngineBank::new(StarSoftmaxConfig::new(QFormat::CNEWS), units).expect("bank");
+        group.bench_with_input(BenchmarkId::from_parameter(units), &row, |b, row| {
+            b.iter(|| bank.softmax_row(row))
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_sim");
+    for rows in [128usize, 512] {
+        let d = RowDurations::uniform(rows, 84.0, 750.0, 84.0);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &d, |b, d| {
+            b.iter(|| simulate_pipeline(d, PipelineMode::VectorGrained, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_function_unit, bench_engine_bank, bench_event_sim);
+criterion_main!(benches);

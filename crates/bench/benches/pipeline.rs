@@ -1,0 +1,45 @@
+//! Criterion companion to A1: pipeline model evaluation and end-to-end
+//! functional attention with the STAR engine plugged in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_attention::{multi_head_attention, AttentionConfig, ExactSoftmax, Matrix};
+use star_core::{
+    attention_pipeline_latency, PipelineMode, RowStageLatency, StarSoftmax, StarSoftmaxConfig,
+};
+use star_device::Latency;
+use star_fixed::QFormat;
+
+fn bench_pipeline_model(c: &mut Criterion) {
+    let stages =
+        RowStageLatency::new(Latency::new(84.0), Latency::new(75.0), Latency::new(84.0));
+    let mut group = c.benchmark_group("pipeline_latency_model");
+    for mode in PipelineMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| attention_pipeline_latency(512, stages, mode)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_functional_attention(c: &mut Criterion) {
+    let cfg = AttentionConfig::tiny(16);
+    let x = Matrix::from_fn(16, 16, |r, col| ((r * 16 + col) as f64 * 0.37).sin() * 4.0);
+    let mut group = c.benchmark_group("attention_end_to_end_tiny16");
+
+    let mut exact = ExactSoftmax::new();
+    group.bench_function("exact", |b| {
+        b.iter(|| multi_head_attention(&cfg, &x, &x, &x, &mut exact).expect("shapes ok"))
+    });
+
+    let mut star = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+    group.bench_function("star_engine", |b| {
+        b.iter(|| multi_head_attention(&cfg, &x, &x, &x, &mut star).expect("shapes ok"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_model, bench_functional_attention);
+criterion_main!(benches);

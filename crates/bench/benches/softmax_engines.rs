@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the softmax engines (E2 companion):
+//! functional simulation throughput of one score row per engine, plus the
+//! STAR engine across row lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_core::{CmosBaselineSoftmax, RowSoftmax, Softermax, StarSoftmax, StarSoftmaxConfig};
+use star_fixed::QFormat;
+
+fn score_row(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37) as f64 * 0.613).sin() * 10.0).collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let row = score_row(128);
+    let mut group = c.benchmark_group("softmax_row_128");
+
+    let mut exact = star_attention::ExactSoftmax::new();
+    group.bench_function("exact_f64", |b| b.iter(|| exact.softmax_row(&row)));
+
+    let mut cmos = CmosBaselineSoftmax::new(8);
+    group.bench_function("cmos_baseline", |b| b.iter(|| cmos.softmax_row(&row)));
+
+    let mut soft = Softermax::new(QFormat::CNEWS, 8);
+    group.bench_function("softermax", |b| b.iter(|| soft.softmax_row(&row)));
+
+    let mut star = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::CNEWS)).expect("engine");
+    group.bench_function("star_rram_8bit", |b| b.iter(|| star.softmax_row(&row)));
+
+    group.finish();
+}
+
+fn bench_star_row_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("star_softmax_vs_row_len");
+    let mut star = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+    for n in [32usize, 64, 128, 256, 512] {
+        let row = score_row(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &row, |b, row| {
+            b.iter(|| star.softmax_row(row))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_star_row_lengths);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion companion to E1: the GPU breakdown sweep across sequence
+//! lengths (the E1 table itself comes from `e1_softmax_share`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_arch::GpuModel;
+use star_attention::AttentionConfig;
+
+fn bench_breakdown(c: &mut Criterion) {
+    let gpu = GpuModel::titan_rtx();
+    let mut group = c.benchmark_group("gpu_breakdown");
+    for n in [128usize, 512, 1024] {
+        let cfg = AttentionConfig::bert_base(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| gpu.attention_breakdown(cfg))
+        });
+    }
+    group.finish();
+
+    // Guard the monotone-share shape.
+    let mut prev = 0.0;
+    for n in [64usize, 128, 256, 384, 512, 768, 1024] {
+        let share = gpu.softmax_share(&AttentionConfig::bert_base(n));
+        assert!(share > prev, "share must grow with n");
+        prev = share;
+    }
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

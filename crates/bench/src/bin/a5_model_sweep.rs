@@ -1,0 +1,79 @@
+//! A5 (ablation) — model-level sweep: computing efficiency of all four
+//! designs across sequence lengths, at both attention-layer and full
+//! 12-layer BERT-base granularity. Shows where STAR's advantage grows
+//! (softmax-heavy long sequences) and how the FFN dilutes it.
+
+use star_arch::{Accelerator, GpuModel, RramAccelerator};
+use star_attention::AttentionConfig;
+use star_bench::{header, write_json};
+
+fn main() {
+    let seq_lens = [64usize, 128, 256, 512];
+    let gpu = GpuModel::titan_rtx();
+    let pl = RramAccelerator::pipelayer();
+    let rt = RramAccelerator::retransformer();
+    let st = RramAccelerator::star();
+
+    header("A5: attention-layer efficiency vs sequence length [GOPs/s/W]");
+    println!(
+        "  {:>6} {:>10} {:>12} {:>15} {:>10} {:>12}",
+        "seq", "gpu", "pipelayer", "retransformer", "star", "star/retx"
+    );
+    let mut layer_rows = Vec::new();
+    for &n in &seq_lens {
+        let cfg = AttentionConfig::bert_base(n);
+        let e = [
+            gpu.evaluate(&cfg).efficiency_gops_per_watt,
+            pl.evaluate(&cfg).efficiency_gops_per_watt,
+            rt.evaluate(&cfg).efficiency_gops_per_watt,
+            st.evaluate(&cfg).efficiency_gops_per_watt,
+        ];
+        println!(
+            "  {:>6} {:>10.2} {:>12.2} {:>15.2} {:>10.2} {:>11.3}x",
+            n,
+            e[0],
+            e[1],
+            e[2],
+            e[3],
+            e[3] / e[2]
+        );
+        layer_rows.push(serde_json::json!({
+            "seq_len": n, "gpu": e[0], "pipelayer": e[1], "retransformer": e[2], "star": e[3],
+        }));
+    }
+
+    header("A5: full 12-layer model efficiency vs sequence length [GOPs/s/W]");
+    println!(
+        "  {:>6} {:>10} {:>12} {:>15} {:>10} {:>12}",
+        "seq", "gpu", "pipelayer", "retransformer", "star", "star/retx"
+    );
+    let mut model_rows = Vec::new();
+    for &n in &seq_lens {
+        let cfg = AttentionConfig::bert_base(n);
+        let e = [
+            gpu.model_efficiency(&cfg),
+            pl.evaluate_model(&cfg).efficiency_gops_per_watt,
+            rt.evaluate_model(&cfg).efficiency_gops_per_watt,
+            st.evaluate_model(&cfg).efficiency_gops_per_watt,
+        ];
+        println!(
+            "  {:>6} {:>10.2} {:>12.2} {:>15.2} {:>10.2} {:>11.3}x",
+            n,
+            e[0],
+            e[1],
+            e[2],
+            e[3],
+            e[3] / e[2]
+        );
+        model_rows.push(serde_json::json!({
+            "seq_len": n, "gpu": e[0], "pipelayer": e[1], "retransformer": e[2], "star": e[3],
+        }));
+    }
+
+    let path = write_json(
+        "a5_model_sweep",
+        &serde_json::json!({"attention_layer": layer_rows, "full_model": model_rows}),
+    )
+    .expect("write");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,76 @@
+//! A6 (ablation) — does the STAR story survive model scale? The paper
+//! evaluates BERT-base; here the same accelerators run BERT-large and a
+//! GPT-2-small-shaped decoder, at layer and full-model granularity.
+
+use star_arch::{Accelerator, GpuModel, RramAccelerator};
+use star_attention::AttentionConfig;
+use star_bench::{header, write_json};
+
+fn main() {
+    let models: [(&str, AttentionConfig); 3] = [
+        ("bert-base", AttentionConfig::bert_base(128)),
+        ("bert-large", AttentionConfig::bert_large(128)),
+        ("gpt2-small", AttentionConfig::gpt2_small(256)),
+    ];
+    let gpu = GpuModel::titan_rtx();
+    let pl = RramAccelerator::pipelayer();
+    let rt = RramAccelerator::retransformer();
+    let st = RramAccelerator::star();
+
+    header("A6: attention-layer efficiency per model [GOPs/s/W]");
+    println!(
+        "  {:<12} {:>6} {:>8} {:>10} {:>14} {:>10} {:>11}",
+        "model", "seq", "gpu", "pipelayer", "retransformer", "star", "star/retx"
+    );
+    let mut rows = Vec::new();
+    for (name, cfg) in &models {
+        let e = [
+            gpu.evaluate(cfg).efficiency_gops_per_watt,
+            pl.evaluate(cfg).efficiency_gops_per_watt,
+            rt.evaluate(cfg).efficiency_gops_per_watt,
+            st.evaluate(cfg).efficiency_gops_per_watt,
+        ];
+        println!(
+            "  {:<12} {:>6} {:>8.2} {:>10.2} {:>14.2} {:>10.2} {:>10.3}x",
+            name, cfg.seq_len, e[0], e[1], e[2], e[3], e[3] / e[2]
+        );
+        assert!(e[0] < e[1] && e[1] < e[2] && e[2] < e[3], "{name}: ordering broke: {e:?}");
+        rows.push(serde_json::json!({
+            "model": name, "seq_len": cfg.seq_len, "d_model": cfg.d_model,
+            "num_layers": cfg.num_layers,
+            "gpu": e[0], "pipelayer": e[1], "retransformer": e[2], "star": e[3],
+        }));
+    }
+
+    header("A6: full-model latency and chip area (STAR)");
+    println!(
+        "  {:<12} {:>14} {:>16} {:>18}",
+        "model", "latency [ms]", "energy [mJ]", "chip area [mm^2]"
+    );
+    let mut model_rows = Vec::new();
+    for (name, cfg) in &models {
+        let r = st.evaluate_model(cfg);
+        let area = st.area_sheet(cfg).total_area();
+        println!(
+            "  {:<12} {:>14.3} {:>16.3} {:>18.1}",
+            name,
+            r.latency.as_us() / 1000.0,
+            r.total_energy.value() * 1e-9,
+            area.as_mm2()
+        );
+        model_rows.push(serde_json::json!({
+            "model": name,
+            "latency_ms": r.latency.as_us() / 1000.0,
+            "energy_mj": r.total_energy.value() * 1e-9,
+            "chip_area_mm2": area.as_mm2(),
+            "efficiency_gops_per_watt": r.efficiency_gops_per_watt,
+        }));
+    }
+
+    let path = write_json(
+        "a6_model_zoo",
+        &serde_json::json!({"attention_layer": rows, "star_full_model": model_rows}),
+    )
+    .expect("write");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,75 @@
+//! E2 — Table I: area and power of the softmax designs, normalized to the
+//! baseline CMOS softmax. Evaluated as in the paper at the BERT-base /
+//! CNEWS operating point (8-bit softmax, sequence length 128).
+
+use star_bench::{compare_line, header, write_json};
+use star_core::{
+    CmosBaselineSoftmax, RowSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
+};
+use star_fixed::QFormat;
+
+fn main() {
+    // The paper's Table I operating point: CNEWS 8-bit, seq len 128.
+    let format = QFormat::CNEWS;
+    let baseline = CmosBaselineSoftmax::new(8);
+    let softermax = Softermax::new(format, 8);
+    let star = StarSoftmax::new(StarSoftmaxConfig::new(format)).expect("valid engine");
+
+    let base_sheet = baseline.cost_sheet();
+    let soft_sheet = softermax.cost_sheet();
+    let star_sheet = star.cost_sheet();
+
+    header("E2 / Table I: itemized budgets");
+    for sheet in [&base_sheet, &soft_sheet, &star_sheet] {
+        println!("{}", sheet.to_table());
+    }
+
+    let soft_area = soft_sheet.area_ratio_to(&base_sheet);
+    let soft_power = soft_sheet.power_ratio_to(&base_sheet);
+    let star_area = star_sheet.area_ratio_to(&base_sheet);
+    let star_power = star_sheet.power_ratio_to(&base_sheet);
+
+    header("E2 / Table I: normalized to baseline CMOS softmax");
+    println!("{}", compare_line("softermax area ratio", 0.33, soft_area));
+    println!("{}", compare_line("softermax power ratio", 0.12, soft_power));
+    println!("{}", compare_line("ours (8-bit) area ratio", 0.06, star_area));
+    println!("{}", compare_line("ours (8-bit) power ratio", 0.05, star_power));
+
+    header("E2: derived vs-Softermax ratios quoted in the text");
+    println!("{}", compare_line("ours/softermax area", 0.20, star_area / soft_area));
+    println!("{}", compare_line("ours/softermax power", 0.44, star_power / soft_power));
+
+    // Throughput context at the Table I operating point.
+    header("E2: per-row cost at seq len 128 (context)");
+    for (name, cost) in [
+        (baseline.name().to_owned(), baseline.row_cost(128)),
+        (softermax.name().to_owned(), softermax.row_cost(128)),
+        (star.name().to_owned(), star.row_cost(128)),
+    ] {
+        println!(
+            "  {:<28} {:>10.1} ns {:>12.2} pJ",
+            name,
+            cost.latency.value(),
+            cost.energy.value()
+        );
+    }
+
+    let path = write_json(
+        "e2_table1",
+        &serde_json::json!({
+            "baseline": {"area_um2": base_sheet.total_area().value(), "power_mw": base_sheet.total_power().value()},
+            "softermax": {
+                "area_um2": soft_sheet.total_area().value(), "power_mw": soft_sheet.total_power().value(),
+                "area_ratio": soft_area, "power_ratio": soft_power,
+                "paper": {"area_ratio": 0.33, "power_ratio": 0.12},
+            },
+            "star_8bit": {
+                "area_um2": star_sheet.total_area().value(), "power_mw": star_sheet.total_power().value(),
+                "area_ratio": star_area, "power_ratio": star_power,
+                "paper": {"area_ratio": 0.06, "power_ratio": 0.05},
+            },
+        }),
+    )
+    .expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,67 @@
+//! E3 — Fig. 3: computing efficiency (GOPs/s/W) of GPU, PipeLayer,
+//! ReTransformer and STAR on one BERT-base attention layer (seq 128), and
+//! STAR's improvement factors over each.
+
+use star_arch::{Accelerator, GpuModel, PerfReport, RramAccelerator};
+use star_attention::AttentionConfig;
+use star_bench::{compare_line, header, write_json};
+
+fn main() {
+    let cfg = AttentionConfig::bert_base(128);
+    let reports: Vec<PerfReport> = vec![
+        GpuModel::titan_rtx().evaluate(&cfg),
+        RramAccelerator::pipelayer().evaluate(&cfg),
+        RramAccelerator::retransformer().evaluate(&cfg),
+        RramAccelerator::star().evaluate(&cfg),
+    ];
+
+    header("E3 / Fig. 3: per-design evaluation (BERT-base attention, seq 128)");
+    println!(
+        "  {:<18} {:>12} {:>14} {:>14} {:>12}",
+        "design", "latency[us]", "energy[uJ]", "avg power[W]", "GOPs/s/W"
+    );
+    for r in &reports {
+        println!(
+            "  {:<18} {:>12.1} {:>14.1} {:>14.2} {:>12.2}",
+            r.name,
+            r.latency.as_us(),
+            r.total_energy.value() * 1e-6,
+            r.avg_power.as_watts(),
+            r.efficiency_gops_per_watt
+        );
+    }
+
+    let star = &reports[3];
+    header("E3 / Fig. 3: paper anchors");
+    println!(
+        "{}",
+        compare_line("STAR efficiency (GOPs/s/W)", 612.66, star.efficiency_gops_per_watt)
+    );
+    println!(
+        "{}",
+        compare_line("gain over GPU", 30.63, star.efficiency_gain_over(&reports[0]))
+    );
+    println!(
+        "{}",
+        compare_line("gain over PipeLayer", 4.32, star.efficiency_gain_over(&reports[1]))
+    );
+    println!(
+        "{}",
+        compare_line("gain over ReTransformer", 1.31, star.efficiency_gain_over(&reports[2]))
+    );
+
+    let path = write_json(
+        "e3_fig3",
+        &serde_json::json!({
+            "reports": reports,
+            "paper": {
+                "star_gops_per_watt": 612.66,
+                "gain_over_gpu": 30.63,
+                "gain_over_pipelayer": 4.32,
+                "gain_over_retransformer": 1.31,
+            },
+        }),
+    )
+    .expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! One-command reproduction: runs every experiment harness in order and
+//! summarizes pass/fail. Binaries are located next to this one in the
+//! cargo target directory, so `cargo run -p star-bench --bin repro_all`
+//! builds and runs the complete paper reproduction.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "e1_softmax_share",
+    "e2_table1",
+    "e3_fig3",
+    "e4_bitwidth",
+    "e5_geometry",
+    "a1_pipeline_ablation",
+    "a2_bitwidth_cost",
+    "a3_matmul_sweep",
+    "a4_endurance",
+    "a5_model_sweep",
+    "a6_model_zoo",
+    "a7_pareto",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("target directory").to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let bin = dir.join(name);
+        if !bin.exists() {
+            eprintln!(
+                "[skip] {name}: binary not built (run `cargo build --release -p star-bench --bins` first)"
+            );
+            failures.push(name);
+            continue;
+        }
+        println!("\n────────────────────────── {name} ──────────────────────────");
+        match Command::new(&bin).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("[fail] {name}: exit {status}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("[fail] {name}: {e}");
+                failures.push(name);
+            }
+        }
+    }
+
+    println!("\n══════════════════════════ summary ══════════════════════════");
+    println!(
+        "  {} / {} experiments completed; results under {}",
+        EXPERIMENTS.len() - failures.len(),
+        EXPERIMENTS.len(),
+        star_bench::results_dir().display()
+    );
+    if !failures.is_empty() {
+        eprintln!("  failed/skipped: {failures:?}");
+        std::process::exit(1);
+    }
+}

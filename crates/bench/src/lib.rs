@@ -1,0 +1,102 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Each `e*`/`a*` binary regenerates one table or figure of the paper,
+//! prints a human-readable comparison (paper value next to measured value)
+//! and writes a machine-readable JSON file under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Directory experiment results are written to: `$STAR_RESULTS_DIR` or
+/// `./results`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("STAR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Serializes `value` to `results/<name>.json`, creating the directory.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Relative deviation of `measured` from `paper`, as a signed percentage.
+///
+/// # Panics
+///
+/// Panics if `paper` is zero.
+pub fn deviation_pct(measured: f64, paper: f64) -> f64 {
+    assert!(paper != 0.0, "paper value must be nonzero");
+    (measured - paper) / paper * 100.0
+}
+
+/// Formats a paper-vs-measured line for the console tables.
+pub fn compare_line(label: &str, paper: f64, measured: f64) -> String {
+    format!(
+        "  {:<34} paper {:>10.3}   measured {:>10.3}   ({:+6.1} %)",
+        label,
+        paper,
+        measured,
+        deviation_pct(measured, paper)
+    )
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Asserts `path` exists after a write (used by the harness self-tests).
+pub fn assert_written(path: &Path) {
+    assert!(path.exists(), "result file {} missing", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_math() {
+        assert_eq!(deviation_pct(110.0, 100.0), 10.0);
+        assert_eq!(deviation_pct(90.0, 100.0), -10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn deviation_zero_paper() {
+        let _ = deviation_pct(1.0, 0.0);
+    }
+
+    #[test]
+    fn compare_line_contains_values() {
+        let l = compare_line("x", 2.0, 1.0);
+        assert!(l.contains("2.000"));
+        assert!(l.contains("1.000"));
+        assert!(l.contains("-50.0"));
+    }
+
+    #[test]
+    fn write_json_round_trip() {
+        let dir = std::env::temp_dir().join("star-bench-test");
+        std::env::set_var("STAR_RESULTS_DIR", &dir);
+        let path = write_json("unit_test", &serde_json::json!({"a": 1})).expect("write");
+        assert_written(&path);
+        let body = std::fs::read_to_string(&path).expect("read");
+        assert!(body.contains("\"a\": 1"));
+        std::env::remove_var("STAR_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,62 @@
+//! Calibration-drift guard: snapshots of the headline numbers every
+//! harness prints. If a substrate change moves any of these beyond its
+//! band, this test fails *before* EXPERIMENTS.md silently goes stale.
+
+use star_arch::{Accelerator, GpuModel, RramAccelerator};
+use star_attention::AttentionConfig;
+use star_core::{
+    CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
+};
+use star_fixed::QFormat;
+
+fn near(measured: f64, snapshot: f64, pct: f64) -> bool {
+    (measured - snapshot).abs() / snapshot.abs() <= pct / 100.0
+}
+
+#[test]
+fn fig3_snapshot() {
+    let cfg = AttentionConfig::bert_base(128);
+    // Snapshots from the calibrated run recorded in EXPERIMENTS.md.
+    let gpu = GpuModel::titan_rtx().evaluate(&cfg);
+    assert!(near(gpu.efficiency_gops_per_watt, 20.75, 2.0), "gpu {}", gpu.efficiency_gops_per_watt);
+    let pl = RramAccelerator::pipelayer().evaluate(&cfg);
+    assert!(near(pl.efficiency_gops_per_watt, 141.85, 2.0), "pl {}", pl.efficiency_gops_per_watt);
+    let rt = RramAccelerator::retransformer().evaluate(&cfg);
+    assert!(near(rt.efficiency_gops_per_watt, 482.27, 2.0), "rt {}", rt.efficiency_gops_per_watt);
+    let st = RramAccelerator::star().evaluate(&cfg);
+    assert!(near(st.efficiency_gops_per_watt, 633.32, 2.0), "st {}", st.efficiency_gops_per_watt);
+}
+
+#[test]
+fn table1_snapshot() {
+    let base = CmosBaselineSoftmax::new(8).cost_sheet();
+    assert!(near(base.total_area().value(), 160_800.0, 2.0));
+    assert!(near(base.total_power().value(), 41.512, 2.0));
+    let soft = Softermax::new(QFormat::CNEWS, 8).cost_sheet();
+    assert!(near(soft.area_ratio_to(&base), 0.309, 3.0), "{}", soft.area_ratio_to(&base));
+    assert!(near(soft.power_ratio_to(&base), 0.110, 3.0), "{}", soft.power_ratio_to(&base));
+    let star =
+        StarSoftmax::new(StarSoftmaxConfig::new(QFormat::CNEWS)).expect("engine").cost_sheet();
+    assert!(near(star.area_ratio_to(&base), 0.057, 3.0), "{}", star.area_ratio_to(&base));
+    assert!(near(star.power_ratio_to(&base), 0.046, 3.0), "{}", star.power_ratio_to(&base));
+}
+
+#[test]
+fn e1_snapshot() {
+    let gpu = GpuModel::titan_rtx();
+    let b512 = gpu.attention_breakdown(&AttentionConfig::bert_base(512));
+    assert!(near(b512.matmul().as_us(), 423.8, 1.0), "{}", b512.matmul().as_us());
+    assert!(near(b512.softmax.as_us(), 424.9, 1.0), "{}", b512.softmax.as_us());
+    let share_1024 = gpu.softmax_share(&AttentionConfig::bert_base(1024));
+    assert!(near(share_1024, 0.616, 1.5), "{share_1024}");
+}
+
+#[test]
+fn engine_row_cost_snapshot() {
+    // The 9-bit engine at seq 128 — the number the accelerator pipeline
+    // balances around (≈750 ns/row, ≈1.3 nJ/row).
+    let e = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+    let c = e.row_cost(128);
+    assert!(near(c.latency.value(), 769.0, 5.0), "latency {}", c.latency);
+    assert!(near(c.energy.value(), 2830.0, 5.0), "energy {}", c.energy);
+}

@@ -1,0 +1,238 @@
+//! Design-space exploration for the STAR softmax engine.
+//!
+//! §II frames the engine as a precision/efficiency trade-off; this module
+//! makes the trade-off navigable: enumerate engine configurations (input
+//! format × exponential word width × divider precision), evaluate each on
+//! a shared workload, and extract the Pareto frontier over
+//! (area, power, accuracy).
+
+use crate::engine::SoftmaxEngine;
+use crate::star::{BuildStarError, StarSoftmax, StarSoftmaxConfig};
+use serde::{Deserialize, Serialize};
+use star_attention::{argmax, ExactSoftmax, RowSoftmax};
+use star_fixed::QFormat;
+
+/// One evaluated engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Input fixed-point format.
+    pub format: QFormat,
+    /// Exponential LUT/VMM word width.
+    pub exp_word_bits: u8,
+    /// Divider quotient width.
+    pub quotient_bits: u8,
+    /// Engine area in µm².
+    pub area_um2: f64,
+    /// Engine power in mW.
+    pub power_mw: f64,
+    /// One-row (seq 128) latency in ns.
+    pub row_latency_ns: f64,
+    /// Mean absolute probability error vs the exact softmax.
+    pub mean_abs_error: f64,
+    /// Row top-1 agreement vs the exact softmax.
+    pub top1_agreement: f64,
+}
+
+impl DesignPoint {
+    /// Whether `self` dominates `other` in the Pareto sense over
+    /// (area ↓, power ↓, error ↓): no worse on all, strictly better on one.
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let no_worse = self.area_um2 <= other.area_um2
+            && self.power_mw <= other.power_mw
+            && self.mean_abs_error <= other.mean_abs_error;
+        let strictly_better = self.area_um2 < other.area_um2
+            || self.power_mw < other.power_mw
+            || self.mean_abs_error < other.mean_abs_error;
+        no_worse && strictly_better
+    }
+}
+
+/// The axes of the exploration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Candidate input formats.
+    pub formats: Vec<QFormat>,
+    /// Candidate exponential word widths.
+    pub exp_word_bits: Vec<u8>,
+    /// Candidate divider quotient widths.
+    pub quotient_bits: Vec<u8>,
+}
+
+impl DesignSpace {
+    /// The space around the paper's operating points: the three dataset
+    /// formats × {12, 16, 18, 24}-bit exp words × {12, 16}-bit quotients.
+    pub fn paper_neighborhood() -> Self {
+        DesignSpace {
+            formats: vec![QFormat::COLA, QFormat::CNEWS, QFormat::MRPC],
+            exp_word_bits: vec![12, 16, 18, 24],
+            quotient_bits: vec![12, 16],
+        }
+    }
+
+    /// Number of configurations in the cross product.
+    pub fn len(&self) -> usize {
+        self.formats.len() * self.exp_word_bits.len() * self.quotient_bits.len()
+    }
+
+    /// True if any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates every configuration on the given score rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildStarError`] from engine construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn evaluate(&self, rows: &[Vec<f64>]) -> Result<Vec<DesignPoint>, BuildStarError> {
+        assert!(!rows.is_empty(), "need at least one evaluation row");
+        let max_len = rows.iter().map(Vec::len).max().expect("non-empty");
+        let mut exact = ExactSoftmax::new();
+        let references: Vec<Vec<f64>> = rows.iter().map(|r| exact.softmax_row(r)).collect();
+
+        let mut points = Vec::with_capacity(self.len());
+        for &format in &self.formats {
+            for &exp_bits in &self.exp_word_bits {
+                for &q_bits in &self.quotient_bits {
+                    let config = StarSoftmaxConfig::new(format)
+                        .with_exp_word_bits(exp_bits)
+                        .with_quotient_bits(q_bits)
+                        .with_max_row_len(max_len);
+                    let mut engine = StarSoftmax::new(config)?;
+                    let mut err_sum = 0.0;
+                    let mut elems = 0usize;
+                    let mut agree = 0usize;
+                    for (row, reference) in rows.iter().zip(&references) {
+                        let p = engine.softmax_row(row);
+                        err_sum += p
+                            .iter()
+                            .zip(reference)
+                            .map(|(a, b)| (a - b).abs())
+                            .sum::<f64>();
+                        elems += row.len();
+                        if argmax(&p) == argmax(reference) {
+                            agree += 1;
+                        }
+                    }
+                    let sheet = engine.cost_sheet();
+                    points.push(DesignPoint {
+                        format,
+                        exp_word_bits: exp_bits,
+                        quotient_bits: q_bits,
+                        area_um2: sheet.total_area().value(),
+                        power_mw: sheet.total_power().value(),
+                        row_latency_ns: engine.row_cost(128).latency.value(),
+                        mean_abs_error: err_sum / elems as f64,
+                        top1_agreement: agree as f64 / rows.len() as f64,
+                    });
+                }
+            }
+        }
+        Ok(points)
+    }
+}
+
+/// Extracts the Pareto-optimal subset over (area, power, error), sorted by
+/// area.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| a.area_um2.partial_cmp(&b.area_um2).expect("finite"));
+    front.dedup();
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        (0..12)
+            .map(|r| (0..24).map(|c| ((r * 29 + c * 13) as f64 * 0.57).sin() * 10.0).collect())
+            .collect()
+    }
+
+    fn small_space() -> DesignSpace {
+        DesignSpace {
+            formats: vec![QFormat::COLA, QFormat::MRPC],
+            exp_word_bits: vec![12, 18],
+            quotient_bits: vec![12, 16],
+        }
+    }
+
+    #[test]
+    fn evaluates_full_cross_product() {
+        let space = small_space();
+        assert_eq!(space.len(), 8);
+        assert!(!space.is_empty());
+        let points = space.evaluate(&rows()).expect("all build");
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert!(p.area_um2 > 0.0 && p.power_mw > 0.0);
+            assert!(p.mean_abs_error.is_finite());
+            assert!((0.0..=1.0).contains(&p.top1_agreement));
+        }
+    }
+
+    #[test]
+    fn dominance_logic() {
+        let a = DesignPoint {
+            format: QFormat::COLA,
+            exp_word_bits: 12,
+            quotient_bits: 12,
+            area_um2: 100.0,
+            power_mw: 1.0,
+            row_latency_ns: 10.0,
+            mean_abs_error: 0.01,
+            top1_agreement: 1.0,
+        };
+        let worse = DesignPoint { area_um2: 200.0, power_mw: 2.0, mean_abs_error: 0.02, ..a.clone() };
+        let tradeoff = DesignPoint { area_um2: 50.0, mean_abs_error: 0.05, ..a.clone() };
+        assert!(a.dominates(&worse));
+        assert!(!worse.dominates(&a));
+        assert!(!a.dominates(&tradeoff));
+        assert!(!tradeoff.dominates(&a));
+        assert!(!a.dominates(&a));
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_covers_extremes() {
+        let points = small_space().evaluate(&rows()).expect("all build");
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for p in &front {
+            assert!(!points.iter().any(|q| q.dominates(p)), "dominated point on front");
+        }
+        // The cheapest design is always on the front.
+        let min_area =
+            points.iter().map(|p| p.area_um2).fold(f64::INFINITY, f64::min);
+        assert!(front.iter().any(|p| p.area_um2 == min_area));
+        // The most accurate design is always on the front.
+        let min_err =
+            points.iter().map(|p| p.mean_abs_error).fold(f64::INFINITY, f64::min);
+        assert!(front.iter().any(|p| p.mean_abs_error == min_err));
+        // Front sorted by area.
+        for w in front.windows(2) {
+            assert!(w[0].area_um2 <= w[1].area_um2);
+        }
+    }
+
+    #[test]
+    fn wider_exp_words_reduce_error() {
+        let space = DesignSpace {
+            formats: vec![QFormat::MRPC],
+            exp_word_bits: vec![8, 20],
+            quotient_bits: vec![16],
+        };
+        let points = space.evaluate(&rows()).expect("all build");
+        assert!(points[1].mean_abs_error <= points[0].mean_abs_error);
+        assert!(points[1].area_um2 > points[0].area_um2);
+    }
+}

@@ -1,0 +1,98 @@
+//! The softmax-engine abstraction.
+
+use star_crossbar::OpCost;
+use star_device::CostSheet;
+use star_fixed::QFormat;
+
+pub use star_attention::RowSoftmax;
+
+/// A hardware softmax engine: a functional row-softmax plus the three cost
+/// questions the evaluation asks of every design (area, power, latency).
+///
+/// Implemented by [`StarSoftmax`](crate::StarSoftmax),
+/// [`CmosBaselineSoftmax`](crate::CmosBaselineSoftmax) and
+/// [`Softermax`](crate::Softermax); Table I is the
+/// [`SoftmaxEngine::cost_sheet`] of the three side by side, and the
+/// accelerator models in `star-arch` schedule around
+/// [`SoftmaxEngine::row_cost`].
+pub trait SoftmaxEngine: RowSoftmax {
+    /// Itemized area/power budget of the engine hardware.
+    fn cost_sheet(&self) -> CostSheet;
+
+    /// Energy and latency to softmax one row of `n` scores.
+    fn row_cost(&self, n: usize) -> OpCost;
+
+    /// The fixed-point input format, for quantized engines.
+    fn format(&self) -> Option<QFormat> {
+        None
+    }
+
+    /// Throughput in rows/s for rows of length `n` (derived from
+    /// [`SoftmaxEngine::row_cost`], assuming back-to-back rows).
+    fn rows_per_second(&self, n: usize) -> f64 {
+        let lat = self.row_cost(n).latency;
+        if lat.value() == 0.0 {
+            f64::INFINITY
+        } else {
+            1e9 / lat.value()
+        }
+    }
+}
+
+/// Fixed-point division as the engines' divider hardware performs it:
+/// `floor(numerator · 2^quotient_bits / denominator) / 2^quotient_bits`.
+///
+/// Returns 0 for a zero denominator (the hardware's saturating behaviour;
+/// a zero softmax denominator cannot occur because `exp(0) = 1` is always
+/// present).
+///
+/// # Examples
+///
+/// ```
+/// use star_core::fixed_divide;
+///
+/// assert_eq!(fixed_divide(1, 3, 8), 85.0 / 256.0);
+/// assert_eq!(fixed_divide(5, 5, 8), 1.0);
+/// assert_eq!(fixed_divide(1, 0, 8), 0.0);
+/// ```
+pub fn fixed_divide(numerator: u64, denominator: u64, quotient_bits: u8) -> f64 {
+    assert!(quotient_bits <= 32, "quotient width above 32 bits is unrealistic");
+    if denominator == 0 {
+        return 0.0;
+    }
+    let scaled = (numerator as u128) << quotient_bits;
+    let q = scaled / denominator as u128;
+    q as f64 / 2f64.powi(quotient_bits as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_divide_basics() {
+        assert_eq!(fixed_divide(0, 7, 16), 0.0);
+        assert_eq!(fixed_divide(7, 7, 16), 1.0);
+        let third = fixed_divide(1, 3, 16);
+        assert!((third - 1.0 / 3.0).abs() < 1.0 / 65536.0);
+        // Truncating: never exceeds the true quotient.
+        assert!(third <= 1.0 / 3.0);
+    }
+
+    #[test]
+    fn fixed_divide_zero_denominator() {
+        assert_eq!(fixed_divide(5, 0, 8), 0.0);
+    }
+
+    #[test]
+    fn fixed_divide_large_values() {
+        let v = fixed_divide(u64::MAX / 2, u64::MAX, 16);
+        assert!((v - 0.5).abs() <= 1.0 / 65536.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrealistic")]
+    fn fixed_divide_rejects_wide_quotient() {
+        let _ = fixed_divide(1, 2, 33);
+    }
+}

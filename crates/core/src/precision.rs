@@ -1,0 +1,214 @@
+//! The §II precision study: find the minimal fixed-point format per
+//! dataset that keeps model accuracy, trading precision for hardware
+//! efficiency.
+
+use crate::{SoftmaxEngine, StarSoftmax, StarSoftmaxConfig};
+use serde::{Deserialize, Serialize};
+use star_attention::{argmax, cosine_similarity, kl_divergence, ExactSoftmax, RowSoftmax};
+use star_fixed::QFormat;
+
+/// Accuracy of one candidate format on a set of score rows, next to the
+/// engine cost it would imply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The candidate format.
+    pub format: QFormat,
+    /// Total bits (sign + integer + fraction).
+    pub total_bits: u8,
+    /// Mean absolute probability error vs the exact softmax.
+    pub mean_abs_error: f64,
+    /// Largest absolute probability error.
+    pub max_abs_error: f64,
+    /// Mean row KL divergence (exact ‖ engine).
+    pub mean_kl: f64,
+    /// Mean row cosine similarity.
+    pub mean_cosine: f64,
+    /// Fraction of rows whose argmax agrees with the exact softmax.
+    pub top1_agreement: f64,
+    /// Engine area in µm² at this format.
+    pub engine_area_um2: f64,
+    /// Engine power in mW at this format.
+    pub engine_power_mw: f64,
+}
+
+/// Acceptance criterion for the sweep (the "high model accuracy" bar).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyBar {
+    /// Minimum top-1 agreement (default 0.999).
+    pub min_top1: f64,
+    /// Maximum mean absolute probability error (default 2e-3).
+    pub max_mean_abs_error: f64,
+}
+
+impl Default for AccuracyBar {
+    fn default() -> Self {
+        AccuracyBar { min_top1: 0.999, max_mean_abs_error: 2e-3 }
+    }
+}
+
+impl AccuracyBar {
+    /// Whether a sweep point clears the bar.
+    pub fn accepts(&self, point: &SweepPoint) -> bool {
+        point.top1_agreement >= self.min_top1 && point.mean_abs_error <= self.max_mean_abs_error
+    }
+}
+
+/// Evaluates one candidate format on the given score rows: runs the STAR
+/// engine at that format against the exact softmax.
+///
+/// # Errors
+///
+/// Propagates [`crate::BuildStarError`] from engine construction.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or contains an empty row.
+pub fn evaluate_format(
+    format: QFormat,
+    rows: &[Vec<f64>],
+) -> Result<SweepPoint, crate::BuildStarError> {
+    assert!(!rows.is_empty(), "precision sweep needs at least one score row");
+    let max_len = rows.iter().map(Vec::len).max().expect("non-empty");
+    let mut engine = StarSoftmax::new(
+        StarSoftmaxConfig::new(format).with_max_row_len(max_len.max(1)),
+    )?;
+    let mut exact = ExactSoftmax::new();
+
+    let mut sum_abs = 0.0f64;
+    let mut max_abs = 0.0f64;
+    let mut sum_kl = 0.0f64;
+    let mut sum_cos = 0.0f64;
+    let mut agree = 0usize;
+    let mut elems = 0usize;
+    for row in rows {
+        assert!(!row.is_empty(), "score rows must be non-empty");
+        let p = exact.softmax_row(row);
+        let q = engine.softmax_row(row);
+        for (&a, &b) in p.iter().zip(&q) {
+            let e = (a - b).abs();
+            sum_abs += e;
+            max_abs = max_abs.max(e);
+        }
+        elems += row.len();
+        sum_kl += kl_divergence(&p, &q);
+        sum_cos += cosine_similarity(&p, &q);
+        if argmax(&p) == argmax(&q) {
+            agree += 1;
+        }
+    }
+    let sheet = engine.cost_sheet();
+    Ok(SweepPoint {
+        format,
+        total_bits: format.total_bits(),
+        mean_abs_error: sum_abs / elems as f64,
+        max_abs_error: max_abs,
+        mean_kl: sum_kl / rows.len() as f64,
+        mean_cosine: sum_cos / rows.len() as f64,
+        top1_agreement: agree as f64 / rows.len() as f64,
+        engine_area_um2: sheet.total_area().value(),
+        engine_power_mw: sheet.total_power().value(),
+    })
+}
+
+/// Sweeps every `(int_bits, frac_bits)` combination in the given inclusive
+/// ranges, returning points ordered by total bits (cheapest first).
+///
+/// # Errors
+///
+/// Propagates engine construction errors.
+pub fn sweep_formats(
+    rows: &[Vec<f64>],
+    int_bits: std::ops::RangeInclusive<u8>,
+    frac_bits: std::ops::RangeInclusive<u8>,
+) -> Result<Vec<SweepPoint>, crate::BuildStarError> {
+    let mut points = Vec::new();
+    for i in int_bits {
+        for f in frac_bits.clone() {
+            if let Ok(fmt) = QFormat::new(i, f) {
+                points.push(evaluate_format(fmt, rows)?);
+            }
+        }
+    }
+    points.sort_by_key(|p| (p.total_bits, p.format.int_bits()));
+    Ok(points)
+}
+
+/// The minimal-bit format that clears the accuracy bar — the paper's
+/// per-dataset recommendation. Ties at equal total bits are broken toward
+/// more integer bits (range beats resolution for softmax, whose inputs are
+/// max-subtracted anyway).
+pub fn minimal_format(points: &[SweepPoint], bar: AccuracyBar) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .filter(|p| bar.accepts(p))
+        .min_by_key(|p| (p.total_bits, std::cmp::Reverse(p.format.int_bits())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic score rows spanning roughly [-12, 12].
+    fn rows() -> Vec<Vec<f64>> {
+        (0..24)
+            .map(|r| {
+                (0..32)
+                    .map(|c| ((r * 31 + c * 17) as f64 * 0.618).sin() * 12.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wider_formats_are_more_accurate() {
+        let rows = rows();
+        let narrow = evaluate_format(QFormat::new(4, 1).unwrap(), &rows).unwrap();
+        let wide = evaluate_format(QFormat::new(5, 4).unwrap(), &rows).unwrap();
+        assert!(wide.mean_abs_error <= narrow.mean_abs_error);
+        assert!(wide.mean_kl <= narrow.mean_kl);
+        assert!(wide.top1_agreement >= narrow.top1_agreement);
+    }
+
+    #[test]
+    fn sweep_sorted_by_bits() {
+        let rows = rows();
+        let points = sweep_formats(&rows, 4..=5, 1..=2).unwrap();
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(w[0].total_bits <= w[1].total_bits);
+        }
+    }
+
+    #[test]
+    fn minimal_format_respects_bar() {
+        let rows = rows();
+        let points = sweep_formats(&rows, 3..=5, 0..=4).unwrap();
+        let bar = AccuracyBar { min_top1: 0.95, max_mean_abs_error: 5e-3 };
+        let best = minimal_format(&points, bar).expect("some format passes");
+        assert!(bar.accepts(best));
+        // Nothing cheaper passes.
+        for p in &points {
+            if p.total_bits < best.total_bits {
+                assert!(!bar.accepts(p), "{} should fail", p.format);
+            }
+        }
+        // Scores reach ±12, so at least 4 integer bits are needed.
+        assert!(best.format.int_bits() >= 4);
+    }
+
+    #[test]
+    fn impossible_bar_returns_none() {
+        let rows = rows();
+        let points = sweep_formats(&rows, 2..=2, 0..=1).unwrap();
+        let bar = AccuracyBar { min_top1: 1.0, max_mean_abs_error: 1e-12 };
+        assert!(minimal_format(&points, bar).is_none());
+    }
+
+    #[test]
+    fn area_grows_with_bits() {
+        let rows = rows();
+        let small = evaluate_format(QFormat::new(4, 1).unwrap(), &rows).unwrap();
+        let big = evaluate_format(QFormat::new(5, 4).unwrap(), &rows).unwrap();
+        assert!(big.engine_area_um2 > small.engine_area_um2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Differential (signed-weight) VMM built from a positive/negative array
+//! pair — how RRAM accelerators map signed matrices (attention projections,
+//! K/V tiles) onto unsigned conductances.
+
+use crate::geometry::OpCost;
+use crate::vmm::{Readout, VmmCrossbar};
+use rand::Rng;
+use star_device::{CostSheet, NoiseModel, TechnologyParams};
+
+/// A signed-weight VMM: weight `w` is split as `w = w⁺ − w⁻` with each half
+/// stored in its own unsigned array; bitline currents subtract at the sense
+/// stage.
+///
+/// # Examples
+///
+/// ```
+/// use star_crossbar::{DifferentialVmm, Readout};
+/// use star_device::{NoiseModel, TechnologyParams};
+/// use rand::SeedableRng;
+///
+/// let tech = TechnologyParams::cmos32();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut xbar =
+///     DifferentialVmm::new(3, 2, 4, Readout::Ideal, &tech, NoiseModel::ideal(), &mut rng);
+/// xbar.store_signed_weights(&[vec![3, -2], vec![-1, 4], vec![0, -5]]);
+/// let y = xbar.multiply(&[1, 2, 3], 2);
+/// assert_eq!(y, vec![1.0, -9.0]); // 3−2, −2+8−15
+/// ```
+#[derive(Debug, Clone)]
+pub struct DifferentialVmm {
+    positive: VmmCrossbar,
+    negative: VmmCrossbar,
+    weight_bits: u8,
+}
+
+impl DifferentialVmm {
+    /// Builds the array pair. `weight_bits` is the magnitude precision of
+    /// each half.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`VmmCrossbar::new`].
+    pub fn new<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        weight_bits: u8,
+        readout: Readout,
+        tech: &TechnologyParams,
+        noise: NoiseModel,
+        rng: &mut R,
+    ) -> Self {
+        DifferentialVmm {
+            positive: VmmCrossbar::new(rows, cols, weight_bits, readout, tech, noise, rng),
+            negative: VmmCrossbar::new(rows, cols, weight_bits, readout, tech, noise, rng),
+            weight_bits,
+        }
+    }
+
+    /// Logical matrix shape (inputs × outputs).
+    pub fn logical_shape(&self) -> (usize, usize) {
+        self.positive.logical_shape()
+    }
+
+    /// Programs a signed weight matrix: positive values go to the positive
+    /// array, negative magnitudes to the negative array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape mismatches or any |weight| overflows
+    /// `weight_bits`.
+    pub fn store_signed_weights(&mut self, weights: &[Vec<i32>]) {
+        let (rows, cols) = self.logical_shape();
+        assert_eq!(weights.len(), rows, "weight row count mismatch");
+        let mut pos = vec![vec![0u32; cols]; rows];
+        let mut neg = vec![vec![0u32; cols]; rows];
+        for (r, row) in weights.iter().enumerate() {
+            assert_eq!(row.len(), cols, "weight column count mismatch at row {r}");
+            for (c, &w) in row.iter().enumerate() {
+                if w >= 0 {
+                    pos[r][c] = w as u32;
+                } else {
+                    neg[r][c] = w.unsigned_abs();
+                }
+            }
+        }
+        self.positive.store_weights(&pos);
+        self.negative.store_weights(&neg);
+    }
+
+    /// The signed weight a logical cell pair effectively stores.
+    pub fn effective_weight(&self, row: usize, col: usize) -> i64 {
+        self.positive.effective_weight(row, col) as i64
+            - self.negative.effective_weight(row, col) as i64
+    }
+
+    /// Exact digital reference of the signed VMM.
+    pub fn multiply_exact(&self, inputs: &[u64]) -> Vec<i128> {
+        let p = self.positive.multiply_exact(inputs);
+        let n = self.negative.multiply_exact(inputs);
+        p.iter().zip(&n).map(|(&a, &b)| a as i128 - b as i128).collect()
+    }
+
+    /// Analog signed VMM (both halves fire in parallel, currents subtract).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`VmmCrossbar::multiply`].
+    pub fn multiply(&mut self, inputs: &[u64], input_bits: u8) -> Vec<f64> {
+        let p = self.positive.multiply(inputs, input_bits);
+        let n = self.negative.multiply(inputs, input_bits);
+        p.iter().zip(&n).map(|(a, b)| a - b).collect()
+    }
+
+    /// Cost of one signed VMM: both arrays fire in parallel.
+    pub fn vmm_cost(&self, input_bits: u8) -> OpCost {
+        self.positive.vmm_cost(input_bits).alongside(self.negative.vmm_cost(input_bits))
+    }
+
+    /// Itemized area/power of the pair.
+    pub fn cost_sheet(&self, name: &str, activity: f64) -> CostSheet {
+        let mut sheet = CostSheet::new(name.to_owned());
+        sheet.absorb(&self.positive.cost_sheet("positive", activity));
+        sheet.absorb(&self.negative.cost_sheet("negative", activity));
+        sheet
+    }
+
+    /// Magnitude precision of each half.
+    pub fn weight_bits(&self) -> u8 {
+        self.weight_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn diff(rows: usize, cols: usize, bits: u8) -> DifferentialVmm {
+        let tech = TechnologyParams::cmos32();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        DifferentialVmm::new(rows, cols, bits, Readout::Ideal, &tech, NoiseModel::ideal(), &mut rng)
+    }
+
+    #[test]
+    fn signed_multiply_matches_reference() {
+        let mut x = diff(6, 3, 5);
+        let w: Vec<Vec<i32>> = (0..6)
+            .map(|r| (0..3).map(|c| ((r * 7 + c * 11) % 31) - 15).collect())
+            .collect();
+        x.store_signed_weights(&w);
+        let inputs: Vec<u64> = (0..6).map(|i| (i % 4) as u64).collect();
+        let exact = x.multiply_exact(&inputs);
+        let analog = x.multiply(&inputs, 2);
+        let mut reference = [0i64; 3];
+        for (r, row) in w.iter().enumerate() {
+            for (c, &wv) in row.iter().enumerate() {
+                reference[c] += inputs[r] as i64 * wv as i64;
+            }
+        }
+        for c in 0..3 {
+            assert_eq!(exact[c] as i64, reference[c]);
+            assert!((analog[c] - reference[c] as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn effective_weight_signed() {
+        let mut x = diff(2, 2, 4);
+        x.store_signed_weights(&[vec![7, -3], vec![0, 15]]);
+        assert_eq!(x.effective_weight(0, 0), 7);
+        assert_eq!(x.effective_weight(0, 1), -3);
+        assert_eq!(x.effective_weight(1, 0), 0);
+        assert_eq!(x.effective_weight(1, 1), 15);
+    }
+
+    #[test]
+    fn cost_doubles_energy_not_latency() {
+        let x = diff(64, 8, 6);
+        let single = x.positive.vmm_cost(4);
+        let pair = x.vmm_cost(4);
+        assert!((pair.energy.value() - 2.0 * single.energy.value()).abs() < 1e-9);
+        assert_eq!(pair.latency.value(), single.latency.value());
+    }
+
+    #[test]
+    fn cost_sheet_has_both_halves() {
+        let x = diff(16, 4, 4);
+        let sheet = x.cost_sheet("proj", 0.5);
+        assert!(sheet.items().iter().any(|i| i.name.starts_with("positive/")));
+        assert!(sheet.items().iter().any(|i| i.name.starts_with("negative/")));
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn bad_shape_rejected() {
+        let mut x = diff(2, 2, 4);
+        x.store_signed_weights(&[vec![1, 2]]);
+    }
+}

@@ -1,0 +1,54 @@
+//! RRAM crossbar array simulators for the STAR reproduction.
+//!
+//! Four array types cover everything the paper's engines need:
+//!
+//! - [`VmmCrossbar`] — analog vector–matrix multiply with bit-serial
+//!   inputs, bit-sliced weights and per-column ADC readout (the MatMul
+//!   engine substrate and the softmax summation array),
+//! - [`CamCrossbar`] — TCAM search with complementary cell pairs and a
+//!   matchline discharge model,
+//! - [`LutCrossbar`] — one-hot-driven row lookup (the exponential table),
+//! - [`CamSubCrossbar`] — the paper's time-multiplexed CAM/SUB array
+//!   (Fig. 1): descending-order max find plus analog subtraction.
+//!
+//! Every array accounts its own energy/latency per operation ([`OpCost`],
+//! [`Ledger`]) and produces an itemized area/power budget
+//! ([`star_device::CostSheet`]) so the experiment harnesses can assemble
+//! Table I and Fig. 3 from first principles.
+//!
+//! # Examples
+//!
+//! ```
+//! use star_crossbar::CamSubCrossbar;
+//! use star_device::{NoiseModel, TechnologyParams};
+//! use star_fixed::{Fixed, QFormat, Rounding};
+//! use rand::SeedableRng;
+//!
+//! let fmt = QFormat::new(6, 3)?;
+//! let tech = TechnologyParams::cmos32();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut xbar = CamSubCrossbar::new(fmt, &tech, NoiseModel::ideal(), &mut rng);
+//! let xs: Vec<Fixed> =
+//!     [0.5, -2.0, 3.125].iter().map(|&v| Fixed::from_f64(v, fmt, Rounding::Nearest)).collect();
+//! let (max, diffs) = xbar.stage1(&xs)?;
+//! assert_eq!(max.to_f64(), 3.125);
+//! assert!(diffs.iter().all(|d| d.to_f64() <= 0.0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cam;
+mod cam_sub;
+mod diff_vmm;
+mod geometry;
+mod lut;
+mod vmm;
+
+pub use cam::CamCrossbar;
+pub use diff_vmm::DifferentialVmm;
+pub use cam_sub::{CamSubCrossbar, MaxSearchResult, SearchError};
+pub use geometry::{Geometry, Ledger, OpCost};
+pub use lut::LutCrossbar;
+pub use vmm::{IrDropModel, Readout, VmmCrossbar};

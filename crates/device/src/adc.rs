@@ -1,0 +1,248 @@
+//! ADC and DAC models.
+//!
+//! The MatMul engine follows ReTransformer's configuration: 128×128
+//! crossbars read out through **5-bit** SAR ADCs. The cost scaling laws are
+//! anchored at the ISAAC design point (8-bit SAR ADC, 1.28 GS/s: ≈1200 µm²,
+//! ≈2.4 pJ/conversion at 32 nm) and scale exponentially in resolution, which
+//! is the standard survey fit for SAR converters (energy and area roughly
+//! double per extra bit once the capacitive DAC dominates).
+
+use crate::cost::{Area, Energy, Latency};
+use serde::{Deserialize, Serialize};
+
+/// A successive-approximation ADC.
+///
+/// # Examples
+///
+/// ```
+/// use star_device::AdcSpec;
+///
+/// let adc = AdcSpec::sar(5);
+/// assert_eq!(adc.bits(), 5);
+/// // Full-scale 1.0: code 16 of 32 represents the midpoint band.
+/// assert_eq!(adc.quantize(0.5, 1.0), 16);
+/// assert_eq!(adc.quantize(2.0, 1.0), 31); // clips at full scale
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdcSpec {
+    bits: u8,
+    area: Area,
+    conversion_energy: Energy,
+    conversion_latency: Latency,
+}
+
+/// ISAAC anchor point: 8-bit SAR at 32 nm.
+const ANCHOR_BITS: u8 = 8;
+const ANCHOR_AREA_UM2: f64 = 1200.0;
+const ANCHOR_ENERGY_PJ: f64 = 2.4;
+/// Conversion time at the anchor design's 1.28 GS/s.
+const ANCHOR_LATENCY_NS: f64 = 0.78;
+
+impl AdcSpec {
+    /// Creates a SAR ADC of the given resolution using the survey scaling
+    /// law (cost halves per bit removed below the 8-bit anchor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 12 (outside the fitted range).
+    pub fn sar(bits: u8) -> Self {
+        assert!((1..=12).contains(&bits), "SAR model fitted for 1..=12 bits, got {bits}");
+        let scale = 2f64.powi(bits as i32 - ANCHOR_BITS as i32);
+        AdcSpec {
+            bits,
+            area: Area::new(ANCHOR_AREA_UM2 * scale),
+            conversion_energy: Energy::new(ANCHOR_ENERGY_PJ * scale),
+            // SAR latency grows linearly with bits (one comparison per bit).
+            conversion_latency: Latency::new(ANCHOR_LATENCY_NS * bits as f64 / ANCHOR_BITS as f64),
+        }
+    }
+
+    /// Creates a flash ADC: one comparator per code, so area and energy
+    /// scale with `2^bits` from a 5-bit anchor (≈3000 µm², 0.9 pJ), but the
+    /// conversion completes in a single comparator delay — the choice when
+    /// conversion latency, not energy, limits the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=8` (flash beyond 8 bits is
+    /// impractical: 256+ comparators).
+    pub fn flash(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "flash model fitted for 1..=8 bits, got {bits}");
+        let scale = 2f64.powi(bits as i32 - 5);
+        AdcSpec {
+            bits,
+            area: Area::new(3000.0 * scale),
+            conversion_energy: Energy::new(0.9 * scale),
+            conversion_latency: Latency::new(0.15),
+        }
+    }
+
+    /// Creates an ADC with explicit costs (for calibration studies).
+    pub fn custom(bits: u8, area: Area, conversion_energy: Energy, conversion_latency: Latency) -> Self {
+        assert!(bits >= 1, "ADC needs at least one bit");
+        AdcSpec { bits, area, conversion_energy, conversion_latency }
+    }
+
+    /// Resolution in bits.
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Number of output codes.
+    pub fn codes(self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Silicon area of one converter.
+    pub fn area(self) -> Area {
+        self.area
+    }
+
+    /// Energy per conversion.
+    pub fn conversion_energy(self) -> Energy {
+        self.conversion_energy
+    }
+
+    /// Time per conversion.
+    pub fn conversion_latency(self) -> Latency {
+        self.conversion_latency
+    }
+
+    /// Quantizes an analog value in `[0, full_scale]` to an output code,
+    /// clipping out-of-range inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_scale` is not positive.
+    pub fn quantize(self, value: f64, full_scale: f64) -> u32 {
+        assert!(full_scale > 0.0, "ADC full scale must be positive");
+        let max_code = self.codes() - 1;
+        if !value.is_finite() || value <= 0.0 {
+            return 0;
+        }
+        let code = (value / full_scale * self.codes() as f64).floor();
+        (code as u32).min(max_code)
+    }
+
+    /// Reconstructs the analog value at a code's band centre.
+    pub fn dequantize(self, code: u32, full_scale: f64) -> f64 {
+        assert!(full_scale > 0.0, "ADC full scale must be positive");
+        (code.min(self.codes() - 1) as f64 + 0.5) / self.codes() as f64 * full_scale
+    }
+}
+
+/// A wordline driver / 1-bit DAC.
+///
+/// Both ISAAC-style bit-serial VMM inputs and CAM search drives only need
+/// binary wordline voltages, so the input "DAC" is a simple driver. Costs
+/// are per wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriverSpec {
+    area: Area,
+    energy_per_toggle: Energy,
+}
+
+impl DriverSpec {
+    /// A 32 nm wordline driver: ~0.6 µm² and ~1 fJ per toggle (inverter
+    /// chain driving a 128-cell line at 0.2 V).
+    pub fn wordline32() -> Self {
+        DriverSpec { area: Area::new(0.6), energy_per_toggle: Energy::from_fj(1.0) }
+    }
+
+    /// Creates a driver with explicit costs.
+    pub fn custom(area: Area, energy_per_toggle: Energy) -> Self {
+        DriverSpec { area, energy_per_toggle }
+    }
+
+    /// Area of one driver.
+    pub fn area(self) -> Area {
+        self.area
+    }
+
+    /// Energy of one activation.
+    pub fn energy_per_toggle(self) -> Energy {
+        self.energy_per_toggle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_anchored_at_8bit() {
+        let a8 = AdcSpec::sar(8);
+        assert_eq!(a8.area().value(), 1200.0);
+        assert_eq!(a8.conversion_energy().value(), 2.4);
+        let a5 = AdcSpec::sar(5);
+        assert!((a5.area().value() - 150.0).abs() < 1e-9); // 1200 / 2³
+        assert!((a5.conversion_energy().value() - 0.3).abs() < 1e-12);
+        assert!(a5.conversion_latency().value() < a8.conversion_latency().value());
+    }
+
+    #[test]
+    fn quantize_bands() {
+        let adc = AdcSpec::sar(5);
+        assert_eq!(adc.codes(), 32);
+        assert_eq!(adc.quantize(0.0, 1.0), 0);
+        assert_eq!(adc.quantize(0.031249, 1.0), 0);
+        assert_eq!(adc.quantize(0.03125, 1.0), 1);
+        assert_eq!(adc.quantize(0.999, 1.0), 31);
+        assert_eq!(adc.quantize(5.0, 1.0), 31);
+        assert_eq!(adc.quantize(-1.0, 1.0), 0);
+        assert_eq!(adc.quantize(f64::NAN, 1.0), 0);
+    }
+
+    #[test]
+    fn dequantize_band_centres() {
+        let adc = AdcSpec::sar(4);
+        assert!((adc.dequantize(0, 1.0) - 1.0 / 32.0).abs() < 1e-12);
+        assert!((adc.dequantize(15, 1.0) - 31.0 / 32.0).abs() < 1e-12);
+        // Codes beyond range clamp.
+        assert_eq!(adc.dequantize(99, 1.0), adc.dequantize(15, 1.0));
+    }
+
+    #[test]
+    fn quantize_round_trip_error_bounded() {
+        let adc = AdcSpec::sar(6);
+        let fs = 2.0;
+        for i in 0..100 {
+            let v = i as f64 / 100.0 * fs;
+            let rec = adc.dequantize(adc.quantize(v, fs), fs);
+            assert!((rec - v).abs() <= fs / 64.0, "v={v} rec={rec}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted for")]
+    fn sar_rejects_out_of_range_bits() {
+        let _ = AdcSpec::sar(13);
+    }
+
+    #[test]
+    fn flash_trades_area_for_speed() {
+        let sar = AdcSpec::sar(5);
+        let flash = AdcSpec::flash(5);
+        assert!(flash.conversion_latency().value() < sar.conversion_latency().value() / 2.0);
+        assert!(flash.area().value() > sar.area().value());
+        assert!(flash.conversion_energy().value() > sar.conversion_energy().value());
+        // Exponential growth with bits.
+        let f8 = AdcSpec::flash(8);
+        assert!((f8.area().value() / flash.area().value() - 8.0).abs() < 1e-9);
+        // Same quantization behaviour regardless of architecture.
+        assert_eq!(flash.quantize(0.5, 1.0), sar.quantize(0.5, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted for")]
+    fn flash_rejects_wide() {
+        let _ = AdcSpec::flash(9);
+    }
+
+    #[test]
+    fn driver_costs() {
+        let d = DriverSpec::wordline32();
+        assert!(d.area().value() > 0.0);
+        assert!((d.energy_per_toggle().value() - 0.001).abs() < 1e-12);
+    }
+}

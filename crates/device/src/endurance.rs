@@ -1,0 +1,200 @@
+//! RRAM endurance and retention models.
+//!
+//! These matter to the STAR comparison in a way the paper only implies:
+//! every table in the STAR softmax engine (the value CAM, the exponential
+//! LUT/VMM) is programmed **once** and only ever read, whereas PipeLayer
+//! must reprogram crossbars with dynamic K/V/score matrices on every
+//! inference — which burns write endurance. The `a4_endurance` harness
+//! turns this into a lifetime comparison.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycling-endurance model: cells fail after a (Weibull-distributed)
+/// number of SET/RESET cycles.
+///
+/// # Examples
+///
+/// ```
+/// use star_device::EnduranceModel;
+///
+/// let m = EnduranceModel::typical(); // 10⁹-cycle class HfO₂
+/// assert!(m.failure_probability(1_000) < 1e-6);
+/// assert!(m.failure_probability(10_000_000_000) > 0.99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceModel {
+    /// Characteristic endurance (Weibull scale) in cycles.
+    pub endurance_cycles: f64,
+    /// Weibull shape parameter (steepness of the wear-out cliff).
+    pub weibull_shape: f64,
+}
+
+impl EnduranceModel {
+    /// A mature HfO₂ RRAM: 10⁹-cycle characteristic endurance, shape 2.
+    pub fn typical() -> Self {
+        EnduranceModel { endurance_cycles: 1e9, weibull_shape: 2.0 }
+    }
+
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive and finite.
+    pub fn new(endurance_cycles: f64, weibull_shape: f64) -> Self {
+        assert!(
+            endurance_cycles > 0.0 && endurance_cycles.is_finite(),
+            "endurance must be positive"
+        );
+        assert!(weibull_shape > 0.0 && weibull_shape.is_finite(), "shape must be positive");
+        EnduranceModel { endurance_cycles, weibull_shape }
+    }
+
+    /// Probability that a cell has failed after `writes` program cycles.
+    pub fn failure_probability(&self, writes: u64) -> f64 {
+        let x = writes as f64 / self.endurance_cycles;
+        1.0 - (-(x.powf(self.weibull_shape))).exp()
+    }
+
+    /// Writes after which the per-cell failure probability reaches
+    /// `target` (the usable lifetime at a reliability target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not strictly between 0 and 1.
+    pub fn writes_at_failure_probability(&self, target: f64) -> f64 {
+        assert!(
+            target > 0.0 && target < 1.0,
+            "failure-probability target must be in (0, 1)"
+        );
+        self.endurance_cycles * (-(1.0 - target).ln()).powf(1.0 / self.weibull_shape)
+    }
+
+    /// Lifetime in *inferences* for a device that performs
+    /// `writes_per_inference` program cycles on its hottest cell per
+    /// inference, at a per-cell reliability target. Returns
+    /// `f64::INFINITY` when nothing is ever written (the STAR softmax
+    /// engine's read-only tables).
+    pub fn lifetime_inferences(&self, writes_per_inference: u64, target: f64) -> f64 {
+        if writes_per_inference == 0 {
+            return f64::INFINITY;
+        }
+        self.writes_at_failure_probability(target) / writes_per_inference as f64
+    }
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// Conductance retention model: programmed conductance drifts toward HRS
+/// as `g(t) = g₀ · (1 + t/t₀)^(−ν)` (power-law drift).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Drift exponent ν (typical retentive HfO₂: ~0.005).
+    pub drift_nu: f64,
+    /// Reference time t₀ in seconds.
+    pub reference_seconds: f64,
+}
+
+impl RetentionModel {
+    /// A mature HfO₂ cell: ν = 0.005 against a 1-second reference.
+    pub fn typical() -> Self {
+        RetentionModel { drift_nu: 0.005, reference_seconds: 1.0 }
+    }
+
+    /// Multiplicative conductance factor after `seconds` of retention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative.
+    pub fn drift_factor(&self, seconds: f64) -> f64 {
+        assert!(seconds >= 0.0, "retention time must be non-negative");
+        (1.0 + seconds / self.reference_seconds).powf(-self.drift_nu)
+    }
+
+    /// Time until the conductance window shrinks below `margin` of its
+    /// programmed value (when the stored bit becomes unreliable for a
+    /// given sense margin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is not strictly between 0 and 1.
+    pub fn seconds_to_margin(&self, margin: f64) -> f64 {
+        assert!(margin > 0.0 && margin < 1.0, "margin must be in (0, 1)");
+        self.reference_seconds * (margin.powf(-1.0 / self.drift_nu) - 1.0)
+    }
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_probability_monotone() {
+        let m = EnduranceModel::typical();
+        let mut prev = -1.0;
+        for w in [0u64, 1_000, 1_000_000, 1_000_000_000, 100_000_000_000] {
+            let p = m.failure_probability(w);
+            assert!(p >= prev, "not monotone at {w}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+        assert_eq!(m.failure_probability(0), 0.0);
+    }
+
+    #[test]
+    fn lifetime_inverse_to_writes() {
+        let m = EnduranceModel::typical();
+        let a = m.lifetime_inferences(10, 1e-4);
+        let b = m.lifetime_inferences(100, 1e-4);
+        assert!((a / b - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_only_lives_forever() {
+        let m = EnduranceModel::typical();
+        assert_eq!(m.lifetime_inferences(0, 1e-4), f64::INFINITY);
+    }
+
+    #[test]
+    fn writes_at_target_round_trips() {
+        let m = EnduranceModel::new(1e8, 2.0);
+        let target = 1e-3;
+        let w = m.writes_at_failure_probability(target);
+        let p = m.failure_probability(w as u64);
+        assert!((p - target).abs() / target < 0.01, "p {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn bad_target_rejected() {
+        let _ = EnduranceModel::typical().writes_at_failure_probability(1.0);
+    }
+
+    #[test]
+    fn drift_decreases_over_time() {
+        let r = RetentionModel::typical();
+        assert_eq!(r.drift_factor(0.0), 1.0);
+        let day = r.drift_factor(86_400.0);
+        let year = r.drift_factor(3.15e7);
+        assert!(day < 1.0 && year < day);
+        // ν = 0.005 keeps >90 % of the window after a year.
+        assert!(year > 0.9, "{year}");
+    }
+
+    #[test]
+    fn seconds_to_margin_round_trips() {
+        let r = RetentionModel::typical();
+        let t = r.seconds_to_margin(0.9);
+        assert!((r.drift_factor(t) - 0.9).abs() < 1e-9);
+        assert!(t > 3.15e7, "a 10 % margin should hold for years, got {t} s");
+    }
+}

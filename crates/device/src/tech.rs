@@ -1,0 +1,145 @@
+//! Process technology parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Process/technology parameters shared by every hardware model.
+///
+/// Defaults follow the 32 nm operating point used across the RRAM
+/// accelerator literature the paper builds on (ISAAC, PipeLayer,
+/// ReTransformer all report 32 nm numbers; NeuroSim's default HfO₂ RRAM cell
+/// is 4F² in a 1T1R-free crosspoint array).
+///
+/// # Examples
+///
+/// ```
+/// use star_device::TechnologyParams;
+///
+/// let tech = TechnologyParams::cmos32();
+/// assert_eq!(tech.feature_nm, 32.0);
+/// // One 4F² crosspoint cell: 4 · (32 nm)² = 0.004096 µm².
+/// assert!((tech.rram_cell_area().value() - 0.004096).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyParams {
+    /// Feature size F in nm.
+    pub feature_nm: f64,
+    /// Nominal supply voltage in V.
+    pub vdd: f64,
+    /// RRAM read voltage in V (kept low to avoid disturb).
+    pub read_voltage: f64,
+    /// Low-resistance-state resistance in Ω.
+    pub r_lrs: f64,
+    /// High-resistance-state resistance in Ω.
+    pub r_hrs: f64,
+    /// RRAM cell footprint in units of F² (4 for a crosspoint cell).
+    pub cell_area_f2: f64,
+    /// Crossbar VMM read cycle time in ns (analog settle + sample for one
+    /// bit-serial cycle, before ADC conversion time is added).
+    pub crossbar_read_ns: f64,
+    /// CAM search / LUT readout cycle time in ns. Matchline evaluation and
+    /// single-row readout are sense-amp limited, roughly an order of
+    /// magnitude faster than an ADC-converted VMM cycle.
+    pub cam_search_ns: f64,
+    /// CMOS logic clock frequency in GHz (for the digital baselines and the
+    /// counter/divider periphery).
+    pub cmos_clock_ghz: f64,
+    /// Multi-pulse program time per crossbar row in ns.
+    pub write_row_ns: f64,
+    /// Programming energy per cell in pJ (SET/RESET average).
+    pub write_cell_pj: f64,
+}
+
+impl TechnologyParams {
+    /// The 32 nm operating point used throughout the evaluation.
+    pub fn cmos32() -> Self {
+        TechnologyParams {
+            feature_nm: 32.0,
+            vdd: 1.0,
+            read_voltage: 0.2,
+            r_lrs: 25e3,
+            r_hrs: 2.5e6,
+            cell_area_f2: 4.0,
+            crossbar_read_ns: 10.0,
+            cam_search_ns: 1.0,
+            cmos_clock_ghz: 1.0,
+            write_row_ns: 410.0,
+            write_cell_pj: 10.0,
+        }
+    }
+
+    /// Area of one RRAM crosspoint cell.
+    pub fn rram_cell_area(&self) -> crate::cost::Area {
+        let f_um = self.feature_nm * 1e-3;
+        crate::cost::Area::new(self.cell_area_f2 * f_um * f_um)
+    }
+
+    /// LRS conductance in siemens.
+    pub fn g_lrs(&self) -> f64 {
+        1.0 / self.r_lrs
+    }
+
+    /// HRS conductance in siemens.
+    pub fn g_hrs(&self) -> f64 {
+        1.0 / self.r_hrs
+    }
+
+    /// On/off conductance ratio.
+    pub fn on_off_ratio(&self) -> f64 {
+        self.r_hrs / self.r_lrs
+    }
+
+    /// Energy of one cell read: `V² · G · t` in pJ, for a cell at
+    /// conductance `g` (S) read for `crossbar_read_ns`.
+    pub fn cell_read_energy(&self, g: f64) -> crate::cost::Energy {
+        let joules = self.read_voltage * self.read_voltage * g * self.crossbar_read_ns * 1e-9;
+        crate::cost::Energy::new(joules * 1e12)
+    }
+
+    /// Energy of one cell conduction during a (shorter) CAM search pulse.
+    pub fn cell_search_energy(&self, g: f64) -> crate::cost::Energy {
+        let joules = self.read_voltage * self.read_voltage * g * self.cam_search_ns * 1e-9;
+        crate::cost::Energy::new(joules * 1e12)
+    }
+
+    /// CMOS clock period in ns.
+    pub fn cmos_clock_ns(&self) -> f64 {
+        1.0 / self.cmos_clock_ghz
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        Self::cmos32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cmos32() {
+        assert_eq!(TechnologyParams::default(), TechnologyParams::cmos32());
+    }
+
+    #[test]
+    fn on_off_ratio() {
+        let t = TechnologyParams::cmos32();
+        assert_eq!(t.on_off_ratio(), 100.0);
+        assert!((t.g_lrs() - 4e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_read_energy_lrs() {
+        let t = TechnologyParams::cmos32();
+        // 0.2² V² · 4e-5 S · 10e-9 s = 1.6e-11 J · ... = 0.016 pJ
+        let e = t.cell_read_energy(t.g_lrs());
+        assert!((e.value() - 0.016).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn clock_period() {
+        let t = TechnologyParams::cmos32();
+        assert_eq!(t.cmos_clock_ns(), 1.0);
+    }
+}

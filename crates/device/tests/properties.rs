@@ -1,0 +1,107 @@
+//! Property-based tests for the device and cost models.
+
+use proptest::prelude::*;
+use star_device::{
+    AdcSpec, Area, EnduranceModel, Energy, Latency, NoiseModel, Power, RetentionModel, RramCell,
+    TechnologyParams,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adc_quantize_dequantize_bounded(bits in 1u8..=12, v in 0.0f64..10.0, fs in 0.1f64..10.0) {
+        let adc = AdcSpec::sar(bits);
+        let code = adc.quantize(v, fs);
+        prop_assert!(code < adc.codes());
+        let rec = adc.dequantize(code, fs);
+        if v <= fs {
+            // In-range values reconstruct within one LSB band.
+            prop_assert!((rec - v).abs() <= fs / adc.codes() as f64 + 1e-12);
+        } else {
+            // Clipped values reconstruct at the top band.
+            prop_assert_eq!(code, adc.codes() - 1);
+        }
+    }
+
+    #[test]
+    fn adc_quantize_monotone(bits in 1u8..=10, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let adc = AdcSpec::sar(bits);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(adc.quantize(lo, 1.0) <= adc.quantize(hi, 1.0));
+    }
+
+    #[test]
+    fn adc_cost_scaling_monotone(bits in 1u8..=11) {
+        let a = AdcSpec::sar(bits);
+        let b = AdcSpec::sar(bits + 1);
+        prop_assert!(b.area().value() > a.area().value());
+        prop_assert!(b.conversion_energy().value() > a.conversion_energy().value());
+        prop_assert!(b.conversion_latency().value() > a.conversion_latency().value());
+    }
+
+    #[test]
+    fn unit_algebra(a in 0.0f64..1e6, b in 0.0f64..1e6, k in 0.0f64..100.0) {
+        let x = Energy::new(a);
+        let y = Energy::new(b);
+        prop_assert!(((x + y).value() - (a + b)).abs() < 1e-6);
+        prop_assert!(((x * k).value() - a * k).abs() / (a * k).max(1.0) < 1e-12);
+        // Subtraction saturates at zero.
+        prop_assert!((x - y).value() >= 0.0);
+        // Power × time = energy round trip.
+        if b > 0.0 {
+            let p = x / Latency::new(b);
+            let e = p * Latency::new(b);
+            prop_assert!((e.value() - a).abs() < 1e-9 * a.max(1.0));
+        }
+    }
+
+    #[test]
+    fn cell_levels_monotone_conductance(levels in 2u16..=16, lvl in 0u16..16) {
+        let tech = TechnologyParams::cmos32();
+        let mut cell = RramCell::new(levels, &tech);
+        let lvl = lvl % levels;
+        cell.program_ideal(lvl);
+        let g = cell.conductance();
+        prop_assert!(g >= tech.g_hrs() - 1e-15 && g <= tech.g_lrs() + 1e-15);
+        if lvl + 1 < levels {
+            let mut next = RramCell::new(levels, &tech);
+            next.program_ideal(lvl + 1);
+            prop_assert!(next.conductance() > g);
+        }
+    }
+
+    #[test]
+    fn endurance_failure_monotone(e in 1e6f64..1e10, shape in 0.5f64..4.0, w1 in 0u64..1_000_000_000, w2 in 0u64..1_000_000_000) {
+        let m = EnduranceModel::new(e, shape);
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(m.failure_probability(lo) <= m.failure_probability(hi));
+    }
+
+    #[test]
+    fn retention_drift_monotone(nu in 0.001f64..0.1, t1 in 0.0f64..1e9, t2 in 0.0f64..1e9) {
+        let r = RetentionModel { drift_nu: nu, reference_seconds: 1.0 };
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(r.drift_factor(hi) <= r.drift_factor(lo) + 1e-15);
+        prop_assert!(r.drift_factor(hi) > 0.0);
+    }
+
+    #[test]
+    fn noise_program_positive(sigma in 0.0f64..0.3, seed in 0u64..10_000) {
+        use rand::SeedableRng;
+        let m = NoiseModel::new(sigma, 0.0, 0.0, 0.0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(m.program(1e-5, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn area_ratio_consistency(a in 0.1f64..1e6, b in 0.1f64..1e6) {
+        let x = Area::new(a);
+        let y = Area::new(b);
+        let r = x.ratio_to(y);
+        prop_assert!((r * b - a).abs() / a < 1e-9);
+        let _ = Power::new(0.0); // zero power is legal
+    }
+}

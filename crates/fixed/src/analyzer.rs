@@ -1,0 +1,306 @@
+//! Bitwidth requirement analysis — the tool behind the paper's §II study.
+//!
+//! The paper: *"we analyzed the data range of all `x_i` across three popular
+//! datasets for the BERT-base model such that balances the computing
+//! precision and hardware efficiency"*, concluding that CNEWS needs
+//! 8 bits (6 int, 2 frac), MRPC 9 bits (6 int, 3 frac) and CoLA 7 bits
+//! (5 int, 2 frac). [`RangeAnalyzer`] reproduces that methodology: it
+//! observes a stream of attention scores and derives the minimal
+//! [`QFormat`] meeting a coverage/resolution requirement.
+
+use crate::{FormatError, QFormat};
+use serde::{Deserialize, Serialize};
+
+/// Acceptance criteria for a candidate fixed-point format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FormatRequirement {
+    /// Maximum tolerated fraction of values that saturate (clip) at the
+    /// format's range bounds. The paper targets "high model accuracy", which
+    /// our calibration maps to essentially no clipping of real scores.
+    pub max_saturation_rate: f64,
+    /// Maximum tolerated quantization step. Softmax is precision-insensitive
+    /// (the paper's key observation) but still needs enough fraction bits
+    /// that `exp(x)` ratios survive; the per-dataset values pin this.
+    pub max_resolution: f64,
+}
+
+impl FormatRequirement {
+    /// Creates a requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_saturation_rate` is not in `[0, 1]` or
+    /// `max_resolution` is not positive and finite.
+    pub fn new(max_saturation_rate: f64, max_resolution: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&max_saturation_rate),
+            "saturation rate must be a fraction in [0, 1]"
+        );
+        assert!(
+            max_resolution > 0.0 && max_resolution.is_finite(),
+            "resolution bound must be positive and finite"
+        );
+        FormatRequirement { max_saturation_rate, max_resolution }
+    }
+}
+
+impl Default for FormatRequirement {
+    /// No clipping allowed, resolution of at least 2⁻².
+    fn default() -> Self {
+        FormatRequirement { max_saturation_rate: 0.0, max_resolution: 0.25 }
+    }
+}
+
+/// Streaming range analyzer for attention-score distributions.
+///
+/// Records the observed min/max and a high-resolution histogram of
+/// magnitudes so that saturation rates of *candidate* formats can be
+/// evaluated after the fact without retaining every sample.
+///
+/// # Examples
+///
+/// ```
+/// use star_fixed::{FormatRequirement, RangeAnalyzer};
+///
+/// let mut an = RangeAnalyzer::new();
+/// for i in 0..1000 {
+///     an.observe((i as f64 / 25.0) - 20.0); // scores in [-20, 20)
+/// }
+/// let req = FormatRequirement::new(0.0, 0.25);
+/// let fmt = an.recommend(req)?;
+/// assert_eq!(fmt.int_bits(), 5); // 2^5 = 32 ≥ 20
+/// assert_eq!(fmt.frac_bits(), 2);
+/// # Ok::<(), star_fixed::FormatError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RangeAnalyzer {
+    count: u64,
+    min_seen: f64,
+    max_seen: f64,
+    /// Histogram of |value| in steps of `HIST_STEP`, capped at the last bin.
+    magnitude_hist: Vec<u64>,
+}
+
+/// Report produced by [`RangeAnalyzer::report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerReport {
+    /// Number of observed values.
+    pub count: u64,
+    /// Smallest value observed.
+    pub min: f64,
+    /// Largest value observed.
+    pub max: f64,
+    /// The recommended format, if one exists within the width limit.
+    pub recommended: Option<QFormat>,
+    /// Total bits of the recommendation (`None` if impossible).
+    pub total_bits: Option<u8>,
+}
+
+const HIST_BINS: usize = 4096;
+const HIST_STEP: f64 = 0.0625; // covers |v| up to 256 exactly, beyond in last bin
+
+impl RangeAnalyzer {
+    /// Creates an empty analyzer.
+    pub fn new() -> Self {
+        RangeAnalyzer {
+            count: 0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+            magnitude_hist: vec![0; HIST_BINS],
+        }
+    }
+
+    /// Records one score. Non-finite values are ignored (real trace
+    /// extraction would drop them too).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.min_seen = self.min_seen.min(value);
+        self.max_seen = self.max_seen.max(value);
+        let bin = ((value.abs() / HIST_STEP) as usize).min(HIST_BINS - 1);
+        self.magnitude_hist[bin] += 1;
+    }
+
+    /// Records every score in an iterator.
+    pub fn observe_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.observe(v);
+        }
+    }
+
+    /// Number of observed values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest value observed (∞ when empty).
+    pub fn min_seen(&self) -> f64 {
+        self.min_seen
+    }
+
+    /// Largest value observed (−∞ when empty).
+    pub fn max_seen(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// Fraction of observed values whose magnitude strictly exceeds `bound`.
+    ///
+    /// Conservative: histogram binning rounds magnitudes *down*, so values
+    /// inside the same bin as `bound` count as covered.
+    pub fn fraction_exceeding(&self, bound: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let first_bin = ((bound / HIST_STEP) as usize).min(HIST_BINS - 1);
+        let exceeding: u64 = self.magnitude_hist[first_bin + 1..].iter().sum();
+        exceeding as f64 / self.count as f64
+    }
+
+    /// Minimum integer bits so that at most `max_saturation_rate` of the
+    /// observed values clip.
+    pub fn required_int_bits(&self, max_saturation_rate: f64) -> u8 {
+        for int_bits in 0..=QFormat::MAX_TOTAL_BITS - 1 {
+            let bound = 2f64.powi(int_bits as i32);
+            if self.fraction_exceeding(bound) <= max_saturation_rate {
+                return int_bits;
+            }
+        }
+        QFormat::MAX_TOTAL_BITS - 1
+    }
+
+    /// Minimum fraction bits so the quantization step is at most
+    /// `max_resolution`.
+    pub fn required_frac_bits(max_resolution: f64) -> u8 {
+        let mut frac = 0u8;
+        while 2f64.powi(-(frac as i32)) > max_resolution && frac < QFormat::MAX_TOTAL_BITS - 1 {
+            frac += 1;
+        }
+        frac
+    }
+
+    /// Recommends the minimal [`QFormat`] meeting `req` for the observed
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] if the required width exceeds the supported
+    /// maximum.
+    pub fn recommend(&self, req: FormatRequirement) -> Result<QFormat, FormatError> {
+        let mut int_bits = self.required_int_bits(req.max_saturation_rate);
+        let frac_bits = Self::required_frac_bits(req.max_resolution);
+        if int_bits == 0 && frac_bits == 0 {
+            int_bits = 1; // a format needs at least one value bit
+        }
+        QFormat::new(int_bits, frac_bits)
+    }
+
+    /// Produces a summary report under the given requirement.
+    pub fn report(&self, req: FormatRequirement) -> AnalyzerReport {
+        let recommended = self.recommend(req).ok();
+        AnalyzerReport {
+            count: self.count,
+            min: self.min_seen,
+            max: self.max_seen,
+            recommended,
+            total_bits: recommended.map(QFormat::total_bits),
+        }
+    }
+}
+
+impl Default for RangeAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requirement_validation() {
+        let r = FormatRequirement::new(0.01, 0.125);
+        assert_eq!(r.max_saturation_rate, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "saturation rate")]
+    fn requirement_rejects_bad_rate() {
+        let _ = FormatRequirement::new(1.5, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution bound")]
+    fn requirement_rejects_bad_resolution() {
+        let _ = FormatRequirement::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn frac_bits_from_resolution() {
+        assert_eq!(RangeAnalyzer::required_frac_bits(1.0), 0);
+        assert_eq!(RangeAnalyzer::required_frac_bits(0.25), 2);
+        assert_eq!(RangeAnalyzer::required_frac_bits(0.125), 3);
+        assert_eq!(RangeAnalyzer::required_frac_bits(0.2), 3); // next power of two below 0.2
+    }
+
+    #[test]
+    fn int_bits_track_range() {
+        let mut an = RangeAnalyzer::new();
+        an.observe_all((0..100).map(|i| i as f64 * 0.3 - 15.0)); // |v| ≤ 15
+        assert_eq!(an.required_int_bits(0.0), 4); // 2^4 = 16 ≥ 15
+        let mut an2 = RangeAnalyzer::new();
+        an2.observe_all((0..100).map(|i| i as f64 * 0.5 - 25.0)); // |v| ≤ 25
+        assert_eq!(an2.required_int_bits(0.0), 5);
+    }
+
+    #[test]
+    fn saturation_budget_shrinks_format() {
+        let mut an = RangeAnalyzer::new();
+        // 990 small values, 10 outliers at ±100.
+        an.observe_all((0..990).map(|i| (i % 20) as f64 - 10.0));
+        an.observe_all((0..10).map(|i| if i % 2 == 0 { 100.0 } else { -100.0 }));
+        assert_eq!(an.required_int_bits(0.0), 7); // must cover 100
+        assert_eq!(an.required_int_bits(0.02), 4); // may clip 1% of values
+    }
+
+    #[test]
+    fn recommend_combined() {
+        let mut an = RangeAnalyzer::new();
+        an.observe_all((0..4000).map(|i| (i as f64 / 100.0) - 20.0)); // [-20, 20)
+        let fmt = an.recommend(FormatRequirement::new(0.0, 0.25)).unwrap();
+        assert_eq!((fmt.int_bits(), fmt.frac_bits()), (5, 2));
+        assert_eq!(fmt.total_bits(), 8);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut an = RangeAnalyzer::new();
+        an.observe(f64::NAN);
+        an.observe(f64::INFINITY);
+        an.observe(1.0);
+        assert_eq!(an.count(), 1);
+    }
+
+    #[test]
+    fn report_contents() {
+        let mut an = RangeAnalyzer::new();
+        an.observe_all([-3.0, 2.0, 7.0]);
+        let rep = an.report(FormatRequirement::default());
+        assert_eq!(rep.count, 3);
+        assert_eq!(rep.min, -3.0);
+        assert_eq!(rep.max, 7.0);
+        let fmt = rep.recommended.unwrap();
+        assert_eq!(fmt.int_bits(), 3);
+        assert_eq!(rep.total_bits, Some(6));
+    }
+
+    #[test]
+    fn empty_analyzer_recommends_minimal() {
+        let an = RangeAnalyzer::new();
+        let fmt = an.recommend(FormatRequirement::new(0.0, 0.25)).unwrap();
+        assert_eq!(fmt.int_bits(), 0);
+        assert_eq!(fmt.frac_bits(), 2);
+    }
+}

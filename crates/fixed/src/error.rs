@@ -1,0 +1,98 @@
+//! Error types for fixed-point construction and quantization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an invalid [`QFormat`](crate::QFormat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatError {
+    /// The total width (sign + integer + fraction) exceeds the supported
+    /// maximum of 32 bits.
+    TooWide {
+        /// Requested integer bits.
+        int_bits: u8,
+        /// Requested fraction bits.
+        frac_bits: u8,
+    },
+    /// The format has zero value bits (both fields empty).
+    Empty,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FormatError::TooWide { int_bits, frac_bits } => write!(
+                f,
+                "fixed-point format q{int_bits}.{frac_bits} exceeds 32 total bits"
+            ),
+            FormatError::Empty => write!(f, "fixed-point format must have at least one value bit"),
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+/// Error returned by checked quantization of a floating-point value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantizeError {
+    /// The input was NaN or infinite.
+    NonFinite {
+        /// The offending input.
+        value: f64,
+    },
+    /// The input falls outside the representable range of the format.
+    OutOfRange {
+        /// The offending input.
+        value: f64,
+        /// Smallest representable value.
+        min: f64,
+        /// Largest representable value.
+        max: f64,
+    },
+}
+
+impl fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QuantizeError::NonFinite { value } => {
+                write!(f, "cannot quantize non-finite value {value}")
+            }
+            QuantizeError::OutOfRange { value, min, max } => {
+                write!(f, "value {value} outside representable range [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl Error for QuantizeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_too_wide() {
+        let err = FormatError::TooWide { int_bits: 30, frac_bits: 10 };
+        assert!(err.to_string().contains("q30.10"));
+    }
+
+    #[test]
+    fn display_empty() {
+        assert!(FormatError::Empty.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn display_out_of_range() {
+        let err = QuantizeError::OutOfRange { value: 99.0, min: -64.0, max: 63.75 };
+        let s = err.to_string();
+        assert!(s.contains("99"));
+        assert!(s.contains("63.75"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<FormatError>();
+        assert_traits::<QuantizeError>();
+    }
+}

@@ -1,0 +1,132 @@
+//! Score capture from an executed transformer: the "real" counterpart of
+//! the calibrated synthetic profiles — run an encoder stack on synthetic
+//! embeddings and harvest the pre-softmax attention scores, exactly the way
+//! the paper's §II analysis harvests BERT-base scores.
+
+use crate::ScoreTrace;
+use rand::Rng;
+use star_attention::{encoder_stack, AttentionConfig, EncoderLayerParams, Matrix, RowSoftmax};
+
+/// Captured attention scores from every layer/head/query of an encoder
+/// stack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedScores {
+    /// One row per (layer, head, query) triple.
+    pub rows: Vec<Vec<f64>>,
+    /// The configuration the stack ran at.
+    pub config: AttentionConfig,
+}
+
+impl CapturedScores {
+    /// Runs an encoder stack on the given input and captures every score
+    /// row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the stack.
+    pub fn run<S: RowSoftmax + ?Sized>(
+        config: &AttentionConfig,
+        layers: &[EncoderLayerParams],
+        input: &Matrix,
+        softmax: &mut S,
+    ) -> Result<Self, star_attention::ShapeError> {
+        let (_, per_layer_scores) = encoder_stack(config, layers, input, softmax)?;
+        let mut rows = Vec::new();
+        for scores in &per_layer_scores {
+            for r in 0..scores.rows() {
+                rows.push(scores.row(r).to_vec());
+            }
+        }
+        Ok(CapturedScores { rows, config: *config })
+    }
+
+    /// Generates a full synthetic-model capture: random Xavier-initialized
+    /// encoder layers on random embeddings, deterministic in `seed`.
+    ///
+    /// The raw scores of an untrained random transformer are much smaller
+    /// than trained BERT scores; `score_scale` stretches them to a trained
+    /// dynamic range (the §II calibration uses the dataset profiles for
+    /// that instead — this capture exists to validate the *shape* of real
+    /// score distributions end to end).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (none occur for valid configs).
+    pub fn synthetic<S: RowSoftmax + ?Sized>(
+        config: &AttentionConfig,
+        softmax: &mut S,
+        seed: u64,
+    ) -> Result<Self, star_attention::ShapeError> {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let layers: Vec<EncoderLayerParams> = (0..config.num_layers)
+            .map(|_| EncoderLayerParams::random(config, &mut rng))
+            .collect();
+        let input = Matrix::from_fn(config.seq_len, config.d_model, |_, _| {
+            rng.gen::<f64>() * 2.0 - 1.0
+        });
+        Self::run(config, &layers, &input, softmax)
+    }
+
+    /// Number of captured rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Converts into a [`ScoreTrace`] tagged with a dataset label (for
+    /// feeding the same analysis pipeline as the synthetic profiles).
+    pub fn into_trace(self, dataset: crate::Dataset, seed: u64) -> ScoreTrace {
+        ScoreTrace { dataset, seed, rows: self.rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_attention::ExactSoftmax;
+
+    fn cfg() -> AttentionConfig {
+        AttentionConfig { d_model: 16, num_heads: 2, seq_len: 6, num_layers: 2, d_ff: 32 }
+    }
+
+    #[test]
+    fn capture_counts_all_rows() {
+        let c = cfg();
+        let cap = CapturedScores::synthetic(&c, &mut ExactSoftmax::new(), 3).expect("runs");
+        // layers × heads × seq rows.
+        assert_eq!(cap.len(), 2 * 2 * 6);
+        assert!(!cap.is_empty());
+        for row in &cap.rows {
+            assert_eq!(row.len(), 6);
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn capture_deterministic() {
+        let c = cfg();
+        let a = CapturedScores::synthetic(&c, &mut ExactSoftmax::new(), 9).expect("runs");
+        let b = CapturedScores::synthetic(&c, &mut ExactSoftmax::new(), 9).expect("runs");
+        assert_eq!(a, b);
+        let c2 = CapturedScores::synthetic(&c, &mut ExactSoftmax::new(), 10).expect("runs");
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn into_trace_analyzable() {
+        let c = cfg();
+        let cap = CapturedScores::synthetic(&c, &mut ExactSoftmax::new(), 1).expect("runs");
+        let n = cap.len() as u64;
+        let trace = cap.into_trace(crate::Dataset::Cola, 1);
+        let an = trace.analyze();
+        assert_eq!(an.count(), n * 6);
+        // Untrained scores concentrate near zero (the LayerNorm keeps
+        // activations bounded).
+        assert!(trace.max_abs() < 16.0, "{}", trace.max_abs());
+    }
+}

@@ -1,0 +1,273 @@
+//! Calibrated synthetic score distributions standing in for the paper's
+//! datasets (CNEWS, MRPC, CoLA).
+//!
+//! We cannot run BERT-base on the original corpora, but the paper's own
+//! artifact — the minimal fixed-point format per dataset — pins exactly the
+//! two properties of the attention-score distribution that matter to the
+//! softmax engine:
+//!
+//! 1. **Dynamic range**: the largest |score| determines the integer bits
+//!    (the paper's "6-bit integer" ⇒ scores reach beyond ±16 but stay
+//!    within ±32 after the `1/√d` scale).
+//! 2. **Fine structure**: the typical gap between competing top scores
+//!    determines the fraction bits (a 2⁻² grid must still separate the
+//!    contenders for MRPC's 3 fraction bits to be *required*, the gap must
+//!    be finer than 2⁻²).
+//!
+//! Each [`DatasetProfile`] encodes those two calibration constants plus a
+//! body spread, and [`DatasetProfile::generate_rows`] samples score rows
+//! with (a) a Gaussian body, (b) occasional near-range peaks (so that one
+//! fewer integer bit visibly clips), and (c) a near-tie pair at the
+//! calibrated gap with the larger value at the higher index (so that one
+//! fewer fraction bit visibly collapses the argmax).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use star_fixed::QFormat;
+use std::fmt;
+
+/// One of the paper's evaluation datasets (as a calibrated proxy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// CNEWS (Chinese news classification): paper format 8 bits = q5.2.
+    Cnews,
+    /// MRPC (paraphrase detection): paper format 9 bits = q5.3.
+    Mrpc,
+    /// CoLA (linguistic acceptability): paper format 7 bits = q4.2.
+    Cola,
+}
+
+impl Dataset {
+    /// All three datasets, in the paper's order.
+    pub const ALL: [Dataset; 3] = [Dataset::Cnews, Dataset::Mrpc, Dataset::Cola];
+
+    /// The calibrated distribution profile.
+    pub fn profile(self) -> DatasetProfile {
+        match self {
+            Dataset::Cnews => DatasetProfile {
+                dataset: self,
+                body_sigma: 4.5,
+                peak_score: 26.0,
+                tie_gap: 0.30,
+                peak_rate: 0.25,
+            },
+            Dataset::Mrpc => DatasetProfile {
+                dataset: self,
+                body_sigma: 4.0,
+                peak_score: 27.0,
+                tie_gap: 0.15,
+                peak_rate: 0.25,
+            },
+            Dataset::Cola => DatasetProfile {
+                dataset: self,
+                body_sigma: 2.5,
+                peak_score: 13.0,
+                tie_gap: 0.30,
+                peak_rate: 0.25,
+            },
+        }
+    }
+
+    /// The format the paper reports as required for this dataset.
+    pub fn paper_format(self) -> QFormat {
+        match self {
+            Dataset::Cnews => QFormat::CNEWS,
+            Dataset::Mrpc => QFormat::MRPC,
+            Dataset::Cola => QFormat::COLA,
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dataset::Cnews => write!(f, "CNEWS"),
+            Dataset::Mrpc => write!(f, "MRPC"),
+            Dataset::Cola => write!(f, "CoLA"),
+        }
+    }
+}
+
+/// Calibrated attention-score distribution for one dataset proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// The dataset this profile stands in for.
+    pub dataset: Dataset,
+    /// Standard deviation of the Gaussian score body.
+    pub body_sigma: f64,
+    /// Magnitude of the occasional near-range peak scores.
+    pub peak_score: f64,
+    /// Gap of the injected near-tie pair (the resolution requirement).
+    pub tie_gap: f64,
+    /// Fraction of rows that carry a peak pair.
+    pub peak_rate: f64,
+}
+
+impl DatasetProfile {
+    /// Generates `n_rows` score rows of `row_len` elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len < 4` (rows need room for the calibration
+    /// structure) or `n_rows` is zero.
+    pub fn generate_rows<R: Rng + ?Sized>(
+        &self,
+        n_rows: usize,
+        row_len: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<f64>> {
+        assert!(n_rows > 0, "need at least one row");
+        assert!(row_len >= 4, "rows need at least 4 elements for the tie structure");
+        (0..n_rows).map(|_| self.generate_row(row_len, rng)).collect()
+    }
+
+    /// Generates one score row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_len < 4`.
+    pub fn generate_row<R: Rng + ?Sized>(&self, row_len: usize, rng: &mut R) -> Vec<f64> {
+        assert!(row_len >= 4, "rows need at least 4 elements for the tie structure");
+        let mut row: Vec<f64> =
+            (0..row_len).map(|_| standard_normal(rng) * self.body_sigma).collect();
+
+        // The row's contested top: a near-tie at the calibrated gap, with
+        // the true winner at the *higher* index so a quantization collapse
+        // flips the argmax.
+        let base = row.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 1.0;
+        let i = rng.gen_range(0..row_len / 2);
+        let j = rng.gen_range(row_len / 2..row_len);
+        // Jitter the pair off the quantization grid.
+        let jitter: f64 = rng.gen_range(0.0..0.1);
+        if rng.gen_bool(self.peak_rate) {
+            // Peak pair near the range limit: one fewer integer bit clips
+            // both to the same saturated code.
+            row[i] = self.peak_score + jitter;
+            row[j] = self.peak_score + jitter + self.tie_gap;
+        } else {
+            row[i] = base + jitter;
+            row[j] = base + jitter + self.tie_gap;
+        }
+        row
+    }
+
+    /// The largest |score| this profile can emit.
+    pub fn max_abs_score(&self) -> f64 {
+        self.peak_score + 0.1 + self.tie_gap
+    }
+}
+
+/// Box–Muller standard normal sample.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0xDA7A)
+    }
+
+    #[test]
+    fn profiles_have_expected_formats() {
+        assert_eq!(Dataset::Cnews.paper_format().total_bits(), 8);
+        assert_eq!(Dataset::Mrpc.paper_format().total_bits(), 9);
+        assert_eq!(Dataset::Cola.paper_format().total_bits(), 7);
+    }
+
+    #[test]
+    fn ranges_match_required_int_bits() {
+        for ds in Dataset::ALL {
+            let p = ds.profile();
+            let fmt = ds.paper_format();
+            // The profile's peaks must exceed the range of one fewer
+            // integer bit but stay within the paper format's range.
+            let smaller = 2f64.powi(fmt.int_bits() as i32 - 1);
+            assert!(p.peak_score > smaller, "{ds}: peaks inside the smaller format");
+            assert!(p.max_abs_score() < fmt.max_value(), "{ds}: peaks clip in paper format");
+        }
+    }
+
+    #[test]
+    fn tie_gaps_match_required_frac_bits() {
+        for ds in Dataset::ALL {
+            let p = ds.profile();
+            let fmt = ds.paper_format();
+            let res = fmt.resolution();
+            // Resolvable at the paper resolution, collapsible one bit lower.
+            assert!(p.tie_gap > res, "{ds}: gap not resolvable at paper format");
+            assert!(p.tie_gap < 2.0 * res, "{ds}: gap resolvable with one fewer bit");
+        }
+    }
+
+    #[test]
+    fn generated_rows_within_range() {
+        let mut r = rng();
+        for ds in Dataset::ALL {
+            let p = ds.profile();
+            let rows = p.generate_rows(50, 64, &mut r);
+            assert_eq!(rows.len(), 50);
+            for row in &rows {
+                assert_eq!(row.len(), 64);
+                for &s in row {
+                    assert!(s.abs() <= p.max_abs_score().max(p.body_sigma * 6.0), "{ds}: {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_contain_tie_structure() {
+        let mut r = rng();
+        let p = Dataset::Mrpc.profile();
+        let mut peak_rows = 0;
+        for _ in 0..200 {
+            let row = p.generate_row(32, &mut r);
+            // The two largest values are the injected pair at tie_gap.
+            let mut sorted = row.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            let gap = sorted[0] - sorted[1];
+            assert!((gap - p.tie_gap).abs() < 1e-9, "gap {gap}");
+            // The winner sits in the upper half of the row.
+            let winner = star_attention::argmax(&row);
+            assert!(winner >= 16);
+            if sorted[0] > p.peak_score {
+                peak_rows += 1;
+            }
+        }
+        // Peak rate ≈ 25 %.
+        assert!((20..=80).contains(&peak_rows), "{peak_rows}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = Dataset::Cola.profile();
+        let a = p.generate_rows(3, 16, &mut rng());
+        let b = p.generate_rows(3, 16, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_rows_rejected() {
+        let p = Dataset::Cnews.profile();
+        let _ = p.generate_row(3, &mut rng());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dataset::Cnews.to_string(), "CNEWS");
+        assert_eq!(Dataset::Mrpc.to_string(), "MRPC");
+        assert_eq!(Dataset::Cola.to_string(), "CoLA");
+    }
+}

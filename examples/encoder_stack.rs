@@ -1,0 +1,47 @@
+//! A multi-layer transformer encoder running entirely with the STAR
+//! softmax engine, with attention-score capture feeding the §II range
+//! analysis — the full "model → scores → bitwidth" loop on one screen.
+//!
+//! ```sh
+//! cargo run --release --example encoder_stack
+//! ```
+
+use rand::SeedableRng;
+use star::attention::{
+    encoder_stack, AccuracyReport, AttentionConfig, EncoderLayerParams, ExactSoftmax, Matrix,
+};
+use star::core::{StarSoftmax, StarSoftmaxConfig};
+use star::fixed::{FormatRequirement, QFormat, RangeAnalyzer};
+use star::workload::CapturedScores;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = AttentionConfig { d_model: 32, num_heads: 4, seq_len: 12, num_layers: 3, d_ff: 64 };
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x0E0C);
+    let layers: Vec<EncoderLayerParams> =
+        (0..cfg.num_layers).map(|_| EncoderLayerParams::random(&cfg, &mut rng)).collect();
+    let input = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| {
+        ((r * 31 + c * 17) as f64 * 0.23).sin()
+    });
+
+    // Exact reference vs STAR-engine encoder stack.
+    let (exact_out, _) = encoder_stack(&cfg, &layers, &input, &mut ExactSoftmax::new())?;
+    let mut engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC))?;
+    let (star_out, _) = encoder_stack(&cfg, &layers, &input, &mut engine)?;
+    let report = AccuracyReport::compare(&exact_out, &star_out);
+    println!("{}-layer encoder with the STAR softmax engine:", cfg.num_layers);
+    println!("  hidden-state error: max {:.2e}, mean {:.2e}", report.max_abs_error, report.mean_abs_error);
+    println!("  cosine similarity : {:.6}", report.mean_cosine_similarity);
+
+    // Score capture → range analysis → format recommendation (the §II loop).
+    let capture = CapturedScores::synthetic(&cfg, &mut ExactSoftmax::new(), 0x0E0C)?;
+    let mut analyzer = RangeAnalyzer::new();
+    for row in &capture.rows {
+        analyzer.observe_all(row.iter().copied());
+    }
+    let req = FormatRequirement::new(0.0, 0.25);
+    let fmt = analyzer.recommend(req)?;
+    println!("\ncaptured {} score rows, range [{:.2}, {:.2}]", capture.len(), analyzer.min_seen(), analyzer.max_seen());
+    println!("  recommended engine format for this model: {fmt} ({} bits)", fmt.total_bits());
+    println!("  (an untrained random encoder needs far fewer integer bits than trained BERT)");
+    Ok(())
+}

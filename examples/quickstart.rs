@@ -1,0 +1,57 @@
+//! Quickstart: build the STAR softmax engine, run it on a score row, and
+//! compare against the exact softmax and the hardware cost of the
+//! baselines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use star::attention::{ExactSoftmax, RowSoftmax};
+use star::core::{
+    CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
+};
+use star::fixed::QFormat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the engine at the paper's 9-bit (MRPC) operating point.
+    let mut engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC))?;
+    let g = engine.geometry();
+    println!("STAR softmax engine, format {}", QFormat::MRPC);
+    println!("  cam/sub crossbar : {}", g.cam_sub);
+    println!("  exp cam crossbar : {}", g.exp_cam);
+    println!("  exp lut crossbar : {}", g.lut);
+    println!("  sum vmm crossbar : {}", g.vmm);
+
+    // 2. Softmax one attention-score row, next to the exact result.
+    let scores = [1.7, -2.3, 0.4, 3.1, -0.9, 2.2, 0.0, -4.5];
+    let star_probs = engine.softmax_row(&scores);
+    let exact_probs = ExactSoftmax::new().softmax_row(&scores);
+    println!("\n  score     star      exact     |err|");
+    for ((s, p), q) in scores.iter().zip(&star_probs).zip(&exact_probs) {
+        println!("  {s:>6.2}  {p:>8.5}  {q:>8.5}  {:>8.1e}", (p - q).abs());
+    }
+    println!("  sum of engine probabilities: {:.6}", star_probs.iter().sum::<f64>());
+
+    // 3. Hardware cost next to the Table I baselines.
+    let baseline = CmosBaselineSoftmax::new(8);
+    let softermax = Softermax::new(QFormat::MRPC, 8);
+    println!("\n  design                       area [um^2]   power [mW]");
+    for sheet in [baseline.cost_sheet(), softermax.cost_sheet(), engine.cost_sheet()] {
+        println!(
+            "  {:<28} {:>12.1} {:>12.3}",
+            sheet.name(),
+            sheet.total_area().value(),
+            sheet.total_power().value()
+        );
+    }
+
+    // 4. One row's modeled hardware latency/energy.
+    let cost = engine.row_cost(scores.len());
+    println!(
+        "\n  one {}-element row on the engine: {:.1} ns, {:.2} pJ",
+        scores.len(),
+        cost.latency.value(),
+        cost.energy.value()
+    );
+    Ok(())
+}

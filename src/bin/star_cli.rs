@@ -1,0 +1,190 @@
+//! `star-cli` — a small command-line front end to the STAR reproduction.
+//!
+//! ```sh
+//! cargo run --bin star_cli -- help
+//! cargo run --bin star_cli -- softmax q5.3 1.0 2.0 3.0
+//! cargo run --bin star_cli -- geometry q5.3
+//! cargo run --bin star_cli -- engines
+//! cargo run --bin star_cli -- fig3
+//! ```
+
+use star::arch::{Accelerator, GpuModel, RramAccelerator};
+use star::attention::{AttentionConfig, ExactSoftmax, RowSoftmax};
+use star::core::{
+    CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
+};
+use star::fixed::QFormat;
+use std::process::ExitCode;
+
+const USAGE: &str = "star-cli — STAR (DATE 2023) RRAM softmax engine reproduction
+
+USAGE:
+    star-cli <command> [args]
+
+COMMANDS:
+    softmax <format> <scores...>   run the engine on a score row vs exact
+                                   (format: q<int>.<frac>, e.g. q5.2)
+    geometry <format>              print the engine's crossbar shapes
+    engines                        Table-I style area/power of all designs
+    fig3 [seq]                     computing-efficiency comparison
+    help                           this message
+
+Paper formats: CNEWS = q5.2 (8 bits), MRPC = q5.3 (9 bits), CoLA = q4.2 (7 bits).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let result = match cmd {
+        "softmax" => cmd_softmax(&args[1..]),
+        "geometry" => cmd_geometry(&args[1..]),
+        "engines" => cmd_engines(),
+        "fig3" => cmd_fig3(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `q<int>.<frac>`.
+fn parse_format(text: &str) -> Result<QFormat, String> {
+    let body = text
+        .strip_prefix('q')
+        .ok_or_else(|| format!("format `{text}` must look like q5.2"))?;
+    let (int_str, frac_str) =
+        body.split_once('.').ok_or_else(|| format!("format `{text}` must look like q5.2"))?;
+    let int: u8 = int_str.parse().map_err(|_| format!("bad integer bits in `{text}`"))?;
+    let frac: u8 = frac_str.parse().map_err(|_| format!("bad fraction bits in `{text}`"))?;
+    QFormat::new(int, frac).map_err(|e| e.to_string())
+}
+
+fn cmd_softmax(args: &[String]) -> Result<(), String> {
+    let format = parse_format(args.first().ok_or("softmax needs a format, e.g. q5.2")?)?;
+    if args.len() < 2 {
+        return Err("softmax needs at least one score".into());
+    }
+    let scores: Vec<f64> = args[1..]
+        .iter()
+        .map(|a| a.parse::<f64>().map_err(|_| format!("`{a}` is not a number")))
+        .collect::<Result<_, _>>()?;
+
+    let mut engine = StarSoftmax::new(StarSoftmaxConfig::new(format)).map_err(|e| e.to_string())?;
+    let star = engine.softmax_row(&scores);
+    let exact = ExactSoftmax::new().softmax_row(&scores);
+    println!("STAR softmax engine at {format} ({} bits)", format.total_bits());
+    println!("{:>10} {:>10} {:>10} {:>10}", "score", "star", "exact", "|err|");
+    for ((s, p), q) in scores.iter().zip(&star).zip(&exact) {
+        println!("{s:>10.4} {p:>10.6} {q:>10.6} {:>10.2e}", (p - q).abs());
+    }
+    println!("engine sum: {:.6}", star.iter().sum::<f64>());
+    Ok(())
+}
+
+fn cmd_geometry(args: &[String]) -> Result<(), String> {
+    let format = parse_format(args.first().ok_or("geometry needs a format, e.g. q5.3")?)?;
+    let engine = StarSoftmax::new(StarSoftmaxConfig::new(format)).map_err(|e| e.to_string())?;
+    let g = engine.geometry();
+    println!("engine geometry at {format} ({} bits):", format.total_bits());
+    println!("  cam/sub crossbar : {}", g.cam_sub);
+    println!("  exp cam crossbar : {}", g.exp_cam);
+    println!("  exp lut crossbar : {}", g.lut);
+    println!("  sum vmm crossbar : {}", g.vmm);
+    let sheet = engine.cost_sheet();
+    println!(
+        "  engine budget    : {:.1} um^2, {:.3} mW",
+        sheet.total_area().value(),
+        sheet.total_power().value()
+    );
+    Ok(())
+}
+
+fn cmd_engines() -> Result<(), String> {
+    let format = QFormat::CNEWS;
+    let baseline = CmosBaselineSoftmax::new(8);
+    let softermax = Softermax::new(format, 8);
+    let star = StarSoftmax::new(StarSoftmaxConfig::new(format)).map_err(|e| e.to_string())?;
+    let base_sheet = baseline.cost_sheet();
+    println!("softmax designs at the Table I operating point ({format}, seq 128):");
+    println!("{:<28} {:>12} {:>10} {:>8} {:>8}", "design", "area[um^2]", "power[mW]", "area x", "power x");
+    for sheet in [&base_sheet, &softermax.cost_sheet(), &star.cost_sheet()] {
+        println!(
+            "{:<28} {:>12.1} {:>10.3} {:>8.3} {:>8.3}",
+            sheet.name(),
+            sheet.total_area().value(),
+            sheet.total_power().value(),
+            sheet.area_ratio_to(&base_sheet),
+            sheet.power_ratio_to(&base_sheet)
+        );
+    }
+    println!("\npaper: softermax 0.33x/0.12x; ours (8-bit) 0.06x/0.05x");
+    Ok(())
+}
+
+fn cmd_fig3(args: &[String]) -> Result<(), String> {
+    let seq: usize = match args.first() {
+        Some(a) => a.parse().map_err(|_| format!("`{a}` is not a sequence length"))?,
+        None => 128,
+    };
+    if seq == 0 {
+        return Err("sequence length must be positive".into());
+    }
+    let cfg = AttentionConfig::bert_base(seq);
+    println!("computing efficiency, BERT-base attention layer, seq {seq}:");
+    println!("{:<18} {:>12} {:>12}", "design", "latency[us]", "GOPs/s/W");
+    for r in [
+        GpuModel::titan_rtx().evaluate(&cfg),
+        RramAccelerator::pipelayer().evaluate(&cfg),
+        RramAccelerator::retransformer().evaluate(&cfg),
+        RramAccelerator::star().evaluate(&cfg),
+    ] {
+        println!("{:<18} {:>12.1} {:>12.2}", r.name, r.latency.as_us(), r.efficiency_gops_per_watt);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_format_accepts_paper_formats() {
+        assert_eq!(parse_format("q5.2").unwrap(), QFormat::CNEWS);
+        assert_eq!(parse_format("q5.3").unwrap(), QFormat::MRPC);
+        assert_eq!(parse_format("q4.2").unwrap(), QFormat::COLA);
+    }
+
+    #[test]
+    fn parse_format_rejects_garbage() {
+        assert!(parse_format("5.2").is_err());
+        assert!(parse_format("q5").is_err());
+        assert!(parse_format("qx.y").is_err());
+        assert!(parse_format("q30.10").is_err()); // too wide
+    }
+
+    #[test]
+    fn commands_run() {
+        cmd_softmax(&["q5.3".into(), "1.0".into(), "2.0".into()]).expect("softmax");
+        cmd_geometry(&["q5.2".into()]).expect("geometry");
+        cmd_engines().expect("engines");
+        cmd_fig3(&[]).expect("fig3 default");
+        cmd_fig3(&["64".into()]).expect("fig3 custom");
+    }
+
+    #[test]
+    fn command_errors_are_reported() {
+        assert!(cmd_softmax(&[]).is_err());
+        assert!(cmd_softmax(&["q5.2".into()]).is_err());
+        assert!(cmd_softmax(&["q5.2".into(), "abc".into()]).is_err());
+        assert!(cmd_geometry(&[]).is_err());
+        assert!(cmd_fig3(&["zero".into()]).is_err());
+        assert!(cmd_fig3(&["0".into()]).is_err());
+    }
+}

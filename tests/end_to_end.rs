@@ -1,0 +1,119 @@
+//! End-to-end integration: multi-head attention executed with every
+//! softmax engine, checked against the exact reference.
+
+use rand::SeedableRng;
+use star::attention::{
+    multi_head_attention, AccuracyReport, AttentionConfig, ExactSoftmax, RowSoftmax,
+};
+use star::core::{CmosBaselineSoftmax, Softermax, StarSoftmax, StarSoftmaxConfig};
+use star::fixed::QFormat;
+use star::workload::random_matrix;
+
+fn inputs(cfg: &AttentionConfig, seed: u64) -> [star::attention::Matrix; 3] {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    [
+        random_matrix(cfg.seq_len, cfg.d_model, 2.0, &mut rng),
+        random_matrix(cfg.seq_len, cfg.d_model, 2.0, &mut rng),
+        random_matrix(cfg.seq_len, cfg.d_model, 2.0, &mut rng),
+    ]
+}
+
+fn run_with<S: RowSoftmax>(cfg: &AttentionConfig, softmax: &mut S, seed: u64) -> (AccuracyReport, AccuracyReport) {
+    let [q, k, v] = inputs(cfg, seed);
+    let exact = multi_head_attention(cfg, &q, &k, &v, &mut ExactSoftmax::new()).expect("shapes");
+    let approx = multi_head_attention(cfg, &q, &k, &v, softmax).expect("shapes");
+    (
+        AccuracyReport::compare(&exact.probs, &approx.probs),
+        AccuracyReport::compare(&exact.context, &approx.context),
+    )
+}
+
+#[test]
+fn star_engine_attention_accuracy() {
+    let cfg = AttentionConfig { d_model: 32, num_heads: 4, seq_len: 16, num_layers: 1, d_ff: 64 };
+    let mut engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+    let (probs, ctx) = run_with(&cfg, &mut engine, 1);
+    assert!(probs.mean_abs_error < 5e-3, "prob err {}", probs.mean_abs_error);
+    assert!(probs.mean_cosine_similarity > 0.999);
+    assert!(ctx.max_abs_error < 0.1, "context err {}", ctx.max_abs_error);
+    assert_eq!(engine.fault_events(), 0);
+}
+
+#[test]
+fn cmos_baseline_attention_nearly_exact() {
+    let cfg = AttentionConfig { d_model: 32, num_heads: 2, seq_len: 12, num_layers: 1, d_ff: 64 };
+    let mut unit = CmosBaselineSoftmax::new(8);
+    let (probs, ctx) = run_with(&cfg, &mut unit, 2);
+    assert!(probs.max_abs_error < 1e-6);
+    assert!(ctx.max_abs_error < 1e-5);
+}
+
+#[test]
+fn softermax_attention_close() {
+    let cfg = AttentionConfig { d_model: 32, num_heads: 2, seq_len: 12, num_layers: 1, d_ff: 64 };
+    let mut unit = Softermax::new(QFormat::MRPC, 4);
+    let (probs, _) = run_with(&cfg, &mut unit, 3);
+    assert!(probs.mean_abs_error < 2e-2, "prob err {}", probs.mean_abs_error);
+    assert!(probs.mean_cosine_similarity > 0.99);
+}
+
+#[test]
+fn engines_rank_consistently_on_shared_row() {
+    let scores = [3.5, -1.25, 0.75, 2.0, -4.0, 1.5];
+    let reference = ExactSoftmax::new().softmax_row(&scores);
+    let ref_order = order(&reference);
+    let mut star = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+    let mut soft = Softermax::new(QFormat::MRPC, 4);
+    let mut cmos = CmosBaselineSoftmax::new(4);
+    assert_eq!(order(&star.softmax_row(&scores)), ref_order);
+    assert_eq!(order(&soft.softmax_row(&scores)), ref_order);
+    assert_eq!(order(&cmos.softmax_row(&scores)), ref_order);
+}
+
+/// Indices sorted by descending probability.
+fn order(p: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..p.len()).collect();
+    idx.sort_by(|&a, &b| p[b].partial_cmp(&p[a]).expect("finite"));
+    idx
+}
+
+#[test]
+fn accelerator_reports_are_internally_consistent() {
+    use star::arch::{gops_per_watt, Accelerator, RramAccelerator};
+    let cfg = AttentionConfig::bert_base(64);
+    for report in [
+        RramAccelerator::pipelayer().evaluate(&cfg),
+        RramAccelerator::retransformer().evaluate(&cfg),
+        RramAccelerator::star().evaluate(&cfg),
+    ] {
+        assert!(report.latency.value() > 0.0, "{}", report.name);
+        assert!(report.total_energy >= report.dynamic_energy, "{}", report.name);
+        // avg_power × latency == total energy.
+        let e = report.avg_power * report.latency;
+        assert!(
+            (e.value() - report.total_energy.value()).abs() / report.total_energy.value() < 1e-9,
+            "{}",
+            report.name
+        );
+        // Efficiency is derived from ops and total energy.
+        let eff = gops_per_watt(report.ops, report.total_energy);
+        assert!((eff - report.efficiency_gops_per_watt).abs() / eff < 1e-9, "{}", report.name);
+        // Softmax share is a fraction.
+        assert!((0.0..=1.0).contains(&report.softmax_share()), "{}", report.name);
+    }
+}
+
+#[test]
+fn longer_sequences_cost_more_everywhere() {
+    use star::arch::{Accelerator, RramAccelerator};
+    let short = AttentionConfig::bert_base(64);
+    let long = AttentionConfig::bert_base(256);
+    for make in [RramAccelerator::pipelayer, RramAccelerator::retransformer, RramAccelerator::star]
+    {
+        let a = make().evaluate(&short);
+        let b = make().evaluate(&long);
+        assert!(b.latency > a.latency, "{}", a.name);
+        assert!(b.total_energy > a.total_energy, "{}", a.name);
+        assert!(b.ops > a.ops, "{}", a.name);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests over the softmax engines: distribution invariants
+//! that must hold for arbitrary score rows.
+
+use proptest::prelude::*;
+use star::attention::{ExactSoftmax, RowSoftmax};
+use star::core::{CmosBaselineSoftmax, Softermax, StarSoftmax, StarSoftmaxConfig};
+use star::fixed::QFormat;
+
+/// Score rows inside the MRPC format's representable range.
+fn score_rows() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-30.0f64..30.0, 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn star_outputs_are_probabilities(row in score_rows()) {
+        let mut engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+        let p = engine.softmax_row(&row);
+        prop_assert_eq!(p.len(), row.len());
+        for &v in &p {
+            prop_assert!((0.0..=1.0).contains(&v), "probability {} out of range", v);
+        }
+        let sum: f64 = p.iter().sum();
+        // Quantized normalization: the divider truncates, so the sum is
+        // slightly below 1 but never far off.
+        prop_assert!(sum > 0.95 && sum <= 1.0 + 1e-9, "sum {}", sum);
+    }
+
+    #[test]
+    fn star_monotone_in_scores(row in score_rows()) {
+        // Larger score ⇒ probability at least as large (weak monotonicity
+        // survives quantization because codes are monotone).
+        let mut engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+        let p = engine.softmax_row(&row);
+        for i in 0..row.len() {
+            for j in 0..row.len() {
+                if row[i] >= row[j] + 0.25 {
+                    prop_assert!(
+                        p[i] >= p[j],
+                        "score {} > {} but prob {} < {}",
+                        row[i], row[j], p[i], p[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_shift_invariance_on_grid(row in prop::collection::vec(-10.0f64..10.0, 2..32)) {
+        // Shifting all scores by an exactly representable constant must
+        // not change the output (max subtraction cancels it) as long as
+        // nothing saturates.
+        let mut engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+        let a = engine.softmax_row(&row);
+        let shifted: Vec<f64> = row.iter().map(|&x| x + 8.0).collect();
+        let b = engine.softmax_row(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-12, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn engines_close_to_exact(row in prop::collection::vec(-12.0f64..12.0, 2..48)) {
+        let mut exact = ExactSoftmax::new();
+        let reference = exact.softmax_row(&row);
+
+        let mut star = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+        let p = star.softmax_row(&row);
+        for (a, b) in p.iter().zip(&reference) {
+            prop_assert!((a - b).abs() < 0.05, "star {} vs exact {}", a, b);
+        }
+
+        let mut soft = Softermax::new(QFormat::MRPC, 4);
+        let q = soft.softmax_row(&row);
+        for (a, b) in q.iter().zip(&reference) {
+            prop_assert!((a - b).abs() < 0.08, "softermax {} vs exact {}", a, b);
+        }
+
+        let mut cmos = CmosBaselineSoftmax::new(8);
+        let r = cmos.softmax_row(&row);
+        for (a, b) in r.iter().zip(&reference) {
+            prop_assert!((a - b).abs() < 1e-5, "cmos {} vs exact {}", a, b);
+        }
+    }
+
+    #[test]
+    fn row_cost_monotone_in_length(n in 1usize..256, m in 1usize..256) {
+        use star::core::SoftmaxEngine;
+        let engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::CNEWS)).expect("engine");
+        let (lo, hi) = if n <= m { (n, m) } else { (m, n) };
+        let a = engine.row_cost(lo);
+        let b = engine.row_cost(hi);
+        prop_assert!(b.latency.value() >= a.latency.value());
+        prop_assert!(b.energy.value() >= a.energy.value());
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests asserting every paper artifact within its tolerance
+//! band — E1 through E5 and the headline ratios, end to end.
+
+use star::arch::{Accelerator, GpuModel, RramAccelerator};
+use star::attention::AttentionConfig;
+use star::core::precision::{minimal_format, sweep_formats, AccuracyBar};
+use star::core::{
+    CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
+};
+use star::fixed::QFormat;
+use star::workload::{Dataset, ScoreTrace};
+
+fn within(measured: f64, paper: f64, tolerance: f64) -> bool {
+    (measured - paper).abs() / paper <= tolerance
+}
+
+#[test]
+fn e1_softmax_share_curve() {
+    let gpu = GpuModel::titan_rtx();
+    // Monotone share, crossover exactly at 512, peak near the paper's 59.2 %.
+    let lens = [64usize, 128, 256, 384, 512, 640, 768, 896, 1024];
+    let mut prev = 0.0;
+    for &n in &lens {
+        let share = gpu.softmax_share(&AttentionConfig::bert_base(n));
+        assert!(share > prev, "share not monotone at {n}");
+        prev = share;
+    }
+    assert_eq!(gpu.crossover_seq_len(&lens), Some(512));
+    let peak = lens
+        .iter()
+        .map(|&n| gpu.softmax_share(&AttentionConfig::bert_base(n)))
+        .fold(0.0, f64::max);
+    assert!(within(peak, 0.592, 0.06), "peak share {peak}");
+}
+
+#[test]
+fn e2_table1_ratios() {
+    let baseline = CmosBaselineSoftmax::new(8).cost_sheet();
+    let softermax = Softermax::new(QFormat::CNEWS, 8).cost_sheet();
+    let star = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::CNEWS))
+        .expect("engine")
+        .cost_sheet();
+
+    let sm_area = softermax.area_ratio_to(&baseline);
+    let sm_power = softermax.power_ratio_to(&baseline);
+    let st_area = star.area_ratio_to(&baseline);
+    let st_power = star.power_ratio_to(&baseline);
+
+    assert!(within(sm_area, 0.33, 0.15), "softermax area ratio {sm_area}");
+    assert!(within(sm_power, 0.12, 0.15), "softermax power ratio {sm_power}");
+    assert!(within(st_area, 0.06, 0.15), "star area ratio {st_area}");
+    assert!(within(st_power, 0.05, 0.15), "star power ratio {st_power}");
+    // Text-quoted derived ratios vs Softermax: 0.20× area, 0.44× power.
+    assert!(within(st_area / sm_area, 0.20, 0.15));
+    assert!(within(st_power / sm_power, 0.44, 0.15));
+}
+
+#[test]
+fn e3_fig3_efficiencies() {
+    let cfg = AttentionConfig::bert_base(128);
+    let gpu = GpuModel::titan_rtx().evaluate(&cfg);
+    let pl = RramAccelerator::pipelayer().evaluate(&cfg);
+    let rt = RramAccelerator::retransformer().evaluate(&cfg);
+    let st = RramAccelerator::star().evaluate(&cfg);
+
+    // Absolute anchor and the three improvement factors.
+    assert!(within(st.efficiency_gops_per_watt, 612.66, 0.10), "star {}", st.efficiency_gops_per_watt);
+    assert!(within(st.efficiency_gain_over(&gpu), 30.63, 0.10));
+    assert!(within(st.efficiency_gain_over(&pl), 4.32, 0.10));
+    assert!(within(st.efficiency_gain_over(&rt), 1.31, 0.10));
+    // Strict ordering.
+    assert!(gpu.efficiency_gops_per_watt < pl.efficiency_gops_per_watt);
+    assert!(pl.efficiency_gops_per_watt < rt.efficiency_gops_per_watt);
+    assert!(rt.efficiency_gops_per_watt < st.efficiency_gops_per_watt);
+}
+
+#[test]
+fn e4_bitwidths_match_paper() {
+    let bar = AccuracyBar { min_top1: 0.995, max_mean_abs_error: 2e-3 };
+    for dataset in Dataset::ALL {
+        let trace = ScoreTrace::generate(dataset, 96, 64, 0x0E4 + dataset as u64);
+        let points = sweep_formats(&trace.rows, 3..=6, 0..=4).expect("sweep");
+        let best = minimal_format(&points, bar).expect("some format passes");
+        assert_eq!(
+            best.format,
+            dataset.paper_format(),
+            "{dataset}: got {} expected {}",
+            best.format,
+            dataset.paper_format()
+        );
+    }
+}
+
+#[test]
+fn e5_geometry_facts() {
+    let engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
+    let g = engine.geometry();
+    assert_eq!((g.cam_sub.rows(), g.cam_sub.cols()), (512, 18));
+    assert_eq!((g.exp_cam.rows(), g.exp_cam.cols()), (256, 16));
+    assert_eq!((g.lut.rows(), g.lut.cols()), (256, 18));
+    assert_eq!((g.vmm.rows(), g.vmm.cols()), (256, 18));
+    // Sign-bit removal halves the exponential-stage rows.
+    assert_eq!(g.exp_cam.rows() * 2, g.cam_sub.rows());
+}
+
+#[test]
+fn a1_pipeline_contributions_positive() {
+    use star::core::PipelineMode;
+    let cfg = AttentionConfig::bert_base(128);
+    let rt = RramAccelerator::retransformer().evaluate(&cfg);
+    let engine_only =
+        RramAccelerator::star_with_pipeline(PipelineMode::OperandGrained).evaluate(&cfg);
+    let full = RramAccelerator::star().evaluate(&cfg);
+    // Both the engine and the pipeline contribute.
+    assert!(engine_only.efficiency_gops_per_watt > rt.efficiency_gops_per_watt);
+    assert!(full.efficiency_gops_per_watt > engine_only.efficiency_gops_per_watt);
+}

@@ -94,9 +94,7 @@ impl GpuModel {
         GpuBreakdown {
             proj: t(ops.proj_ops),
             scores: t(ops.qk_ops),
-            softmax: Latency::from_seconds(
-                ops.softmax_elems as f64 / self.softmax_elems_per_sec,
-            ),
+            softmax: Latency::from_seconds(ops.softmax_elems as f64 / self.softmax_elems_per_sec),
             context: t(ops.av_ops),
         }
     }

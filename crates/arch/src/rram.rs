@@ -15,8 +15,8 @@ use crate::matmul_engine::{MatMulEngine, MatMulEngineConfig};
 use serde::{Deserialize, Serialize};
 use star_attention::AttentionConfig;
 use star_core::{
-    attention_pipeline_latency, CmosBaselineSoftmax, PipelineMode, RowStageLatency,
-    SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
+    attention_pipeline_latency, CmosBaselineSoftmax, PipelineMode, RowStageLatency, SoftmaxEngine,
+    StarSoftmax, StarSoftmaxConfig,
 };
 use star_device::{Energy, Latency, Power};
 use star_fixed::QFormat;
@@ -315,8 +315,7 @@ impl Accelerator for RramAccelerator {
         let sm_stage_latency = sm_row.latency * (1.0 / self.softmax_units as f64);
         let stages = RowStageLatency::new(qk_row.latency, sm_stage_latency, av_row.latency);
         let core_latency = attention_pipeline_latency(n, stages, self.pipeline);
-        let core_energy =
-            (qk_row.energy + av_row.energy + sm_row.energy) * (n as f64) * heads;
+        let core_energy = (qk_row.energy + av_row.energy + sm_row.energy) * (n as f64) * heads;
 
         // Intermediate RRAM writes (PipeLayer): K, V, and the score matrix
         // per head; heads program in parallel banks.
@@ -337,9 +336,7 @@ impl Accelerator for RramAccelerator {
 
         // Softmax's serialized contribution to the end-to-end time.
         let softmax_latency = match self.pipeline {
-            PipelineMode::Unpipelined | PipelineMode::OperandGrained => {
-                sm_stage_latency * n as f64
-            }
+            PipelineMode::Unpipelined | PipelineMode::OperandGrained => sm_stage_latency * n as f64,
             PipelineMode::VectorGrained => {
                 // Only exposed if softmax is the bottleneck stage.
                 let bottleneck = stages.bottleneck();
@@ -359,8 +356,7 @@ impl Accelerator for RramAccelerator {
             total_energy,
             avg_power: total_energy / latency,
             efficiency_gops_per_watt: gops_per_watt(ops, total_energy),
-            matmul_latency: proj.latency
-                + (qk_row.latency + av_row.latency) * n as f64,
+            matmul_latency: proj.latency + (qk_row.latency + av_row.latency) * n as f64,
             softmax_latency,
             write_latency,
         }
@@ -426,17 +422,12 @@ mod tests {
 
     #[test]
     fn pipeline_ablation_ordering() {
-        let modes = [
-            PipelineMode::Unpipelined,
-            PipelineMode::OperandGrained,
-            PipelineMode::VectorGrained,
-        ];
+        let modes =
+            [PipelineMode::Unpipelined, PipelineMode::OperandGrained, PipelineMode::VectorGrained];
         let effs: Vec<f64> = modes
             .iter()
             .map(|&m| {
-                RramAccelerator::star_with_pipeline(m)
-                    .evaluate(&cfg())
-                    .efficiency_gops_per_watt
+                RramAccelerator::star_with_pipeline(m).evaluate(&cfg()).efficiency_gops_per_watt
             })
             .collect();
         assert!(effs[0] <= effs[1] && effs[1] <= effs[2], "{effs:?}");
@@ -459,9 +450,7 @@ mod tests {
     fn background_power_is_component_derived() {
         // The preset constant must sit within 10 % of the component-level
         // chip-infrastructure assembly.
-        let derived = star_device::ChipInfrastructure::isaac_class()
-            .background_power()
-            .as_watts();
+        let derived = star_device::ChipInfrastructure::isaac_class().background_power().as_watts();
         assert!(
             (derived - BACKGROUND_POWER_W).abs() / BACKGROUND_POWER_W < 0.10,
             "derived {derived} vs preset {BACKGROUND_POWER_W}"

@@ -1,7 +1,9 @@
 //! Property-based tests for the accelerator models.
 
 use proptest::prelude::*;
-use star_arch::{gops_per_watt, Accelerator, GpuModel, MatMulEngine, MatMulEngineConfig, RramAccelerator};
+use star_arch::{
+    gops_per_watt, Accelerator, GpuModel, MatMulEngine, MatMulEngineConfig, RramAccelerator,
+};
 use star_attention::AttentionConfig;
 
 proptest! {

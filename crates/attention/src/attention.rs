@@ -86,9 +86,7 @@ pub fn multi_head_attention<S: RowSoftmax + ?Sized>(
     let mut all_probs = Matrix::zeros(n * config.num_heads, n);
 
     for h in 0..config.num_heads {
-        let slice = |m: &Matrix| {
-            Matrix::from_fn(n, d_head, |r, c| m.get(r, h * d_head + c))
-        };
+        let slice = |m: &Matrix| Matrix::from_fn(n, d_head, |r, c| m.get(r, h * d_head + c));
         let out = scaled_dot_attention(&slice(q), &slice(k), &slice(v), softmax)?;
         for r in 0..n {
             for c in 0..d_head {
@@ -119,8 +117,10 @@ mod tests {
         // Each context row lies within the min/max envelope of V columns.
         for c in 0..4 {
             let col: Vec<f64> = (0..6).map(|r| v.get(r, c)).collect();
-            let (lo, hi) = (col.iter().cloned().fold(f64::INFINITY, f64::min),
-                            col.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+            let (lo, hi) = (
+                col.iter().cloned().fold(f64::INFINITY, f64::min),
+                col.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            );
             for r in 0..6 {
                 let x = out.context.get(r, c);
                 assert!(x >= lo - 1e-12 && x <= hi + 1e-12, "({r},{c})={x} not in [{lo},{hi}]");

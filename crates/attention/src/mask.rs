@@ -214,15 +214,9 @@ mod tests {
             &mut ExactSoftmax::new(),
         )
         .unwrap();
-        let finite = masked_attention(
-            &x,
-            &x,
-            &x,
-            &AttentionMask::Causal,
-            -1e4,
-            &mut ExactSoftmax::new(),
-        )
-        .unwrap();
+        let finite =
+            masked_attention(&x, &x, &x, &AttentionMask::Causal, -1e4, &mut ExactSoftmax::new())
+                .unwrap();
         assert!(inf.probs.max_abs_diff(&finite.probs).unwrap() < 1e-12);
     }
 }

@@ -222,12 +222,7 @@ impl Matrix {
         if self.shape() != other.shape() {
             return Err(ShapeError { lhs: self.shape(), rhs: other.shape(), op: "max_abs_diff" });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max))
     }
 }
 

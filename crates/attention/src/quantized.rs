@@ -117,14 +117,18 @@ mod tests {
         let v = m(6, 8, 0.9);
         let score_fmt = QFormat::MRPC;
         let fine_ops = quantized_attention(
-            &q, &k, &v,
+            &q,
+            &k,
+            &v,
             QFormat::new(2, 10).expect("valid"),
             score_fmt,
             &mut ExactSoftmax::new(),
         )
         .unwrap();
         let coarse_ops = quantized_attention(
-            &q, &k, &v,
+            &q,
+            &k,
+            &v,
             QFormat::new(2, 2).expect("valid"),
             score_fmt,
             &mut ExactSoftmax::new(),

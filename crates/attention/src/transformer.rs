@@ -243,7 +243,7 @@ mod tests {
         let out = encoder_layer(&c, &p, &x, &mut ExactSoftmax::new()).unwrap();
         assert_eq!(out.hidden.shape(), (6, 16));
         assert_eq!(out.scores.shape(), (12, 6)); // heads·seq × seq
-        // Output rows are layer-normed.
+                                                 // Output rows are layer-normed.
         for row_i in 0..6 {
             let row = out.hidden.row(row_i);
             let mean = row.iter().sum::<f64>() / row.len() as f64;

@@ -10,8 +10,7 @@ use star_device::Latency;
 use star_fixed::QFormat;
 
 fn bench_pipeline_model(c: &mut Criterion) {
-    let stages =
-        RowStageLatency::new(Latency::new(84.0), Latency::new(75.0), Latency::new(84.0));
+    let stages = RowStageLatency::new(Latency::new(84.0), Latency::new(75.0), Latency::new(84.0));
     let mut group = c.benchmark_group("pipeline_latency_model");
     for mode in PipelineMode::ALL {
         group.bench_with_input(

@@ -5,7 +5,7 @@
 
 use star_arch::{Accelerator, RramAccelerator};
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json};
+use star_bench::{header, write_json, write_telemetry_sidecar};
 use star_core::PipelineMode;
 
 fn main() {
@@ -69,4 +69,7 @@ fn main() {
     )
     .expect("write");
     println!("\nwrote {}", path.display());
+    let telemetry =
+        write_telemetry_sidecar("a1_pipeline_ablation").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

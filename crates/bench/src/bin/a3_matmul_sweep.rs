@@ -5,7 +5,7 @@
 
 use star_arch::{gops_per_watt, MatMulEngine, MatMulEngineConfig};
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json};
+use star_bench::{header, write_json, write_telemetry_sidecar};
 use star_device::Energy;
 
 fn main() {
@@ -38,23 +38,14 @@ fn main() {
     }
 
     header("A3: crossbar size sweep (5-bit ADC)");
-    println!(
-        "  {:>9} {:>10} {:>16} {:>16}",
-        "size", "tiles", "layer E [uJ]", "matmul GOPs/J"
-    );
+    println!("  {:>9} {:>10} {:>16} {:>16}", "size", "tiles", "layer E [uJ]", "matmul GOPs/J");
     let mut size_rows = Vec::new();
     for size in [64usize, 128, 256] {
         let engine = MatMulEngine::new(MatMulEngineConfig::paper().with_crossbar_size(size));
         let tiles = engine.tile_count(cfg.d_model, cfg.d_model);
         let (layer_energy, _) = layer_matmul_cost(&engine, &cfg);
         let eff = gops_per_watt(ops, layer_energy);
-        println!(
-            "  {:>9} {:>10} {:>16.1} {:>16.1}",
-            size,
-            tiles,
-            layer_energy.value() * 1e-6,
-            eff
-        );
+        println!("  {:>9} {:>10} {:>16.1} {:>16.1}", size, tiles, layer_energy.value() * 1e-6, eff);
         size_rows.push(serde_json::json!({
             "crossbar_size": size,
             "proj_tiles": tiles,
@@ -74,13 +65,7 @@ fn main() {
         let tiles = engine.tile_count(cfg.d_model, cfg.d_model);
         let (layer_energy, _) = layer_matmul_cost(&engine, &cfg);
         let eff = gops_per_watt(ops, layer_energy);
-        println!(
-            "  {:>14} {:>10} {:>16.1} {:>16.1}",
-            bpc,
-            tiles,
-            layer_energy.value() * 1e-6,
-            eff
-        );
+        println!("  {:>14} {:>10} {:>16.1} {:>16.1}", bpc, tiles, layer_energy.value() * 1e-6, eff);
         mlc_rows.push(serde_json::json!({
             "bits_per_cell": bpc,
             "proj_tiles": tiles,
@@ -95,6 +80,8 @@ fn main() {
     )
     .expect("write");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("a3_matmul_sweep").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }
 
 /// Matmul-only energy/latency of one attention layer (projections +

@@ -5,7 +5,7 @@
 
 use star_arch::RramAccelerator;
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json};
+use star_bench::{header, write_json, write_telemetry_sidecar};
 use star_device::{EnduranceModel, RetentionModel};
 
 fn main() {
@@ -14,26 +14,16 @@ fn main() {
     let target = 1e-4; // per-cell failure budget
 
     header("A4: write traffic and lifetime (BERT-base, 12 layers)");
-    println!(
-        "  {:>16} {:>20} {:>22}",
-        "design", "hot-cell writes/inf", "lifetime [inferences]"
-    );
+    println!("  {:>16} {:>20} {:>22}", "design", "hot-cell writes/inf", "lifetime [inferences]");
     let mut rows = Vec::new();
-    for accel in [
-        RramAccelerator::pipelayer(),
-        RramAccelerator::retransformer(),
-        RramAccelerator::star(),
-    ] {
+    for accel in
+        [RramAccelerator::pipelayer(), RramAccelerator::retransformer(), RramAccelerator::star()]
+    {
         let writes = accel.hot_cell_writes_per_layer() * cfg.num_layers as u64;
         let life = accel.lifetime_inferences(&cfg, &endurance, target);
         let life_str =
             if life.is_infinite() { "unlimited".to_owned() } else { format!("{life:.3e}") };
-        println!(
-            "  {:>16} {:>20} {:>22}",
-            star_arch::Accelerator::name(&accel),
-            writes,
-            life_str
-        );
+        println!("  {:>16} {:>20} {:>22}", star_arch::Accelerator::name(&accel), writes, life_str);
         rows.push(serde_json::json!({
             "design": star_arch::Accelerator::name(&accel),
             "hot_cell_writes_per_inference": writes,
@@ -59,4 +49,6 @@ fn main() {
     )
     .expect("write");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("a4_endurance").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

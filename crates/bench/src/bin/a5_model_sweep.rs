@@ -5,7 +5,7 @@
 
 use star_arch::{Accelerator, GpuModel, RramAccelerator};
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json};
+use star_bench::{header, write_json, write_telemetry_sidecar};
 
 fn main() {
     let seq_lens = [64usize, 128, 256, 512];
@@ -76,4 +76,6 @@ fn main() {
     )
     .expect("write");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("a5_model_sweep").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

@@ -4,7 +4,7 @@
 
 use star_arch::{Accelerator, GpuModel, RramAccelerator};
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json};
+use star_bench::{header, write_json, write_telemetry_sidecar};
 
 fn main() {
     let models: [(&str, AttentionConfig); 3] = [
@@ -32,7 +32,13 @@ fn main() {
         ];
         println!(
             "  {:<12} {:>6} {:>8.2} {:>10.2} {:>14.2} {:>10.2} {:>10.3}x",
-            name, cfg.seq_len, e[0], e[1], e[2], e[3], e[3] / e[2]
+            name,
+            cfg.seq_len,
+            e[0],
+            e[1],
+            e[2],
+            e[3],
+            e[3] / e[2]
         );
         assert!(e[0] < e[1] && e[1] < e[2] && e[2] < e[3], "{name}: ordering broke: {e:?}");
         rows.push(serde_json::json!({
@@ -73,4 +79,6 @@ fn main() {
     )
     .expect("write");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("a6_model_zoo").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

@@ -4,17 +4,14 @@
 //! frontier of (area, power, accuracy). Shows the paper's configuration
 //! choices sit on (or next to) the frontier.
 
-use star_bench::{header, write_json};
+use star_bench::{header, write_json, write_telemetry_sidecar};
 use star_core::design_space::{pareto_front, DesignSpace};
 use star_workload::{Dataset, ScoreTrace};
 
 fn main() {
     let trace = ScoreTrace::generate(Dataset::Mrpc, 96, 64, 0xA7);
     let space = DesignSpace::paper_neighborhood();
-    header(&format!(
-        "A7: evaluating {} engine configurations on the MRPC proxy",
-        space.len()
-    ));
+    header(&format!("A7: evaluating {} engine configurations on the MRPC proxy", space.len()));
 
     let points = space.evaluate(&trace.rows).expect("all configurations build");
     let front = pareto_front(&points);
@@ -52,10 +49,10 @@ fn main() {
     }
     println!("  frontier size: {} of {}", front.len(), points.len());
 
-    let path = write_json(
-        "a7_pareto",
-        &serde_json::json!({"points": points, "pareto_front": front}),
-    )
-    .expect("write");
+    let path =
+        write_json("a7_pareto", &serde_json::json!({"points": points, "pareto_front": front}))
+            .expect("write");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("a7_pareto").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

@@ -6,7 +6,7 @@
 use serde::Serialize;
 use star_arch::GpuModel;
 use star_attention::AttentionConfig;
-use star_bench::{compare_line, header, write_json};
+use star_bench::{compare_line, header, write_json, write_telemetry_sidecar};
 
 #[derive(Serialize)]
 struct SharePoint {
@@ -64,4 +64,6 @@ fn main() {
     )
     .expect("write results");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("e1_softmax_share").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

@@ -2,7 +2,7 @@
 //! baseline CMOS softmax. Evaluated as in the paper at the BERT-base /
 //! CNEWS operating point (8-bit softmax, sequence length 128).
 
-use star_bench::{compare_line, header, write_json};
+use star_bench::{compare_line, header, write_json, write_telemetry_sidecar};
 use star_core::{
     CmosBaselineSoftmax, RowSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
 };
@@ -72,4 +72,6 @@ fn main() {
     )
     .expect("write results");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("e2_table1").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

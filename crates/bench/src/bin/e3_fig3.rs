@@ -4,7 +4,7 @@
 
 use star_arch::{Accelerator, GpuModel, PerfReport, RramAccelerator};
 use star_attention::AttentionConfig;
-use star_bench::{compare_line, header, write_json};
+use star_bench::{compare_line, header, write_json, write_telemetry_sidecar};
 
 fn main() {
     let cfg = AttentionConfig::bert_base(128);
@@ -37,10 +37,7 @@ fn main() {
         "{}",
         compare_line("STAR efficiency (GOPs/s/W)", 612.66, star.efficiency_gops_per_watt)
     );
-    println!(
-        "{}",
-        compare_line("gain over GPU", 30.63, star.efficiency_gain_over(&reports[0]))
-    );
+    println!("{}", compare_line("gain over GPU", 30.63, star.efficiency_gain_over(&reports[0])));
     println!(
         "{}",
         compare_line("gain over PipeLayer", 4.32, star.efficiency_gain_over(&reports[1]))
@@ -64,4 +61,6 @@ fn main() {
     )
     .expect("write results");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("e3_fig3").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

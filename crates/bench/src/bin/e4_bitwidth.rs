@@ -3,7 +3,7 @@
 //! field incl. sign + 2 fraction), MRPC 9 bits (6 + 3), CoLA 7 bits
 //! (5 + 2).
 
-use star_bench::{header, write_json};
+use star_bench::{header, write_json, write_telemetry_sidecar};
 use star_core::precision::{minimal_format, sweep_formats, AccuracyBar};
 use star_workload::{Dataset, ScoreTrace};
 
@@ -14,7 +14,11 @@ fn main() {
     for dataset in Dataset::ALL {
         let trace = ScoreTrace::generate(dataset, 192, 64, 0x0E4 + dataset as u64);
         let an = trace.analyze();
-        header(&format!("E4: {dataset} proxy (score range [{:.2}, {:.2}])", an.min_seen(), an.max_seen()));
+        header(&format!(
+            "E4: {dataset} proxy (score range [{:.2}, {:.2}])",
+            an.min_seen(),
+            an.max_seen()
+        ));
 
         let points = sweep_formats(&trace.rows, 3..=6, 0..=4).expect("sweep");
         println!(
@@ -55,4 +59,6 @@ fn main() {
     let path = write_json("e4_bitwidth", &serde_json::json!({"datasets": results}))
         .expect("write results");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("e4_bitwidth").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

@@ -2,7 +2,7 @@
 //! the CAM/LUT/VMM crossbars 256×18 for 9-bit data; removing the sign bit
 //! halves the exponential-stage CAM.
 
-use star_bench::{header, write_json};
+use star_bench::{header, write_json, write_telemetry_sidecar};
 use star_core::{StarSoftmax, StarSoftmaxConfig};
 use star_fixed::QFormat;
 
@@ -13,11 +13,8 @@ fn main() {
         "format", "bits", "cam/sub", "exp-cam", "lut", "vmm(phys)"
     );
     let mut rows = Vec::new();
-    for (name, fmt) in [
-        ("CoLA", QFormat::COLA),
-        ("CNEWS", QFormat::CNEWS),
-        ("MRPC", QFormat::MRPC),
-    ] {
+    for (name, fmt) in [("CoLA", QFormat::COLA), ("CNEWS", QFormat::CNEWS), ("MRPC", QFormat::MRPC)]
+    {
         let engine = StarSoftmax::new(StarSoftmaxConfig::new(fmt)).expect("valid engine");
         let g = engine.geometry();
         println!(
@@ -55,4 +52,6 @@ fn main() {
     let path =
         write_json("e5_geometry", &serde_json::json!({"configurations": rows})).expect("write");
     println!("\nwrote {}", path.display());
+    let telemetry = write_telemetry_sidecar("e5_geometry").expect("write telemetry sidecar");
+    println!("wrote {}", telemetry.display());
 }

@@ -55,6 +55,12 @@ fn main() {
         EXPERIMENTS.len(),
         star_bench::results_dir().display()
     );
+    // Each child process wrote its own sidecar; this one covers the
+    // driver itself (pipeline reports at the paper operating point).
+    match star_bench::write_telemetry_sidecar("repro_all") {
+        Ok(path) => println!("  telemetry sidecar: {}", path.display()),
+        Err(e) => eprintln!("  telemetry sidecar failed: {e}"),
+    }
     if !failures.is_empty() {
         eprintln!("  failed/skipped: {failures:?}");
         std::process::exit(1);

@@ -35,28 +35,83 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBu
 
 /// Relative deviation of `measured` from `paper`, as a signed percentage.
 ///
-/// # Panics
-///
-/// Panics if `paper` is zero.
+/// A zero paper anchor has no well-defined relative deviation: any
+/// nonzero measurement returns a signed infinity (carrying the direction
+/// of the miss) and an exact zero-for-zero match returns `0.0`. Callers
+/// that format deviations should render the infinite case as `n/a`
+/// (see [`compare_line`]).
 pub fn deviation_pct(measured: f64, paper: f64) -> f64 {
-    assert!(paper != 0.0, "paper value must be nonzero");
+    if paper == 0.0 {
+        return if measured == 0.0 { 0.0 } else { f64::INFINITY.copysign(measured) };
+    }
     (measured - paper) / paper * 100.0
 }
 
-/// Formats a paper-vs-measured line for the console tables.
+/// Formats a paper-vs-measured line for the console tables. Deviations
+/// against a zero paper anchor print as `n/a`.
 pub fn compare_line(label: &str, paper: f64, measured: f64) -> String {
-    format!(
-        "  {:<34} paper {:>10.3}   measured {:>10.3}   ({:+6.1} %)",
-        label,
-        paper,
-        measured,
-        deviation_pct(measured, paper)
-    )
+    let dev = deviation_pct(measured, paper);
+    let dev_text = if dev.is_finite() { format!("{dev:+6.1} %") } else { "   n/a".to_string() };
+    format!("  {label:<34} paper {paper:>10.3}   measured {measured:>10.3}   ({dev_text})")
 }
 
 /// Prints a section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// The telemetry sidecar every experiment binary writes next to its
+/// result file: the full metric snapshot accumulated while the harness
+/// ran, plus per-mode pipeline utilization reports at the paper operating
+/// point (BERT-base, seq 128, MRPC q5.3). For every report lane,
+/// `busy_ns + stall_ns == makespan_ns` by construction.
+#[derive(Serialize)]
+pub struct TelemetrySidecar {
+    /// Experiment name (matches the primary result file stem).
+    pub name: String,
+    /// Snapshot of every counter/gauge/histogram the run recorded.
+    pub metrics: star_telemetry::Snapshot,
+    /// Busy/stall/occupancy per stage for all three pipeline modes.
+    pub pipeline: Vec<star_core::UtilizationReport>,
+}
+
+/// Pipeline utilization reports (all three modes) at the paper operating
+/// point: BERT-base row stage latencies at sequence length 128 with the
+/// MRPC q5.3 STAR softmax engine.
+pub fn paper_point_utilization() -> Vec<star_core::UtilizationReport> {
+    use star_core::SoftmaxEngine;
+    let seq = 128;
+    let engine =
+        star_core::StarSoftmax::new(star_core::StarSoftmaxConfig::new(star_fixed::QFormat::MRPC))
+            .expect("paper configuration builds");
+    let matmul = star_arch::MatMulEngine::new(star_arch::MatMulEngineConfig::paper());
+    let dh = star_attention::AttentionConfig::bert_base(seq).d_head();
+    let durations = star_core::RowDurations::uniform(
+        seq,
+        matmul.row_cost(dh, seq).latency.value(),
+        engine.row_cost(seq).latency.value(),
+        matmul.row_cost(seq, dh).latency.value(),
+    );
+    star_core::PipelineMode::ALL
+        .iter()
+        .map(|&mode| star_core::UtilizationReport::from_durations(&durations, mode, 1))
+        .collect()
+}
+
+/// Snapshots the active telemetry registry and writes
+/// `results/<name>.telemetry.json`. Call at the end of an experiment
+/// `main` so every counter the run touched lands in the sidecar.
+///
+/// # Errors
+///
+/// Returns any I/O or serialization error.
+pub fn write_telemetry_sidecar(name: &str) -> std::io::Result<PathBuf> {
+    let sidecar = TelemetrySidecar {
+        name: name.to_string(),
+        metrics: star_telemetry::snapshot(),
+        pipeline: paper_point_utilization(),
+    };
+    write_json(&format!("{name}.telemetry"), &sidecar)
 }
 
 /// Asserts `path` exists after a write (used by the harness self-tests).
@@ -75,9 +130,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonzero")]
-    fn deviation_zero_paper() {
-        let _ = deviation_pct(1.0, 0.0);
+    fn deviation_zero_paper_is_signed_infinity() {
+        assert_eq!(deviation_pct(1.0, 0.0), f64::INFINITY);
+        assert_eq!(deviation_pct(-1.0, 0.0), f64::NEG_INFINITY);
+        assert_eq!(deviation_pct(0.0, 0.0), 0.0);
     }
 
     #[test]
@@ -89,7 +145,55 @@ mod tests {
     }
 
     #[test]
+    fn compare_line_zero_paper_prints_na() {
+        let l = compare_line("x", 0.0, 1.0);
+        assert!(l.contains("n/a"), "{l}");
+        assert!(!l.contains("inf"), "{l}");
+    }
+
+    #[test]
+    fn sidecar_busy_plus_stall_is_makespan() {
+        let reports = paper_point_utilization();
+        assert_eq!(reports.len(), 3);
+        for report in &reports {
+            assert!(report.makespan_ns > 0.0);
+            for stage in &report.stages {
+                assert!(
+                    (stage.busy_ns + stage.stall_ns - report.makespan_ns).abs() < 1e-9,
+                    "{:?} lane {}",
+                    report.mode,
+                    stage.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_sidecar_written_with_metrics() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("star-bench-sidecar-test");
+        std::env::set_var("STAR_RESULTS_DIR", &dir);
+        // Generate some activity in this thread's scoped registry so the
+        // sidecar is non-trivially populated.
+        let ((), _) = star_telemetry::with_scoped(|| {
+            star_telemetry::count("bench.test.events", 7);
+            let path = write_telemetry_sidecar("unit_sidecar").expect("sidecar");
+            assert_written(&path);
+            let body = std::fs::read_to_string(&path).expect("read");
+            assert!(body.contains("bench.test.events"), "{body}");
+            assert!(body.contains("makespan_ns"));
+        });
+        std::env::remove_var("STAR_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// `STAR_RESULTS_DIR` is process-global; tests that set it serialize
+    /// through this lock so parallel test threads cannot interleave.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
     fn write_json_round_trip() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let dir = std::env::temp_dir().join("star-bench-test");
         std::env::set_var("STAR_RESULTS_DIR", &dir);
         let path = write_json("unit_test", &serde_json::json!({"a": 1})).expect("write");

@@ -4,9 +4,7 @@
 
 use star_arch::{Accelerator, GpuModel, RramAccelerator};
 use star_attention::AttentionConfig;
-use star_core::{
-    CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
-};
+use star_core::{CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig};
 use star_fixed::QFormat;
 
 fn near(measured: f64, snapshot: f64, pct: f64) -> bool {

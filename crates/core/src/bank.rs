@@ -89,11 +89,7 @@ impl SoftmaxEngine for EngineBank {
         let mut sheet = CostSheet::new(self.name.clone());
         for (i, e) in self.engines.iter().enumerate() {
             let inner = e.cost_sheet();
-            sheet.add(
-                format!("engine {i}"),
-                inner.total_area(),
-                inner.total_power(),
-            );
+            sheet.add(format!("engine {i}"), inner.total_area(), inner.total_power());
         }
         sheet
     }

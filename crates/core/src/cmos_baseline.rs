@@ -84,6 +84,11 @@ impl CmosBaselineSoftmax {
 impl RowSoftmax for CmosBaselineSoftmax {
     fn softmax_row(&mut self, scores: &[f64]) -> Vec<f64> {
         assert!(!scores.is_empty(), "softmax of an empty row is undefined");
+        star_telemetry::count("cmos.softmax.rows", 1);
+        // One max-compare, one exp, one div per element; one add per
+        // element into the running sum.
+        star_telemetry::count("cmos.softmax.exp_ops", scores.len() as u64);
+        star_telemetry::count("cmos.softmax.div_ops", scores.len() as u64);
         // FP32 datapath: every intermediate is rounded to f32.
         let xs: Vec<f32> = scores.iter().map(|&x| x as f32).collect();
         let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -160,7 +165,9 @@ mod tests {
         let lw = wide.row_cost(128).latency.value();
         assert!(ln > lw * 4.0, "narrow {ln} wide {lw}");
         // Energy is lane-independent (same work).
-        assert!((narrow.row_cost(128).energy.value() - wide.row_cost(128).energy.value()).abs() < 1e-9);
+        assert!(
+            (narrow.row_cost(128).energy.value() - wide.row_cost(128).energy.value()).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -108,11 +108,7 @@ impl DesignSpace {
                     let mut agree = 0usize;
                     for (row, reference) in rows.iter().zip(&references) {
                         let p = engine.softmax_row(row);
-                        err_sum += p
-                            .iter()
-                            .zip(reference)
-                            .map(|(a, b)| (a - b).abs())
-                            .sum::<f64>();
+                        err_sum += p.iter().zip(reference).map(|(a, b)| (a - b).abs()).sum::<f64>();
                         elems += row.len();
                         if argmax(&p) == argmax(reference) {
                             agree += 1;
@@ -139,11 +135,8 @@ impl DesignSpace {
 /// Extracts the Pareto-optimal subset over (area, power, error), sorted by
 /// area.
 pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
-    let mut front: Vec<DesignPoint> = points
-        .iter()
-        .filter(|p| !points.iter().any(|q| q.dominates(p)))
-        .cloned()
-        .collect();
+    let mut front: Vec<DesignPoint> =
+        points.iter().filter(|p| !points.iter().any(|q| q.dominates(p))).cloned().collect();
     front.sort_by(|a, b| a.area_um2.partial_cmp(&b.area_um2).expect("finite"));
     front.dedup();
     front
@@ -193,7 +186,8 @@ mod tests {
             mean_abs_error: 0.01,
             top1_agreement: 1.0,
         };
-        let worse = DesignPoint { area_um2: 200.0, power_mw: 2.0, mean_abs_error: 0.02, ..a.clone() };
+        let worse =
+            DesignPoint { area_um2: 200.0, power_mw: 2.0, mean_abs_error: 0.02, ..a.clone() };
         let tradeoff = DesignPoint { area_um2: 50.0, mean_abs_error: 0.05, ..a.clone() };
         assert!(a.dominates(&worse));
         assert!(!worse.dominates(&a));
@@ -211,12 +205,10 @@ mod tests {
             assert!(!points.iter().any(|q| q.dominates(p)), "dominated point on front");
         }
         // The cheapest design is always on the front.
-        let min_area =
-            points.iter().map(|p| p.area_um2).fold(f64::INFINITY, f64::min);
+        let min_area = points.iter().map(|p| p.area_um2).fold(f64::INFINITY, f64::min);
         assert!(front.iter().any(|p| p.area_um2 == min_area));
         // The most accurate design is always on the front.
-        let min_err =
-            points.iter().map(|p| p.mean_abs_error).fold(f64::INFINITY, f64::min);
+        let min_err = points.iter().map(|p| p.mean_abs_error).fold(f64::INFINITY, f64::min);
         assert!(front.iter().any(|p| p.mean_abs_error == min_err));
         // Front sorted by area.
         for w in front.windows(2) {

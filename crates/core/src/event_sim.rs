@@ -49,11 +49,7 @@ impl RowDurations {
         for d in [qk, softmax, av] {
             assert!(d.is_finite() && d >= 0.0, "durations must be finite and non-negative");
         }
-        RowDurations {
-            qk: vec![qk; rows],
-            softmax: vec![softmax; rows],
-            av: vec![av; rows],
-        }
+        RowDurations { qk: vec![qk; rows], softmax: vec![softmax; rows], av: vec![av; rows] }
     }
 
     /// Number of rows.
@@ -184,8 +180,7 @@ mod tests {
     use crate::pipeline::{attention_pipeline_latency, RowStageLatency};
 
     fn formula(rows: usize, qk: f64, sm: f64, av: f64, mode: PipelineMode) -> f64 {
-        let stages =
-            RowStageLatency::new(Latency::new(qk), Latency::new(sm), Latency::new(av));
+        let stages = RowStageLatency::new(Latency::new(qk), Latency::new(sm), Latency::new(av));
         attention_pipeline_latency(rows, stages, mode).value()
     }
 
@@ -193,7 +188,10 @@ mod tests {
     fn matches_formula_unpipelined() {
         let d = RowDurations::uniform(17, 10.0, 25.0, 15.0);
         let sim = simulate_pipeline(&d, PipelineMode::Unpipelined, 1);
-        assert!((sim.makespan.value() - formula(17, 10.0, 25.0, 15.0, PipelineMode::Unpipelined)).abs() < 1e-9);
+        assert!(
+            (sim.makespan.value() - formula(17, 10.0, 25.0, 15.0, PipelineMode::Unpipelined)).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -202,7 +200,11 @@ mod tests {
             let d = RowDurations::uniform(64, qk, sm, av);
             let sim = simulate_pipeline(&d, PipelineMode::VectorGrained, 1);
             let f = formula(64, qk, sm, av, PipelineMode::VectorGrained);
-            assert!((sim.makespan.value() - f).abs() < 1e-9, "({qk},{sm},{av}): sim {} vs {f}", sim.makespan);
+            assert!(
+                (sim.makespan.value() - f).abs() < 1e-9,
+                "({qk},{sm},{av}): sim {} vs {f}",
+                sim.makespan
+            );
         }
     }
 
@@ -215,7 +217,12 @@ mod tests {
             // The formula is the steady-state approximation; the simulator
             // may differ by at most one pipeline fill term.
             let slack = qk + sm + av;
-            assert!((sim.makespan.value() - f).abs() <= slack, "sim {} vs formula {}", sim.makespan, f);
+            assert!(
+                (sim.makespan.value() - f).abs() <= slack,
+                "sim {} vs formula {}",
+                sim.makespan,
+                f
+            );
         }
     }
 
@@ -273,11 +280,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "stage vectors must agree")]
     fn ragged_durations_rejected() {
-        let d = RowDurations {
-            qk: vec![1.0, 2.0],
-            softmax: vec![1.0],
-            av: vec![1.0, 2.0],
-        };
+        let d = RowDurations { qk: vec![1.0, 2.0], softmax: vec![1.0], av: vec![1.0, 2.0] };
         let _ = simulate_pipeline(&d, PipelineMode::VectorGrained, 1);
     }
 }

@@ -95,8 +95,8 @@ impl LutFunctionUnit {
             cam.store_row(row, &bits);
             let y = f(x.to_f64());
             assert!(y.is_finite(), "function returned non-finite output at {x}");
-            let code = (((y - out_min) / (out_max - out_min)).clamp(0.0, 1.0) * scale).round()
-                as u64;
+            let code =
+                (((y - out_min) / (out_max - out_min)).clamp(0.0, 1.0) * scale).round() as u64;
             lut.store_word(row, code);
             codes.push(code);
         }

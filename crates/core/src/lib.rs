@@ -49,15 +49,15 @@ pub mod precision;
 mod schedule;
 mod softermax;
 mod star;
+pub mod trace;
 
 pub use bank::EngineBank;
 pub use cmos_baseline::CmosBaselineSoftmax;
 pub use engine::{fixed_divide, RowSoftmax, SoftmaxEngine};
 pub use event_sim::{simulate_pipeline, RowDurations, RowTimeline, SimResult};
 pub use function_unit::LutFunctionUnit;
-pub use pipeline::{
-    attention_pipeline_latency, PipelineMode, PipelineReport, RowStageLatency,
-};
+pub use pipeline::{attention_pipeline_latency, PipelineMode, PipelineReport, RowStageLatency};
 pub use schedule::{EnginePhase, RowSchedule, ScheduledOp};
 pub use softermax::Softermax;
 pub use star::{BuildStarError, StarGeometry, StarSoftmax, StarSoftmaxConfig};
+pub use trace::{pipeline_chrome_trace, StageUtilization, UtilizationReport};

@@ -99,9 +99,7 @@ pub fn attention_pipeline_latency(
         PipelineMode::OperandGrained => {
             // Fill the two matmul stages once, stream at the matmul
             // bottleneck, and pay softmax serially for every row.
-            stages.qk + stages.av
-                + stages.matmul_bottleneck() * (n - 1.0)
-                + stages.softmax * n
+            stages.qk + stages.av + stages.matmul_bottleneck() * (n - 1.0) + stages.softmax * n
         }
         PipelineMode::VectorGrained => stages.serial() + stages.bottleneck() * (n - 1.0),
     }

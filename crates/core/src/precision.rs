@@ -69,9 +69,8 @@ pub fn evaluate_format(
 ) -> Result<SweepPoint, crate::BuildStarError> {
     assert!(!rows.is_empty(), "precision sweep needs at least one score row");
     let max_len = rows.iter().map(Vec::len).max().expect("non-empty");
-    let mut engine = StarSoftmax::new(
-        StarSoftmaxConfig::new(format).with_max_row_len(max_len.max(1)),
-    )?;
+    let mut engine =
+        StarSoftmax::new(StarSoftmaxConfig::new(format).with_max_row_len(max_len.max(1)))?;
     let mut exact = ExactSoftmax::new();
 
     let mut sum_abs = 0.0f64;
@@ -151,11 +150,7 @@ mod tests {
     /// Synthetic score rows spanning roughly [-12, 12].
     fn rows() -> Vec<Vec<f64>> {
         (0..24)
-            .map(|r| {
-                (0..32)
-                    .map(|c| ((r * 31 + c * 17) as f64 * 0.618).sin() * 12.0)
-                    .collect()
-            })
+            .map(|r| (0..32).map(|c| ((r * 31 + c * 17) as f64 * 0.618).sin() * 12.0).collect())
             .collect()
     }
 

@@ -75,11 +75,7 @@ impl RowSchedule {
                 count: n as u64,
                 cost: engine.exp_element_cost().repeat(n as u64),
             },
-            ScheduledOp {
-                phase: EnginePhase::Sum,
-                count: 1,
-                cost: engine.sum_cost(),
-            },
+            ScheduledOp { phase: EnginePhase::Sum, count: 1, cost: engine.sum_cost() },
             ScheduledOp {
                 phase: EnginePhase::Divide,
                 count: n as u64,
@@ -108,12 +104,8 @@ impl RowSchedule {
     /// Latency fraction of one phase.
     pub fn phase_share(&self, phase: EnginePhase) -> f64 {
         let total = self.total().latency.value();
-        let part: f64 = self
-            .ops
-            .iter()
-            .filter(|op| op.phase == phase)
-            .map(|op| op.cost.latency.value())
-            .sum();
+        let part: f64 =
+            self.ops.iter().filter(|op| op.phase == phase).map(|op| op.cost.latency.value()).sum();
         if total == 0.0 {
             0.0
         } else {

@@ -107,6 +107,11 @@ impl Softermax {
 impl RowSoftmax for Softermax {
     fn softmax_row(&mut self, scores: &[f64]) -> Vec<f64> {
         assert!(!scores.is_empty(), "softmax of an empty row is undefined");
+        star_telemetry::count("softermax.softmax.rows", 1);
+        // The online pass does one exp2 lookup + running-max update per
+        // element; normalization recomputes each numerator and divides.
+        star_telemetry::count("softermax.softmax.exp2_ops", 2 * scores.len() as u64);
+        star_telemetry::count("softermax.softmax.div_ops", scores.len() as u64);
         // Fold ln→log₂ conversion into the input scale, then quantize.
         let log2e = std::f64::consts::LOG2_E;
         let xs: Vec<Fixed> = scores

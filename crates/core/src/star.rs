@@ -22,7 +22,9 @@ use crate::engine::{fixed_divide, SoftmaxEngine};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use star_attention::RowSoftmax;
-use star_crossbar::{CamCrossbar, CamSubCrossbar, Geometry, LutCrossbar, OpCost, Readout, VmmCrossbar};
+use star_crossbar::{
+    CamCrossbar, CamSubCrossbar, Geometry, LutCrossbar, OpCost, Readout, VmmCrossbar,
+};
 use star_device::peripherals::PeripheralLibrary;
 use star_device::{AdcSpec, CostSheet, Latency, NoiseModel, TechnologyParams};
 use star_fixed::{encoding, Fixed, QFormat, Rounding};
@@ -214,9 +216,15 @@ impl StarSoftmax {
 
         let magnitudes = fmt.num_magnitudes() as usize;
         let mag_bits = fmt.value_bits() as usize;
-        let mut exp_cam = CamCrossbar::new(magnitudes, mag_bits, &config.tech, config.noise, &mut rng);
-        let mut lut =
-            LutCrossbar::new(magnitudes, config.exp_word_bits as usize, &config.tech, config.noise, &mut rng);
+        let mut exp_cam =
+            CamCrossbar::new(magnitudes, mag_bits, &config.tech, config.noise, &mut rng);
+        let mut lut = LutCrossbar::new(
+            magnitudes,
+            config.exp_word_bits as usize,
+            &config.tech,
+            config.noise,
+            &mut rng,
+        );
         let readout = match config.vmm_adc {
             Some(adc) => Readout::Adc(adc),
             None => Readout::Ideal,
@@ -243,8 +251,7 @@ impl StarSoftmax {
             exp_codes.push(code);
             weights.push(vec![code]);
             lut.store_word(m, code as u64);
-            let bits: Vec<bool> =
-                (0..mag_bits).rev().map(|b| (m >> b) & 1 == 1).collect();
+            let bits: Vec<bool> = (0..mag_bits).rev().map(|b| (m >> b) & 1 == 1).collect();
             exp_cam.store_row(m, &bits);
         }
         vmm.store_weights(&weights);
@@ -302,17 +309,20 @@ impl StarSoftmax {
         let mag = clamped.magnitude_code() as usize;
         let bits = encoding::to_magnitude(clamped);
         let one_hot = self.exp_cam.search(&bits);
-        let hot: Vec<usize> = one_hot.iter().enumerate().filter(|(_, &h)| h).map(|(i, _)| i).collect();
+        let hot: Vec<usize> =
+            one_hot.iter().enumerate().filter(|(_, &h)| h).map(|(i, _)| i).collect();
         let row = match hot.as_slice() {
             [r] => *r,
             _ => {
                 // Fault recovery: a defective CAM produced zero or multiple
                 // matchlines; the controller falls back to the nominal row.
                 self.fault_events += 1;
+                star_telemetry::count("star.faults.recovered", 1);
                 mag
             }
         };
         histogram[row] += 1;
+        star_telemetry::count("star.exp.lut_hits", 1);
         self.lut.read_row(row) as u32
     }
 
@@ -321,10 +331,7 @@ impl StarSoftmax {
     /// # Panics
     ///
     /// Panics if any row exceeds the configured maximum length.
-    pub fn softmax_matrix(
-        &mut self,
-        scores: &star_attention::Matrix,
-    ) -> star_attention::Matrix {
+    pub fn softmax_matrix(&mut self, scores: &star_attention::Matrix) -> star_attention::Matrix {
         star_attention::softmax_rows(self, scores)
     }
 
@@ -394,6 +401,13 @@ impl RowSoftmax for StarSoftmax {
             self.config.max_row_len
         );
         let xs: Vec<Fixed> = scores.iter().map(|&s| self.quantize(s)).collect();
+        star_telemetry::count("star.softmax.rows", 1);
+        star_telemetry::count("star.softmax.elements", scores.len() as u64);
+        star_telemetry::observe_with(
+            "star.softmax.row_len",
+            scores.len() as f64,
+            &[8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
+        );
 
         // Stage 1: x_i − x_max on the CAM/SUB crossbar.
         let max = match self.cam_sub.find_max(&xs) {
@@ -401,16 +415,15 @@ impl RowSoftmax for StarSoftmax {
             Err(_) => {
                 // Fault recovery: digital max (the controller's safe path).
                 self.fault_events += 1;
+                star_telemetry::count("star.faults.recovered", 1);
                 xs.iter().copied().max().expect("non-empty")
             }
         };
         let noise = self.config.noise;
         let diffs: Vec<Fixed> = if noise.read_sigma > 0.0 {
             let mut rng = self.rng.clone();
-            let out = xs
-                .iter()
-                .map(|&x| self.cam_sub.subtract_noisy(x, max, &noise, &mut rng))
-                .collect();
+            let out =
+                xs.iter().map(|&x| self.cam_sub.subtract_noisy(x, max, &noise, &mut rng)).collect();
             self.rng = rng;
             out
         } else {
@@ -420,8 +433,7 @@ impl RowSoftmax for StarSoftmax {
         // Stage 2: exponential lookups + histogram counting.
         let magnitudes = self.config.format.num_magnitudes() as usize;
         let mut histogram = vec![0u64; magnitudes];
-        let codes: Vec<u32> =
-            diffs.iter().map(|&d| self.exp_lookup(d, &mut histogram)).collect();
+        let codes: Vec<u32> = diffs.iter().map(|&d| self.exp_lookup(d, &mut histogram)).collect();
 
         // Summation on the VMM crossbar, then fixed-point division.
         let sum_raw = if noise.read_sigma > 0.0 {
@@ -433,10 +445,8 @@ impl RowSoftmax for StarSoftmax {
             self.vmm.multiply(&histogram, self.counter_bits)[0]
         };
         let sum = sum_raw.round().max(1.0) as u64;
-        codes
-            .iter()
-            .map(|&c| fixed_divide(c as u64, sum, self.config.quotient_bits))
-            .collect()
+        star_telemetry::count("star.div.quotients", codes.len() as u64);
+        codes.iter().map(|&c| fixed_divide(c as u64, sum, self.config.quotient_bits)).collect()
     }
 
     fn name(&self) -> &str {
@@ -570,10 +580,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds configured maximum")]
     fn row_longer_than_max_panics() {
-        let mut star = StarSoftmax::new(
-            StarSoftmaxConfig::new(QFormat::CNEWS).with_max_row_len(4),
-        )
-        .unwrap();
+        let mut star =
+            StarSoftmax::new(StarSoftmaxConfig::new(QFormat::CNEWS).with_max_row_len(4)).unwrap();
         let _ = star.softmax_row(&[0.0; 5]);
     }
 
@@ -600,8 +608,8 @@ mod tests {
 
     #[test]
     fn noisy_engine_still_ranks() {
-        let cfg = StarSoftmaxConfig::new(QFormat::MRPC)
-            .with_noise(NoiseModel::new(0.0, 0.03, 0.0, 0.0));
+        let cfg =
+            StarSoftmaxConfig::new(QFormat::MRPC).with_noise(NoiseModel::new(0.0, 0.03, 0.0, 0.0));
         let mut star = StarSoftmax::new(cfg).unwrap();
         let p = star.softmax_row(&[3.0, 0.0, -3.0]);
         assert!(p[0] > p[1] && p[1] > p[2]);
@@ -643,7 +651,8 @@ mod tests {
     #[test]
     fn softmax_matrix_normalizes_rows() {
         let mut e = engine(QFormat::MRPC);
-        let m = star_attention::Matrix::from_fn(4, 8, |r, c| ((r * 8 + c) as f64 * 0.41).sin() * 6.0);
+        let m =
+            star_attention::Matrix::from_fn(4, 8, |r, c| ((r * 8 + c) as f64 * 0.41).sin() * 6.0);
         let p = e.softmax_matrix(&m);
         assert_eq!(p.shape(), (4, 8));
         for r in 0..4 {

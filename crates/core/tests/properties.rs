@@ -2,9 +2,9 @@
 
 use proptest::prelude::*;
 use star_core::{
-    attention_pipeline_latency, fixed_divide, simulate_pipeline, CmosBaselineSoftmax,
-    PipelineMode, RowDurations, RowSoftmax, RowStageLatency, Softermax, SoftmaxEngine,
-    StarSoftmax, StarSoftmaxConfig,
+    attention_pipeline_latency, fixed_divide, simulate_pipeline, CmosBaselineSoftmax, PipelineMode,
+    RowDurations, RowSoftmax, RowStageLatency, Softermax, SoftmaxEngine, StarSoftmax,
+    StarSoftmaxConfig, UtilizationReport,
 };
 use star_device::Latency;
 use star_fixed::QFormat;
@@ -105,6 +105,67 @@ proptest! {
         // Energy is work-proportional, independent of lane count.
         let other = CmosBaselineSoftmax::new(lanes + 1);
         prop_assert!((other.row_cost(n).energy.value() - cost.energy.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_plus_stall_sums_to_makespan_every_mode(
+        qk in prop::collection::vec(0.0f64..500.0, 1..64),
+        sm_scale in 0.0f64..500.0,
+        av_scale in 0.0f64..500.0,
+        engines in 1usize..6,
+    ) {
+        // Non-uniform rows: derive the other stages from the QK draw so
+        // all three vectors share a length without extra generators.
+        let rows = qk.len();
+        let sm: Vec<f64> = qk.iter().map(|&v| (v * 0.7 + sm_scale).min(999.0)).collect();
+        let av: Vec<f64> = qk.iter().map(|&v| (v * 1.3 + av_scale).min(999.0)).collect();
+        let durations = RowDurations { qk, softmax: sm, av };
+        for mode in PipelineMode::ALL {
+            let report = UtilizationReport::from_durations(&durations, mode, engines);
+            let makespan = simulate_pipeline(&durations, mode, engines).makespan.value();
+            prop_assert!((report.makespan_ns - makespan).abs() < 1e-9);
+            let lanes = if mode == PipelineMode::VectorGrained { engines + 2 } else { 3 };
+            prop_assert_eq!(report.stages.len(), lanes);
+            for stage in &report.stages {
+                prop_assert!(
+                    (stage.busy_ns + stage.stall_ns - report.makespan_ns).abs() < 1e-9,
+                    "{:?} lane {} rows {}: busy {} stall {} makespan {}",
+                    mode, &stage.name, rows, stage.busy_ns, stage.stall_ns, report.makespan_ns
+                );
+                prop_assert!(stage.occupancy >= 0.0 && stage.occupancy <= 1.0 + 1e-12);
+            }
+            // All softmax lanes together account for exactly the total
+            // softmax work.
+            let sm_busy: f64 = report
+                .stages
+                .iter()
+                .filter(|s| s.name.starts_with("softmax"))
+                .map(|s| s.busy_ns)
+                .sum();
+            let sm_total: f64 = durations.softmax.iter().sum();
+            prop_assert!((sm_busy - sm_total).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_deterministic_across_same_seed_runs(
+        fmt in paper_formats(),
+        row in prop::collection::vec(-8.0f64..8.0, 1..32),
+    ) {
+        let run = || {
+            star_telemetry::with_scoped(|| {
+                let mut engine =
+                    StarSoftmax::new(StarSoftmaxConfig::new(fmt)).expect("engine");
+                engine.softmax_row(&row)
+            })
+        };
+        let (out_a, snap_a) = run();
+        let (out_b, snap_b) = run();
+        prop_assert_eq!(out_a, out_b);
+        prop_assert_eq!(&snap_a.counters, &snap_b.counters);
+        prop_assert!(!snap_a.counters.is_empty());
+        prop_assert_eq!(snap_a.counters["star.softmax.rows"], 1);
+        prop_assert_eq!(snap_a.counters["star.softmax.elements"], row.len() as u64);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use crate::geometry::{Geometry, Ledger, OpCost};
 use rand::Rng;
 use star_device::peripherals::PeripheralLibrary;
-use star_device::{Area, CostSheet, Energy, Latency, NoiseModel, RramCell, StuckFault, TechnologyParams};
+use star_device::{
+    Area, CostSheet, Energy, Latency, NoiseModel, RramCell, StuckFault, TechnologyParams,
+};
 
 /// An RRAM TCAM crossbar: each row stores a bit pattern as complementary
 /// cell pairs; a search key drives all searchlines and every matchline
@@ -132,6 +134,8 @@ impl CamCrossbar {
         let result = (0..self.geometry.rows()).map(|r| self.row_matches(r, key)).collect();
         let cost = self.search_cost();
         self.ledger.record(cost);
+        star_telemetry::count("crossbar.cam.searches", 1);
+        star_telemetry::add("crossbar.cam.energy_pj", cost.energy.value());
         result
     }
 
@@ -158,7 +162,11 @@ impl CamCrossbar {
         let rows = self.geometry.rows();
         let cols = self.geometry.cols();
         let mut sheet = CostSheet::new(name);
-        sheet.add("cell array", self.geometry.cell_array_area(&self.tech), self.array_read_power(activity));
+        sheet.add(
+            "cell array",
+            self.geometry.cell_array_area(&self.tech),
+            self.array_read_power(activity),
+        );
         let ml = PeripheralLibrary::matchline(cols);
         sheet.add(
             "matchline periphery",
@@ -166,7 +174,11 @@ impl CamCrossbar {
             ml.average_power(activity) * rows as f64,
         );
         let sa = PeripheralLibrary::sense_amp();
-        sheet.add("row sense amps", sa.area() * rows as f64, sa.average_power(activity) * rows as f64);
+        sheet.add(
+            "row sense amps",
+            sa.area() * rows as f64,
+            sa.average_power(activity) * rows as f64,
+        );
         let drv = star_device::DriverSpec::wordline32();
         sheet.add(
             "searchline drivers",

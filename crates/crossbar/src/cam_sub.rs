@@ -170,7 +170,10 @@ impl CamSubCrossbar {
             }
             per_input_rows.push(first);
         }
-        self.ledger.record(self.merge_cost());
+        let merge = self.merge_cost();
+        self.ledger.record(merge);
+        star_telemetry::count("crossbar.camsub.max_searches", 1);
+        star_telemetry::add("crossbar.camsub.energy_pj", merge.energy.value());
         let row = merged.iter().position(|&h| h).ok_or(SearchError::NoMatch)?;
         Ok(MaxSearchResult { max: self.value_of(row), row, merged, per_input_rows })
     }
@@ -191,7 +194,10 @@ impl CamSubCrossbar {
         let vx = encoding::from_twos_complement(&bits_x, self.format);
         let vm = encoding::from_twos_complement(&bits_m, self.format);
         let raw = (vx.raw() - vm.raw()).min(0); // differences are ≤ 0 by construction
-        self.ledger.record(self.subtract_cost());
+        let sub = self.subtract_cost();
+        self.ledger.record(sub);
+        star_telemetry::count("crossbar.camsub.subtracts", 1);
+        star_telemetry::add("crossbar.camsub.energy_pj", sub.energy.value());
         Fixed::from_raw(raw, self.format)
     }
 
@@ -220,7 +226,10 @@ impl CamSubCrossbar {
             let weight = 1i64 << (n - 1 - j);
             raw += if j == 0 { -digit * weight } else { digit * weight };
         }
-        self.ledger.record(self.subtract_cost());
+        let sub = self.subtract_cost();
+        self.ledger.record(sub);
+        star_telemetry::count("crossbar.camsub.subtracts", 1);
+        star_telemetry::add("crossbar.camsub.energy_pj", sub.energy.value());
         Fixed::from_raw(raw.min(0), self.format)
     }
 

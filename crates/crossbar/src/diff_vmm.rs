@@ -145,9 +145,8 @@ mod tests {
     #[test]
     fn signed_multiply_matches_reference() {
         let mut x = diff(6, 3, 5);
-        let w: Vec<Vec<i32>> = (0..6)
-            .map(|r| (0..3).map(|c| ((r * 7 + c * 11) % 31) - 15).collect())
-            .collect();
+        let w: Vec<Vec<i32>> =
+            (0..6).map(|r| (0..3).map(|c| ((r * 7 + c * 11) % 31) - 15).collect()).collect();
         x.store_signed_weights(&w);
         let inputs: Vec<u64> = (0..6).map(|i| (i % 4) as u64).collect();
         let exact = x.multiply_exact(&inputs);

@@ -47,8 +47,8 @@ mod lut;
 mod vmm;
 
 pub use cam::CamCrossbar;
-pub use diff_vmm::DifferentialVmm;
 pub use cam_sub::{CamSubCrossbar, MaxSearchResult, SearchError};
+pub use diff_vmm::DifferentialVmm;
 pub use geometry::{Geometry, Ledger, OpCost};
 pub use lut::LutCrossbar;
 pub use vmm::{IrDropModel, Readout, VmmCrossbar};

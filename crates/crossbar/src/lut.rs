@@ -104,6 +104,8 @@ impl LutCrossbar {
         assert!(row < self.geometry.rows(), "row {row} out of range");
         let cost = self.read_cost();
         self.ledger.record(cost);
+        star_telemetry::count("crossbar.lut.reads", 1);
+        star_telemetry::add("crossbar.lut.energy_pj", cost.energy.value());
         self.peek_row(row)
     }
 

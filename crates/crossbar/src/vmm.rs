@@ -16,7 +16,9 @@ use crate::geometry::{Geometry, Ledger, OpCost};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use star_device::peripherals::PeripheralLibrary;
-use star_device::{AdcSpec, CostSheet, DriverSpec, Latency, NoiseModel, RramCell, TechnologyParams};
+use star_device::{
+    AdcSpec, CostSheet, DriverSpec, Latency, NoiseModel, RramCell, TechnologyParams,
+};
 
 /// How bitline currents are converted back to digits.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,14 +51,7 @@ impl IrDropModel {
     }
 
     /// Attenuation factor for a cell position inside an array.
-    pub fn attenuation(
-        &self,
-        row: usize,
-        col: usize,
-        rows: usize,
-        cols: usize,
-        g_lrs: f64,
-    ) -> f64 {
+    pub fn attenuation(&self, row: usize, col: usize, rows: usize, cols: usize, g_lrs: f64) -> f64 {
         // Current enters at the driver (row side 0) and exits at the sense
         // amp (col side `cols`): the path length is the distance along the
         // wordline plus the remaining distance down the bitline.
@@ -221,7 +216,8 @@ impl VmmCrossbar {
     /// Panics if the shape mismatches or any code overflows `weight_bits`.
     pub fn store_weights(&mut self, weights: &[Vec<u32>]) {
         assert_eq!(weights.len(), self.rows, "weight row count mismatch");
-        let max_code = if self.weight_bits == 32 { u32::MAX } else { (1u32 << self.weight_bits) - 1 };
+        let max_code =
+            if self.weight_bits == 32 { u32::MAX } else { (1u32 << self.weight_bits) - 1 };
         for (r, row) in weights.iter().enumerate() {
             assert_eq!(row.len(), self.cols, "weight column count mismatch at row {r}");
             for (c, &w) in row.iter().enumerate() {
@@ -349,8 +345,7 @@ impl VmmCrossbar {
                                 0.0
                             } else {
                                 let fs = self.rows as f64;
-                                (adc.dequantize(adc.quantize(current, fs), fs) * level_span)
-                                    .round()
+                                (adc.dequantize(adc.quantize(current, fs), fs) * level_span).round()
                             }
                         }
                     };
@@ -361,6 +356,9 @@ impl VmmCrossbar {
         }
         let cost = self.vmm_cost(input_bits);
         self.ledger.record(cost);
+        star_telemetry::count("crossbar.vmm.activations", 1);
+        star_telemetry::count("crossbar.vmm.bit_cycles", input_bits as u64);
+        star_telemetry::add("crossbar.vmm.energy_pj", cost.energy.value());
         outputs
     }
 
@@ -370,8 +368,9 @@ impl VmmCrossbar {
         let cycles = input_bits as u64;
         let physical_cols = self.cols * self.slices;
         let drv = DriverSpec::wordline32();
-        let cell =
-            self.tech.cell_read_energy(self.tech.g_lrs()) * (self.rows * physical_cols) as f64 * 0.5;
+        let cell = self.tech.cell_read_energy(self.tech.g_lrs())
+            * (self.rows * physical_cols) as f64
+            * 0.5;
         let convert = match self.readout {
             Readout::Ideal => star_device::Energy::ZERO,
             Readout::Adc(adc) => adc.conversion_energy() * physical_cols as f64,
@@ -438,6 +437,8 @@ impl VmmCrossbar {
             Latency::new(self.tech.write_row_ns * self.rows as f64),
         );
         self.ledger.record(cost);
+        star_telemetry::count("crossbar.vmm.reprograms", 1);
+        star_telemetry::add("crossbar.vmm.write_energy_pj", cost.energy.value());
         cost
     }
 
@@ -596,9 +597,8 @@ mod tests {
         let tech = TechnologyParams::cmos32();
         let mut rng = ChaCha8Rng::seed_from_u64(31);
         // 8-bit weights on 2-bit cells: 4 slices instead of 8.
-        let mut x = VmmCrossbar::with_mlc(
-            8, 2, 8, 2, Readout::Ideal, &tech, NoiseModel::ideal(), &mut rng,
-        );
+        let mut x =
+            VmmCrossbar::with_mlc(8, 2, 8, 2, Readout::Ideal, &tech, NoiseModel::ideal(), &mut rng);
         assert_eq!(x.slices(), 4);
         assert_eq!(x.bits_per_cell(), 2);
         assert_eq!(x.geometry().cols(), 8); // 2 logical × 4 slices
@@ -623,12 +623,22 @@ mod tests {
         let tech = TechnologyParams::cmos32();
         let mut rng = ChaCha8Rng::seed_from_u64(32);
         let mlc = VmmCrossbar::with_mlc(
-            128, 16, 8, 2, Readout::Adc(AdcSpec::sar(5)), &tech, NoiseModel::ideal(), &mut rng,
+            128,
+            16,
+            8,
+            2,
+            Readout::Adc(AdcSpec::sar(5)),
+            &tech,
+            NoiseModel::ideal(),
+            &mut rng,
         );
         assert_eq!(mlc.geometry().cols() * 2, slc.geometry().cols());
         // Fewer bitlines ⇒ fewer ADC conversions ⇒ cheaper VMM.
         assert!(mlc.vmm_cost(8).energy.value() < slc.vmm_cost(8).energy.value());
-        assert!(mlc.cost_sheet("m", 1.0).total_area().value() < slc.cost_sheet("m", 1.0).total_area().value());
+        assert!(
+            mlc.cost_sheet("m", 1.0).total_area().value()
+                < slc.cost_sheet("m", 1.0).total_area().value()
+        );
     }
 
     #[test]
@@ -636,9 +646,8 @@ mod tests {
         let tech = TechnologyParams::cmos32();
         let mut rng = ChaCha8Rng::seed_from_u64(33);
         // 5-bit weights on 2-bit cells: 3 slices (top slice holds 1 bit).
-        let mut x = VmmCrossbar::with_mlc(
-            4, 1, 5, 2, Readout::Ideal, &tech, NoiseModel::ideal(), &mut rng,
-        );
+        let mut x =
+            VmmCrossbar::with_mlc(4, 1, 5, 2, Readout::Ideal, &tech, NoiseModel::ideal(), &mut rng);
         assert_eq!(x.slices(), 3);
         x.store_weights(&[vec![31], vec![0], vec![17], vec![9]]);
         assert_eq!(x.effective_weight(0, 0), 31);

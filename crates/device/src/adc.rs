@@ -78,7 +78,12 @@ impl AdcSpec {
     }
 
     /// Creates an ADC with explicit costs (for calibration studies).
-    pub fn custom(bits: u8, area: Area, conversion_energy: Energy, conversion_latency: Latency) -> Self {
+    pub fn custom(
+        bits: u8,
+        area: Area,
+        conversion_energy: Energy,
+        conversion_latency: Latency,
+    ) -> Self {
         assert!(bits >= 1, "ADC needs at least one bit");
         AdcSpec { bits, area, conversion_energy, conversion_latency }
     }
@@ -116,11 +121,18 @@ impl AdcSpec {
     /// Panics if `full_scale` is not positive.
     pub fn quantize(self, value: f64, full_scale: f64) -> u32 {
         assert!(full_scale > 0.0, "ADC full scale must be positive");
+        star_telemetry::count("device.adc.conversions", 1);
         let max_code = self.codes() - 1;
         if !value.is_finite() || value <= 0.0 {
             return 0;
         }
         let code = (value / full_scale * self.codes() as f64).floor();
+        if code >= self.codes() as f64 {
+            // Input above full scale: the converter saturates. Worth
+            // counting — persistent clipping means the full-scale
+            // calibration of the readout chain is wrong.
+            star_telemetry::count("device.adc.clips", 1);
+        }
         (code as u32).min(max_code)
     }
 

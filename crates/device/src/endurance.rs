@@ -51,6 +51,7 @@ impl EnduranceModel {
 
     /// Probability that a cell has failed after `writes` program cycles.
     pub fn failure_probability(&self, writes: u64) -> f64 {
+        star_telemetry::count("device.endurance.queries", 1);
         let x = writes as f64 / self.endurance_cycles;
         1.0 - (-(x.powf(self.weibull_shape))).exp()
     }
@@ -62,10 +63,7 @@ impl EnduranceModel {
     ///
     /// Panics if `target` is not strictly between 0 and 1.
     pub fn writes_at_failure_probability(&self, target: f64) -> f64 {
-        assert!(
-            target > 0.0 && target < 1.0,
-            "failure-probability target must be in (0, 1)"
-        );
+        assert!(target > 0.0 && target < 1.0, "failure-probability target must be in (0, 1)");
         self.endurance_cycles * (-(1.0 - target).ln()).powf(1.0 / self.weibull_shape)
     }
 

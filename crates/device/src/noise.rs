@@ -59,7 +59,12 @@ impl NoiseModel {
     ///
     /// Panics if any sigma is negative/non-finite or any rate is outside
     /// `[0, 1]` (or the two rates sum above 1).
-    pub fn new(program_sigma: f64, read_sigma: f64, stuck_on_rate: f64, stuck_off_rate: f64) -> Self {
+    pub fn new(
+        program_sigma: f64,
+        read_sigma: f64,
+        stuck_on_rate: f64,
+        stuck_off_rate: f64,
+    ) -> Self {
         assert!(program_sigma >= 0.0 && program_sigma.is_finite(), "program sigma must be >= 0");
         assert!(read_sigma >= 0.0 && read_sigma.is_finite(), "read sigma must be >= 0");
         assert!((0.0..=1.0).contains(&stuck_on_rate), "stuck-on rate must be a probability");
@@ -95,6 +100,7 @@ impl NoiseModel {
         if self.program_sigma == 0.0 || target_g == 0.0 {
             return target_g;
         }
+        star_telemetry::count("device.noise.program_draws", 1);
         let z: f64 = sample_standard_normal(rng);
         target_g * (self.program_sigma * z).exp()
     }
@@ -104,6 +110,7 @@ impl NoiseModel {
         if self.read_sigma == 0.0 {
             return value;
         }
+        star_telemetry::count("device.noise.read_draws", 1);
         let z: f64 = sample_standard_normal(rng);
         value * (1.0 + self.read_sigma * z)
     }
@@ -113,6 +120,7 @@ impl NoiseModel {
         if self.stuck_on_rate == 0.0 && self.stuck_off_rate == 0.0 {
             return StuckFault::None;
         }
+        star_telemetry::count("device.noise.fault_draws", 1);
         let u: f64 = rng.gen();
         if u < self.stuck_on_rate {
             StuckFault::StuckOn

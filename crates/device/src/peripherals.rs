@@ -38,7 +38,12 @@ pub struct BlockSpec {
 
 impl BlockSpec {
     /// Creates a block spec.
-    pub fn new(area: Area, energy_per_op: Energy, latency_per_op: Latency, static_power: Power) -> Self {
+    pub fn new(
+        area: Area,
+        energy_per_op: Energy,
+        latency_per_op: Latency,
+        static_power: Power,
+    ) -> Self {
         BlockSpec { area, energy_per_op, latency_per_op, static_power }
     }
 
@@ -271,7 +276,11 @@ impl PeripheralLibrary {
             lut.area() + interp.area() + add.area(),
             lut.energy_per_op() + interp.energy_per_op() + add.energy_per_op(),
             Latency::new(2.0),
-            Power::new(lut.static_power().value() + interp.static_power().value() + add.static_power().value()),
+            Power::new(
+                lut.static_power().value()
+                    + interp.static_power().value()
+                    + add.static_power().value(),
+            ),
         )
     }
 }
@@ -282,7 +291,8 @@ mod tests {
 
     #[test]
     fn average_power_components() {
-        let b = BlockSpec::new(Area::new(1.0), Energy::new(2.0), Latency::new(4.0), Power::new(0.1));
+        let b =
+            BlockSpec::new(Area::new(1.0), Energy::new(2.0), Latency::new(4.0), Power::new(0.1));
         assert_eq!(b.average_power(0.0).value(), 0.1);
         assert_eq!(b.average_power(1.0).value(), 0.6); // 2/4 + 0.1
         assert_eq!(b.average_power(0.5).value(), 0.35);
@@ -299,7 +309,10 @@ mod tests {
     fn replicate_scales_area_and_leakage() {
         let b = PeripheralLibrary::counter(9).replicate(256);
         assert_eq!(b.area().value(), 2.0 * 9.0 * 256.0);
-        assert_eq!(b.energy_per_op().value(), PeripheralLibrary::counter(9).energy_per_op().value());
+        assert_eq!(
+            b.energy_per_op().value(),
+            PeripheralLibrary::counter(9).energy_per_op().value()
+        );
     }
 
     #[test]

@@ -86,6 +86,7 @@ impl RramCell {
     ///
     /// Panics if `level >= levels`.
     pub fn program_ideal(&mut self, level: u16) {
+        star_telemetry::count("device.rram.writes", 1);
         self.conductance = self.target_conductance(level);
         self.level = level;
     }
@@ -97,6 +98,7 @@ impl RramCell {
     ///
     /// Panics if `level >= levels`.
     pub fn program<R: Rng + ?Sized>(&mut self, level: u16, noise: &NoiseModel, rng: &mut R) {
+        star_telemetry::count("device.rram.writes", 1);
         let target = self.target_conductance(level);
         self.conductance = noise.program(target, rng).clamp(self.g_hrs * 0.1, self.g_lrs * 10.0);
         self.level = level;
@@ -119,6 +121,7 @@ impl RramCell {
         noise: &NoiseModel,
         rng: &mut R,
     ) -> f64 {
+        star_telemetry::count("device.rram.reads", 1);
         noise.read(self.conductance() * voltage, rng)
     }
 

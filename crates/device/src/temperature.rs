@@ -100,7 +100,7 @@ mod tests {
         let m = TemperatureModel::typical();
         assert!(m.on_off_factor(358.15) < 1.0); // 85 °C
         assert!(m.on_off_factor(233.15) > 1.0); // −40 °C
-        // Monotone in temperature.
+                                                // Monotone in temperature.
         let mut prev = f64::INFINITY;
         for t in [233.15, 273.15, 300.0, 358.15, 398.15] {
             let f = m.on_off_factor(t);

@@ -21,10 +21,9 @@ pub enum FormatError {
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            FormatError::TooWide { int_bits, frac_bits } => write!(
-                f,
-                "fixed-point format q{int_bits}.{frac_bits} exceeds 32 total bits"
-            ),
+            FormatError::TooWide { int_bits, frac_bits } => {
+                write!(f, "fixed-point format q{int_bits}.{frac_bits} exceeds 32 total bits")
+            }
             FormatError::Empty => write!(f, "fixed-point format must have at least one value bit"),
         }
     }

@@ -405,7 +405,7 @@ mod tests {
         assert_eq!(down.to_f64(), 1.25); // frac 0.2 ≤ dither 0.5 → floor
         let up = Fixed::from_f64_stochastic(1.3, q, 0.1);
         assert_eq!(up.to_f64(), 1.5); // frac 0.2 > dither 0.1 → ceil
-        // Grid points never move, regardless of dither.
+                                      // Grid points never move, regardless of dither.
         assert_eq!(Fixed::from_f64_stochastic(1.25, q, 0.0).to_f64(), 1.25);
     }
 

@@ -1,0 +1,461 @@
+//! The metric registry: named counters, accumulators, gauges, and
+//! fixed-bucket histograms with snapshot / diff / reset.
+//!
+//! Names are dot-separated hierarchies, lowest-frequency component first:
+//! `<layer>.<unit>.<event>` — e.g. `crossbar.cam.searches`,
+//! `device.adc.conversions`, `star.exp.lut_hits`,
+//! `pipeline.softmax.stall_ns`. The registry itself imposes no schema;
+//! the convention keeps the pretty renderer's grouping meaningful.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Default histogram bucket upper bounds (decade-spaced). Values above the
+/// last bound land in the overflow bucket.
+pub const DEFAULT_BUCKET_BOUNDS: [f64; 10] = [1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6];
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Histogram {
+    /// Upper bounds of the finite buckets (ascending).
+    bounds: Vec<f64>,
+    /// One count per finite bucket plus a trailing overflow bucket:
+    /// `counts.len() == bounds.len() + 1`.
+    counts: Vec<u64>,
+    /// Sum of all observed values.
+    sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0 }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+    }
+
+    fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Immutable view of a histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub total: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named metrics.
+///
+/// All mutation goes through `&self` (interior mutability), so a registry
+/// can be shared freely — the global registry is a `&'static Registry`.
+/// When disabled, every recording call is a single relaxed atomic load.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, enabled registry.
+    pub fn new() -> Self {
+        Registry { enabled: AtomicBool::new(true), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Whether recording calls currently take effect.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable recording (snapshot/reset work regardless).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock only means a panic elsewhere mid-record; metric
+        // state stays structurally valid, so keep going.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `n` to counter `name` (creating it at zero).
+    pub fn count(&self, name: &str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                inner.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Add `v` to the accumulating gauge `name` (creating it at zero).
+    /// Used for additive physical quantities: energy, busy time, charge.
+    pub fn add(&self, name: &str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.gauges.get_mut(name) {
+            Some(g) => *g += v,
+            None => {
+                inner.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Set gauge `name` to `v` (last-write-wins; for levels, not totals).
+    pub fn set(&self, name: &str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Record `value` into histogram `name` with the default decade
+    /// buckets.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, value, &DEFAULT_BUCKET_BOUNDS);
+    }
+
+    /// Record `value` into histogram `name`, creating it with `bounds` if
+    /// absent. Bounds of an existing histogram are kept as-is.
+    pub fn observe_with(&self, name: &str, value: f64, bounds: &[f64]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Read one counter (0 when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read one gauge (0.0 when absent).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.lock().gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Capture the current state of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            total: h.total(),
+                            sum: h.sum,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Zero every metric (names are forgotten, not kept at zero).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        *inner = Inner::default();
+    }
+}
+
+/// A point-in-time copy of a [`Registry`], serializable and diffable.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Monotonic event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Accumulators and level gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The change from `earlier` to `self`: counters and accumulating
+    /// gauges subtract (saturating at zero for counters), histograms
+    /// subtract bucket-wise when bounds agree (and fall back to `self`'s
+    /// state when they do not, e.g. after a reset changed the buckets).
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(before))
+            })
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| {
+                let before = earlier.gauges.get(k).copied().unwrap_or(0.0);
+                (k.clone(), v - before)
+            })
+            .filter(|(_, v)| *v != 0.0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let diffed = match earlier.histograms.get(k) {
+                    Some(e) if e.bounds == h.bounds => HistogramSnapshot {
+                        bounds: h.bounds.clone(),
+                        counts: h
+                            .counts
+                            .iter()
+                            .zip(&e.counts)
+                            .map(|(a, b)| a.saturating_sub(*b))
+                            .collect(),
+                        total: h.total.saturating_sub(e.total),
+                        sum: h.sum - e.sum,
+                    },
+                    _ => h.clone(),
+                };
+                (k.clone(), diffed)
+            })
+            .filter(|(_, h)| h.total > 0)
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+
+    /// Counter names that start with `prefix` (used by reports and tests
+    /// to slice one subsystem out of the hierarchy).
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Aligned, human-readable table of every metric.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {v:>14}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {v:>14.4}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!("  {name:<width$}  n={} mean={:.4}\n", h.total, h.mean()));
+                for (i, count) in h.counts.iter().enumerate() {
+                    if *count == 0 {
+                        continue;
+                    }
+                    let label = if i < h.bounds.len() {
+                        format!("<= {:.3e}", h.bounds[i])
+                    } else {
+                        "overflow".to_string()
+                    };
+                    out.push_str(&format!("    {label:<12} {count:>10}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON form (object with `counters` / `gauges` / `histograms`).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let r = Registry::new();
+        r.count("a.b.c", 2);
+        r.count("a.b.c", 3);
+        assert_eq!(r.counter_value("a.b.c"), 5);
+        r.reset();
+        assert_eq!(r.counter_value("a.b.c"), 0);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let r = Registry::new();
+        r.set_enabled(false);
+        r.count("x", 1);
+        r.add("y", 2.0);
+        r.observe("z", 3.0);
+        assert!(r.snapshot().is_empty());
+        r.set_enabled(true);
+        r.count("x", 1);
+        assert_eq!(r.counter_value("x"), 1);
+    }
+
+    #[test]
+    fn gauges_add_and_set() {
+        let r = Registry::new();
+        r.add("energy", 1.5);
+        r.add("energy", 2.5);
+        r.set("level", 7.0);
+        r.set("level", 3.0);
+        assert!((r.gauge_value("energy") - 4.0).abs() < 1e-12);
+        assert!((r.gauge_value("level") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let r = Registry::new();
+        for v in [0.5, 5.0, 5e7] {
+            r.observe("h", v);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.total, 3);
+        assert_eq!(*h.counts.last().unwrap(), 1, "5e7 overflows");
+        assert!((h.mean() - (0.5 + 5.0 + 5e7) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_window() {
+        let r = Registry::new();
+        r.count("ops", 10);
+        r.add("e", 1.0);
+        r.observe("h", 2.0);
+        let before = r.snapshot();
+        r.count("ops", 7);
+        r.add("e", 0.5);
+        r.observe("h", 3.0);
+        r.observe("h", 2e9);
+        let after = r.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counters["ops"], 7);
+        assert!((d.gauges["e"] - 0.5).abs() < 1e-12);
+        assert_eq!(d.histograms["h"].total, 2);
+        assert!((d.histograms["h"].sum - (3.0 + 2e9)).abs() < 1.0);
+    }
+
+    #[test]
+    fn diff_after_reset_equals_fresh_state() {
+        let r = Registry::new();
+        r.count("ops", 4);
+        let before = r.snapshot();
+        r.reset();
+        r.count("ops", 9);
+        let after = r.snapshot();
+        // Counter went 4 -> 9 from the snapshot's view; the diff saturates
+        // rather than inventing negative counts.
+        assert_eq!(after.diff(&before).counters["ops"], 5);
+        // Against an empty baseline the diff is the state itself.
+        assert_eq!(after.diff(&Snapshot::default()), after);
+    }
+
+    #[test]
+    fn render_and_json_round_trip() {
+        let r = Registry::new();
+        r.count("crossbar.cam.searches", 12);
+        r.add("star.energy.exp_pj", 3.25);
+        r.observe("pipeline.row_ns", 42.0);
+        let snap = r.snapshot();
+        let pretty = snap.render_pretty();
+        assert!(pretty.contains("crossbar.cam.searches"));
+        assert!(pretty.contains("star.energy.exp_pj"));
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: Snapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prefix_slicing() {
+        let r = Registry::new();
+        r.count("device.adc.conversions", 3);
+        r.count("device.rram.writes", 1);
+        r.count("crossbar.vmm.activations", 2);
+        let snap = r.snapshot();
+        let device: Vec<_> = snap.counters_with_prefix("device.").collect();
+        assert_eq!(device.len(), 2);
+        assert!(device.iter().all(|(k, _)| k.starts_with("device.")));
+    }
+}

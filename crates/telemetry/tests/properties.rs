@@ -1,0 +1,99 @@
+//! Property-based tests for the metric registry: snapshot/reset/diff
+//! algebra and serde round-trips.
+
+use proptest::prelude::*;
+use star_telemetry::{Registry, Snapshot};
+
+/// A small closed name universe so draws collide and exercise merging.
+fn names() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec![
+        "device.adc.conversions",
+        "crossbar.cam.searches",
+        "star.exp.lut_hits",
+        "pipeline.softmax.stall_ns",
+    ])
+}
+
+fn apply_counts(reg: &Registry, ops: &[(&str, u64)]) {
+    for (name, n) in ops {
+        reg.count(name, *n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn diff_recovers_second_batch(
+        first in prop::collection::vec((names(), 1u64..1000), 0..16),
+        second in prop::collection::vec((names(), 1u64..1000), 0..16),
+    ) {
+        let reg = Registry::new();
+        apply_counts(&reg, &first);
+        let a = reg.snapshot();
+        apply_counts(&reg, &second);
+        let b = reg.snapshot();
+        let delta = b.diff(&a);
+
+        // The diff is exactly the second batch, independent of the first.
+        let only_second = Registry::new();
+        apply_counts(&only_second, &second);
+        prop_assert_eq!(&delta.counters, &only_second.snapshot().counters);
+    }
+
+    #[test]
+    fn snapshot_reset_diff_round_trips(
+        ops in prop::collection::vec((names(), 1u64..1000), 1..24),
+        gauge in -1e6f64..1e6,
+    ) {
+        let reg = Registry::new();
+        apply_counts(&reg, &ops);
+        reg.add("star.energy.exp_pj", gauge);
+        reg.observe("star.softmax.row_len", 64.0);
+        let before = reg.snapshot();
+        prop_assert!(!before.is_empty());
+
+        // Snapshot → reset → the registry is empty again.
+        reg.reset();
+        prop_assert!(reg.snapshot().is_empty());
+
+        // Replaying the same operations reproduces the snapshot exactly.
+        apply_counts(&reg, &ops);
+        reg.add("star.energy.exp_pj", gauge);
+        reg.observe("star.softmax.row_len", 64.0);
+        let after = reg.snapshot();
+        prop_assert_eq!(&after, &before);
+
+        // A snapshot diffed against itself is empty.
+        prop_assert!(after.diff(&before).is_empty());
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips(
+        ops in prop::collection::vec((names(), 1u64..1000), 0..16),
+        gauge in -1e3f64..1e3,
+    ) {
+        let reg = Registry::new();
+        apply_counts(&reg, &ops);
+        reg.set("pipeline.engines", gauge);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: Snapshot = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &snap);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing(
+        ops in prop::collection::vec((names(), 1u64..1000), 0..16),
+    ) {
+        let reg = Registry::new();
+        reg.set_enabled(false);
+        apply_counts(&reg, &ops);
+        reg.add("g", 1.0);
+        reg.observe("h", 2.0);
+        prop_assert!(reg.snapshot().is_empty());
+        reg.set_enabled(true);
+        reg.count("c", 1);
+        prop_assert_eq!(reg.counter_value("c"), 1);
+    }
+}

@@ -59,12 +59,10 @@ impl CapturedScores {
     ) -> Result<Self, star_attention::ShapeError> {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let layers: Vec<EncoderLayerParams> = (0..config.num_layers)
-            .map(|_| EncoderLayerParams::random(config, &mut rng))
-            .collect();
-        let input = Matrix::from_fn(config.seq_len, config.d_model, |_, _| {
-            rng.gen::<f64>() * 2.0 - 1.0
-        });
+        let layers: Vec<EncoderLayerParams> =
+            (0..config.num_layers).map(|_| EncoderLayerParams::random(config, &mut rng)).collect();
+        let input =
+            Matrix::from_fn(config.seq_len, config.d_model, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
         Self::run(config, &layers, &input, softmax)
     }
 

@@ -54,11 +54,7 @@ impl ScoreTrace {
 
     /// Largest |score| in the trace.
     pub fn max_abs(&self) -> f64 {
-        self.rows
-            .iter()
-            .flatten()
-            .map(|s| s.abs())
-            .fold(0.0, f64::max)
+        self.rows.iter().flatten().map(|s| s.abs()).fold(0.0, f64::max)
     }
 }
 

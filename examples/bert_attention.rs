@@ -7,9 +7,7 @@
 
 use rand::SeedableRng;
 use star::arch::{Accelerator, GpuModel, RramAccelerator};
-use star::attention::{
-    multi_head_attention, AccuracyReport, AttentionConfig, ExactSoftmax,
-};
+use star::attention::{multi_head_attention, AccuracyReport, AttentionConfig, ExactSoftmax};
 use star::core::{StarSoftmax, StarSoftmaxConfig};
 use star::fixed::QFormat;
 use star::workload::random_matrix;
@@ -31,8 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let probs = AccuracyReport::compare(&exact.probs, &star.probs);
     let ctx = AccuracyReport::compare(&exact.context, &star.context);
-    println!("attention with the STAR softmax engine ({} heads, seq {})", cfg.num_heads, cfg.seq_len);
-    println!("  probability error : max {:.2e}, mean {:.2e}", probs.max_abs_error, probs.mean_abs_error);
+    println!(
+        "attention with the STAR softmax engine ({} heads, seq {})",
+        cfg.num_heads, cfg.seq_len
+    );
+    println!(
+        "  probability error : max {:.2e}, mean {:.2e}",
+        probs.max_abs_error, probs.mean_abs_error
+    );
     println!("  row top-1 agreement: {:.3}", probs.top1_agreement);
     println!("  context error      : max {:.2e}", ctx.max_abs_error);
     println!("  engine fault events: {}", engine.fault_events());

@@ -19,9 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x0E0C);
     let layers: Vec<EncoderLayerParams> =
         (0..cfg.num_layers).map(|_| EncoderLayerParams::random(&cfg, &mut rng)).collect();
-    let input = Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| {
-        ((r * 31 + c * 17) as f64 * 0.23).sin()
-    });
+    let input =
+        Matrix::from_fn(cfg.seq_len, cfg.d_model, |r, c| ((r * 31 + c * 17) as f64 * 0.23).sin());
 
     // Exact reference vs STAR-engine encoder stack.
     let (exact_out, _) = encoder_stack(&cfg, &layers, &input, &mut ExactSoftmax::new())?;
@@ -29,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (star_out, _) = encoder_stack(&cfg, &layers, &input, &mut engine)?;
     let report = AccuracyReport::compare(&exact_out, &star_out);
     println!("{}-layer encoder with the STAR softmax engine:", cfg.num_layers);
-    println!("  hidden-state error: max {:.2e}, mean {:.2e}", report.max_abs_error, report.mean_abs_error);
+    println!(
+        "  hidden-state error: max {:.2e}, mean {:.2e}",
+        report.max_abs_error, report.mean_abs_error
+    );
     println!("  cosine similarity : {:.6}", report.mean_cosine_similarity);
 
     // Score capture → range analysis → format recommendation (the §II loop).
@@ -40,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let req = FormatRequirement::new(0.0, 0.25);
     let fmt = analyzer.recommend(req)?;
-    println!("\ncaptured {} score rows, range [{:.2}, {:.2}]", capture.len(), analyzer.min_seen(), analyzer.max_seen());
+    println!(
+        "\ncaptured {} score rows, range [{:.2}, {:.2}]",
+        capture.len(),
+        analyzer.min_seen(),
+        analyzer.max_seen()
+    );
     println!("  recommended engine format for this model: {fmt} ({} bits)", fmt.total_bits());
     println!("  (an untrained random encoder needs far fewer integer bits than trained BERT)");
     Ok(())

@@ -23,14 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>12} {:>12} {:>12} {:>14} {:>14} {:>8}",
         "read noise", "stuck-on", "stuck-off", "mean |err|", "top1 agree", "faults"
     );
-    for (read_sigma, stuck) in [
-        (0.0, 0.0),
-        (0.02, 0.0),
-        (0.05, 0.0),
-        (0.0, 1e-3),
-        (0.0, 1e-2),
-        (0.05, 1e-2),
-    ] {
+    for (read_sigma, stuck) in
+        [(0.0, 0.0), (0.02, 0.0), (0.05, 0.0), (0.0, 1e-3), (0.0, 1e-2), (0.05, 1e-2)]
+    {
         let noise = NoiseModel::new(0.0, read_sigma, stuck, stuck);
         let cfg = StarSoftmaxConfig::new(QFormat::MRPC).with_noise(noise).with_seed(0xFA);
         let mut engine = StarSoftmax::new(cfg)?;
@@ -39,12 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut agree = 0usize;
         for (row, reference) in rows.iter().zip(&reference) {
             let p = engine.softmax_row(row);
-            err_sum += p
-                .iter()
-                .zip(reference)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>()
-                / p.len() as f64;
+            err_sum +=
+                p.iter().zip(reference).map(|(a, b)| (a - b).abs()).sum::<f64>() / p.len() as f64;
             if star::attention::argmax(&p) == star::attention::argmax(reference) {
                 agree += 1;
             }

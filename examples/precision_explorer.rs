@@ -11,7 +11,10 @@ use star::workload::{Dataset, ScoreTrace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bar = AccuracyBar { min_top1: 0.995, max_mean_abs_error: 2e-3 };
-    println!("accuracy bar: top-1 ≥ {:.3}, mean |err| ≤ {:.0e}\n", bar.min_top1, bar.max_mean_abs_error);
+    println!(
+        "accuracy bar: top-1 ≥ {:.3}, mean |err| ≤ {:.0e}\n",
+        bar.min_top1, bar.max_mean_abs_error
+    );
 
     for dataset in Dataset::ALL {
         let trace = ScoreTrace::generate(dataset, 96, 64, 7 + dataset as u64);

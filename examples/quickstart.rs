@@ -7,9 +7,7 @@
 //! ```
 
 use star::attention::{ExactSoftmax, RowSoftmax};
-use star::core::{
-    CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
-};
+use star::core::{CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig};
 use star::fixed::QFormat;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

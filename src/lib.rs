@@ -22,6 +22,7 @@
 //! | [`attention`] | `star-attention` | matrices, multi-head attention, BERT-base config |
 //! | [`workload`] | `star-workload` | calibrated CNEWS/MRPC/CoLA score proxies |
 //! | [`arch`] | `star-arch` | GPU / PipeLayer / ReTransformer / STAR accelerators |
+//! | [`telemetry`] | `star-telemetry` | counters/gauges/histograms, Chrome trace emission |
 //!
 //! # Quickstart
 //!
@@ -46,4 +47,5 @@ pub use star_core as core;
 pub use star_crossbar as crossbar;
 pub use star_device as device;
 pub use star_fixed as fixed;
+pub use star_telemetry as telemetry;
 pub use star_workload as workload;

@@ -18,7 +18,11 @@ fn inputs(cfg: &AttentionConfig, seed: u64) -> [star::attention::Matrix; 3] {
     ]
 }
 
-fn run_with<S: RowSoftmax>(cfg: &AttentionConfig, softmax: &mut S, seed: u64) -> (AccuracyReport, AccuracyReport) {
+fn run_with<S: RowSoftmax>(
+    cfg: &AttentionConfig,
+    softmax: &mut S,
+    seed: u64,
+) -> (AccuracyReport, AccuracyReport) {
     let [q, k, v] = inputs(cfg, seed);
     let exact = multi_head_attention(cfg, &q, &k, &v, &mut ExactSoftmax::new()).expect("shapes");
     let approx = multi_head_attention(cfg, &q, &k, &v, softmax).expect("shapes");

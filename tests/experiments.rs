@@ -4,9 +4,7 @@
 use star::arch::{Accelerator, GpuModel, RramAccelerator};
 use star::attention::AttentionConfig;
 use star::core::precision::{minimal_format, sweep_formats, AccuracyBar};
-use star::core::{
-    CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
-};
+use star::core::{CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig};
 use star::fixed::QFormat;
 use star::workload::{Dataset, ScoreTrace};
 
@@ -26,10 +24,8 @@ fn e1_softmax_share_curve() {
         prev = share;
     }
     assert_eq!(gpu.crossover_seq_len(&lens), Some(512));
-    let peak = lens
-        .iter()
-        .map(|&n| gpu.softmax_share(&AttentionConfig::bert_base(n)))
-        .fold(0.0, f64::max);
+    let peak =
+        lens.iter().map(|&n| gpu.softmax_share(&AttentionConfig::bert_base(n))).fold(0.0, f64::max);
     assert!(within(peak, 0.592, 0.06), "peak share {peak}");
 }
 
@@ -37,9 +33,8 @@ fn e1_softmax_share_curve() {
 fn e2_table1_ratios() {
     let baseline = CmosBaselineSoftmax::new(8).cost_sheet();
     let softermax = Softermax::new(QFormat::CNEWS, 8).cost_sheet();
-    let star = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::CNEWS))
-        .expect("engine")
-        .cost_sheet();
+    let star =
+        StarSoftmax::new(StarSoftmaxConfig::new(QFormat::CNEWS)).expect("engine").cost_sheet();
 
     let sm_area = softermax.area_ratio_to(&baseline);
     let sm_power = softermax.power_ratio_to(&baseline);
@@ -64,7 +59,11 @@ fn e3_fig3_efficiencies() {
     let st = RramAccelerator::star().evaluate(&cfg);
 
     // Absolute anchor and the three improvement factors.
-    assert!(within(st.efficiency_gops_per_watt, 612.66, 0.10), "star {}", st.efficiency_gops_per_watt);
+    assert!(
+        within(st.efficiency_gops_per_watt, 612.66, 0.10),
+        "star {}",
+        st.efficiency_gops_per_watt
+    );
     assert!(within(st.efficiency_gain_over(&gpu), 30.63, 0.10));
     assert!(within(st.efficiency_gain_over(&pl), 4.32, 0.10));
     assert!(within(st.efficiency_gain_over(&rt), 1.31, 0.10));

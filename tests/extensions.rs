@@ -15,8 +15,8 @@ fn causal_masking_through_the_crossbar_engine() {
     // probability is exactly zero — same as the reference.
     let x = Matrix::from_fn(6, 4, |r, c| ((r * 4 + c) as f64 * 0.43).sin() * 3.0);
     let mut engine = StarSoftmax::new(StarSoftmaxConfig::new(QFormat::MRPC)).expect("engine");
-    let star = masked_attention(&x, &x, &x, &AttentionMask::Causal, -1e4, &mut engine)
-        .expect("shapes ok");
+    let star =
+        masked_attention(&x, &x, &x, &AttentionMask::Causal, -1e4, &mut engine).expect("shapes ok");
     let exact = masked_attention(
         &x,
         &x,
@@ -62,10 +62,7 @@ fn function_units_cover_transformer_nonlinearities() {
     for i in -24..=24 {
         let x = i as f64 / 4.0;
         assert!((gelu.evaluate(x) - star::attention::gelu(x)).abs() < 0.05, "gelu({x})");
-        assert!(
-            (sigmoid.evaluate(x) - 1.0 / (1.0 + (-x).exp())).abs() < 0.02,
-            "sigmoid({x})"
-        );
+        assert!((sigmoid.evaluate(x) - 1.0 / (1.0 + (-x).exp())).abs() < 0.02, "sigmoid({x})");
         assert!((tanh.evaluate(x) - x.tanh()).abs() < 0.04, "tanh({x})");
     }
     // The units share the softmax engine's cost structure: one search + one
@@ -76,16 +73,22 @@ fn function_units_cover_transformer_nonlinearities() {
 
 #[test]
 fn design_space_keeps_paper_config_on_frontier() {
-    let trace = ScoreTrace::generate(Dataset::Mrpc, 48, 48, 0xE57);
+    // Evaluate at the paper's sequence length (128 columns). At short rows
+    // the 16- and 18-bit exponential words are statistically tied (the error
+    // gap is ~1e-8, below the trace sampling noise), so whether the paper
+    // config survives strict Pareto filtering there is a coin flip on the
+    // RNG stream. At 128 columns the extra LUT precision is a consistent
+    // win across seeds and the assertion is meaningful.
+    let trace = ScoreTrace::generate(Dataset::Mrpc, 48, 128, 0xE57);
     let space = DesignSpace::paper_neighborhood();
     let points = space.evaluate(&trace.rows).expect("all build");
     assert_eq!(points.len(), space.len());
     let front = pareto_front(&points);
     // The paper's 9-bit configuration is Pareto-optimal.
     assert!(
-        front.iter().any(|p| p.format == QFormat::MRPC
-            && p.exp_word_bits == 18
-            && p.quotient_bits == 16),
+        front
+            .iter()
+            .any(|p| p.format == QFormat::MRPC && p.exp_word_bits == 18 && p.quotient_bits == 16),
         "paper config missing from frontier: {front:#?}"
     );
 }

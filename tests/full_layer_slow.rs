@@ -3,9 +3,7 @@
 //! Ignored by default; run with `cargo test --release -- --ignored`.
 
 use rand::SeedableRng;
-use star::attention::{
-    multi_head_attention, AccuracyReport, AttentionConfig, ExactSoftmax,
-};
+use star::attention::{multi_head_attention, AccuracyReport, AttentionConfig, ExactSoftmax};
 use star::core::{EngineBank, RowSoftmax, StarSoftmaxConfig};
 use star::fixed::QFormat;
 use star::workload::random_matrix;
@@ -13,7 +11,8 @@ use star::workload::random_matrix;
 #[test]
 #[ignore = "heavy: full 12-head functional crossbar simulation (~minutes in debug, seconds in release)"]
 fn bert_base_layer_through_engine_bank() {
-    let cfg = AttentionConfig { d_model: 768, num_heads: 12, seq_len: 64, num_layers: 1, d_ff: 3072 };
+    let cfg =
+        AttentionConfig { d_model: 768, num_heads: 12, seq_len: 64, num_layers: 1, d_ff: 3072 };
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xB16);
     let scale = 1.2; // keeps scores inside the 9-bit format after 1/√64
     let q = random_matrix(cfg.seq_len, cfg.d_model, scale, &mut rng);
@@ -21,9 +20,8 @@ fn bert_base_layer_through_engine_bank() {
     let v = random_matrix(cfg.seq_len, cfg.d_model, scale, &mut rng);
 
     let exact = multi_head_attention(&cfg, &q, &k, &v, &mut ExactSoftmax::new()).expect("shapes");
-    let mut bank =
-        EngineBank::new(StarSoftmaxConfig::new(QFormat::MRPC).with_max_row_len(64), 10)
-            .expect("bank builds");
+    let mut bank = EngineBank::new(StarSoftmaxConfig::new(QFormat::MRPC).with_max_row_len(64), 10)
+        .expect("bank builds");
     let star = multi_head_attention(&cfg, &q, &k, &v, &mut bank).expect("shapes");
 
     let probs = AccuracyReport::compare(&exact.probs, &star.probs);

@@ -1,0 +1,265 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the API surface the
+//! workspace's `benches/` targets use: [`Criterion::benchmark_group`] /
+//! [`Criterion::bench_function`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::finish`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! No statistics, plots, or HTML reports: each benchmark is warmed up
+//! briefly, timed for a bounded wall-clock budget, and its mean iteration
+//! time printed as `<name> ... time: <mean> (<iters> iters)`.
+
+// Vendored stand-in for the external crate: keep clippy quiet here so
+// `-D warnings` stays meaningful for first-party code.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    budget: Duration,
+    /// (total measured time, iterations) of the last `iter` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, budget: Duration) -> Self {
+        Bencher { warmup, budget, result: None }
+    }
+
+    /// Time `routine`, first warming up, then looping until the measurement
+    /// budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find how many iterations fit in the warmup
+        // window so the measurement loop can check the clock infrequently.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let start = Instant::now();
+        while elapsed < self.budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+            if start.elapsed() > self.budget * 4 {
+                break; // safety valve for very slow routines
+            }
+        }
+        self.result = Some((elapsed, iters.max(1)));
+    }
+
+    /// Like `iter`, but timing only what `routine` returns from an explicit
+    /// timed section is not supported — provided for API completeness.
+    pub fn iter_with_large_drop<O, R: FnMut() -> O>(&mut self, routine: R) {
+        self.iter(routine);
+    }
+}
+
+fn format_time(t: f64) -> String {
+    if t < 1e-6 {
+        format!("{:8.2} ns", t * 1e9)
+    } else if t < 1e-3 {
+        format!("{:8.2} µs", t * 1e6)
+    } else if t < 1.0 {
+        format!("{:8.2} ms", t * 1e3)
+    } else {
+        format!("{t:8.2} s ")
+    }
+}
+
+fn run_one(full_name: &str, warmup: Duration, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher::new(warmup, budget);
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let mean = elapsed.as_secs_f64() / iters as f64;
+            println!("{full_name:<48} time: {} ({iters} iters)", format_time(mean));
+        }
+        None => println!("{full_name:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.criterion.warmup, self.criterion.budget, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.criterion.warmup, self.criterion.budget, |b| f(b, input));
+        self
+    }
+
+    /// Upstream criterion requires an explicit `finish()`; here it only
+    /// prints a separator.
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short budgets: these benches run in CI where statistical rigor
+        // matters less than wall-clock cost. Override with
+        // STAR_BENCH_BUDGET_MS if finer numbers are wanted locally.
+        let ms = std::env::var("STAR_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(60);
+        Criterion { warmup: Duration::from_millis(ms / 4 + 1), budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = id.into().to_string();
+        run_one(&full, self.warmup, self.budget, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under a single group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion { warmup: Duration::from_millis(1), budget: Duration::from_millis(2) }
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = quick();
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| b.iter(|| black_box(3u32) * 7));
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(3), &input, |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline vendored `rand_chacha` subset: a real ChaCha8 keystream
+//! generator behind the vendored `rand` traits.
+//!
+//! Streams are deterministic per seed (everything the STAR codebase
+//! relies on) but are not guaranteed bit-identical to upstream
+//! `rand_chacha`; see the vendored `rand` crate's docs for why these
+//! stubs exist.
+
+// Vendored stand-in for the external crate: keep clippy quiet here so
+// `-D warnings` stays meaningful for first-party code.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Number of 32-bit words in a ChaCha state/block.
+const STATE_WORDS: usize = 16;
+
+/// A ChaCha stream cipher core with a configurable round count, used as a
+/// deterministic RNG.
+#[derive(Debug, Clone)]
+struct ChaChaCore<const ROUNDS: usize> {
+    /// Key + constant + counter + nonce layout per RFC 8439.
+    state: [u32; STATE_WORDS],
+    /// Current output block.
+    buffer: [u32; STATE_WORDS],
+    /// Next unread word index in `buffer` (STATE_WORDS = exhausted).
+    index: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn new(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; STATE_WORDS];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        // Words 12..13 form the 64-bit block counter; 14..15 the nonce (0).
+        ChaChaCore { state, buffer: [0; STATE_WORDS], index: STATE_WORDS }
+    }
+
+    #[inline]
+    fn quarter_round(s: &mut [u32; STATE_WORDS], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..(ROUNDS / 2) {
+            // Column rounds.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.buffer.iter_mut().zip(working.iter().zip(self.state.iter())) {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit counter increment.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= STATE_WORDS {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            core: ChaChaCore<$rounds>,
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                (hi << 32) | lo
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(4) {
+                    let bytes = self.core.next_word().to_le_bytes();
+                    chunk.copy_from_slice(&bytes[..chunk.len()]);
+                }
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name { core: ChaChaCore::new(seed) }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds — the workhorse RNG of the STAR codebase.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds.
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(0x57A5);
+        let mut b = ChaCha8Rng::seed_from_u64(0x57A5);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(0x57A6);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha20_rfc8439_block_one() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, nonce 0, counter 0 is not
+        // the RFC setup (it uses counter 1 and a nonce); instead check the
+        // all-zero-key keystream's first word against the well-known value
+        // for ChaCha20 with zero key/nonce/counter: 0xade0b876.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0xade0_b876);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

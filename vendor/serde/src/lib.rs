@@ -1,0 +1,546 @@
+//! Offline vendored `serde` subset.
+//!
+//! The build container has no crates-io access, so the workspace patches
+//! `serde` to this crate. It keeps the two public trait names the codebase
+//! imports (`Serialize`, `Deserialize`) and the derive macros, but swaps
+//! serde's visitor architecture for a much simpler JSON-shaped data model:
+//! every serializable value converts to/from a [`Content`] tree, and the
+//! companion vendored `serde_json` renders/parses that tree.
+//!
+//! Supported shapes (everything this repository derives):
+//!
+//! - structs with named fields → maps,
+//! - tuple structs (1 field → the inner value, n fields → sequences),
+//! - unit structs → `null`,
+//! - enums with unit variants → `"VariantName"`,
+//! - enums with one-field tuple variants → `{"VariantName": value}`,
+//! - the usual primitive / `Vec` / `Option` / tuple / map impls.
+
+// Vendored stand-in for the external crate: keep clippy quiet here so
+// `-D warnings` stays meaningful for first-party code.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the data model of this vendored serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key → value map, insertion ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            Content::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice of elements if it is a sequence.
+    pub fn as_array(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+
+    fn expected(what: &str, got: &Content) -> Self {
+        DeError::custom(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the [`Content`] data model.
+pub trait Serialize {
+    /// Converts `self` into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the tree does not match the type's shape.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Owned-deserialization alias mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match *content {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Content::F64(v) if v.fract() == 0.0 => Ok(v as $t),
+                    ref other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    Content::I64(wide as i64)
+                } else {
+                    Content::U64(wide)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match *content {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Content::F64(v) if v.fract() == 0.0 && v >= 0.0 => Ok(v as $t),
+                    ref other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            Content::Null // serde_json serializes non-finite floats as null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content.as_f64().ok_or_else(|| DeError::expected("number", content))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        (*self as f64).to_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::Bool(b) => Ok(b),
+            ref other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Seq(items) => {
+                        let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                        if items.len() != expected {
+                            return Err(DeError::custom(format!(
+                                "expected tuple of {expected}, found sequence of {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("sequence", other)),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impl!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_content(v)?))).collect()
+            }
+            other => Err(DeError::expected("map", other)),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0)); // stable output
+        Content::Map(entries)
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+/// Helpers the derive macro expands to. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use super::{Content, DeError, Deserialize, Serialize};
+
+    /// Fetches a required struct field during derived deserialization.
+    pub fn field<T: Deserialize>(map: &Content, name: &str) -> Result<T, DeError> {
+        match map.get(name) {
+            Some(v) => {
+                T::from_content(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+            }
+            None => Err(DeError::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Fetches a required tuple-struct element during derived
+    /// deserialization.
+    pub fn element<T: Deserialize>(seq: &[Content], idx: usize) -> Result<T, DeError> {
+        match seq.get(idx) {
+            Some(v) => {
+                T::from_content(v).map_err(|e| DeError::custom(format!("element {idx}: {e}")))
+            }
+            None => Err(DeError::custom(format!("missing tuple element {idx}"))),
+        }
+    }
+}
+
+/// Serde's `de` module surface, kept so `use serde::de::...` paths resolve.
+pub mod de {
+    pub use super::{DeError as Error, Deserialize, DeserializeOwned};
+}
+
+/// Serde's `ser` module surface.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i32.to_content()).unwrap(), 42);
+        assert_eq!(u8::from_content(&7u8.to_content()).unwrap(), 7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn integral_float_cross_decodes() {
+        // "1" in JSON may decode into f64; 1.0 may decode into u64.
+        assert_eq!(f64::from_content(&Content::I64(3)).unwrap(), 3.0);
+        assert_eq!(u64::from_content(&Content::F64(4.0)).unwrap(), 4);
+        assert!(u64::from_content(&Content::F64(4.5)).is_err());
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        let c = v.to_content();
+        assert_eq!(Vec::<f64>::from_content(&c).unwrap(), v);
+        assert_eq!(Option::<f64>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(Option::<f64>::from_content(&Content::F64(2.5)).unwrap(), Some(2.5));
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(f64::NAN.to_content(), Content::Null);
+        assert_eq!(f64::INFINITY.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn map_lookup() {
+        let m = Content::Map(vec![("a".into(), Content::I64(1))]);
+        assert_eq!(m.get("a"), Some(&Content::I64(1)));
+        assert_eq!(m.get("b"), None);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1usize, 2.5f64);
+        let c = t.to_content();
+        assert_eq!(<(usize, f64)>::from_content(&c).unwrap(), t);
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline vendored `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro` token
+//! streams (the container has no `syn`/`quote`).
+//!
+//! Supported item shapes — everything the STAR workspace derives:
+//!
+//! - structs with named fields,
+//! - tuple structs (1-field newtypes serialize transparently, wider ones
+//!   as sequences),
+//! - unit structs,
+//! - enums whose variants are unit or single-field tuple variants.
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error pointing here.
+
+// Vendored stand-in for the external crate: keep clippy quiet here so
+// `-D warnings` stays meaningful for first-party code.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct.
+struct NamedField {
+    name: String,
+}
+
+/// One parsed variant of an enum.
+struct Variant {
+    name: String,
+    /// `true` for a single-field tuple variant, `false` for a unit variant.
+    newtype: bool,
+}
+
+/// The parsed item shape.
+enum Item {
+    NamedStruct { name: String, fields: Vec<NamedField> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().expect("valid error tokens")
+}
+
+/// Skips `#[...]` attribute pairs starting at `*i`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        let is_bracket = matches!(
+            &tokens[*i + 1],
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket
+        );
+        if is_hash && is_bracket {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, … starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if *i < tokens.len()
+            && matches!(
+                &tokens[*i],
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis
+            )
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Counts the comma-separated segments of a tuple-struct body, treating
+/// commas inside `<...>` or nested groups as part of one segment.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut arity = 0usize;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if pending {
+                    arity += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        arity += 1;
+    }
+    arity
+}
+
+/// Parses the named fields of a brace-delimited struct body.
+fn named_fields(group: &proc_macro::Group) -> Result<Vec<NamedField>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found `{other}`")),
+        }
+        // Skip the type: everything until a comma at angle depth zero.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(NamedField { name });
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of a brace-delimited enum body.
+fn enum_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let mut newtype = false;
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = tuple_arity(g);
+                    if arity != 1 {
+                        return Err(format!(
+                            "variant `{name}` has {arity} fields; only unit and \
+                             single-field tuple variants are supported"
+                        ));
+                    }
+                    newtype = true;
+                    i += 1;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    return Err(format!(
+                        "variant `{name}` has named fields, which the vendored \
+                         serde_derive does not support"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        // Skip a possible discriminant and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    Ok(variants)
+}
+
+/// Parses the derive input item.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other}`")),
+    };
+    i += 1;
+    if i < tokens.len() && matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        return Err(format!(
+            "`{name}` is generic; the vendored serde_derive only supports \
+             concrete types"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct { name, fields: named_fields(g)? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct { name, arity: tuple_arity(g) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum { name, variants: enum_variants(g)? })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_content(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Item::TupleStruct { arity: 1, .. } => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Item::TupleStruct { arity, .. } => {
+            let entries: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Item::UnitStruct { .. } => "::serde::Content::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    if v.newtype {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                             ::serde::Serialize::to_content(inner))]),",
+                            name = name,
+                            v = v.name
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => ::serde::Content::Str(\
+                             ::std::string::String::from({v:?})),",
+                            name = name,
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let name = match &item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{n}: ::serde::__private::field(__c, {n:?})?,", n = f.name))
+                .collect();
+            let body = format!(
+                "match __c {{\n\
+                 ::serde::Content::Map(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected map for `{name}`, found {{:?}}\", other))),\n\
+                 }}",
+                inits.join(" ")
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            let body = format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+            );
+            (name, body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::__private::element(__items, {i})?,"))
+                .collect();
+            let body = format!(
+                "match __c {{\n\
+                 ::serde::Content::Seq(__items) => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected sequence for `{name}`, found {{:?}}\", other))),\n\
+                 }}",
+                elems.join(" ")
+            );
+            (name, body)
+        }
+        Item::UnitStruct { name } => {
+            let body = format!("::std::result::Result::Ok({name})");
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !v.newtype)
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),", v = v.name))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = __c.get({v:?}) {{\n\
+                         return ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_content(inner)?));\n\
+                         }}",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let body = format!(
+                "{{\n\
+                 if let ::serde::Content::Str(__s) = __c {{\n\
+                 return match __s.as_str() {{\n\
+                 {units}\n\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of `{name}`\", other))),\n\
+                 }};\n\
+                 }}\n\
+                 {newtypes}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"cannot deserialize `{name}` from {{:?}}\", __c)))\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                newtypes = newtype_arms.join("\n"),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,608 @@
+//! Offline vendored `serde_json` subset.
+//!
+//! Works over the vendored `serde` crate's [`Content`] data model:
+//! [`Value`] is an alias for `serde::Content`, [`to_string`] /
+//! [`to_string_pretty`] render any `Serialize` type, [`from_str`] parses
+//! JSON text back into any `Deserialize` type, and the [`json!`] macro
+//! builds `Value` trees with embedded Rust expressions.
+//!
+//! Floats are rendered with Rust's shortest round-trip formatting, so
+//! `f64` values survive serialize → parse exactly.
+
+// Vendored stand-in for the external crate: keep clippy quiet here so
+// `-D warnings` stays meaningful for first-party code.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// A JSON value (alias of the vendored serde data model).
+pub type Value = Content;
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_content())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree does not match `T`'s shape.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_content(&value).map_err(Error::from)
+}
+
+/// Serializes `value` to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails in this vendored subset (signature kept for parity).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Never fails in this vendored subset (signature kept for parity).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_content(&value).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest round-trip representation; force a `.0` suffix so the
+        // output re-parses as a float-shaped number.
+        let s = format!("{v}");
+        let float_shaped = s.contains('.') || s.contains('e') || s.contains('E');
+        out.push_str(&s);
+        if !float_shaped {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: &str) -> Error {
+        Error::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        let value = self.parse_value()?;
+        self.skip_whitespace();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => {
+                if self.consume_literal("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.consume_literal("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.consume_literal("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("unexpected character")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.error("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.error("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the raw bytes.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk =
+                        self.bytes.get(start..end).ok_or_else(|| self.error("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>().map(Content::F64).map_err(|_| self.error("invalid number"))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_value(text: &str) -> Result<Value, Error> {
+    Parser::new(text).parse()
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Value`] from a JSON-ish literal with embedded expressions.
+///
+/// Supports the same shapes this workspace uses: `null`, booleans,
+/// numbers, strings, arrays, objects with string-literal keys, and any
+/// `Serialize` expression in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_array!([$($tt)*] -> []) };
+    ({ $($tt:tt)* }) => { $crate::json_object!({$($tt)*} -> []) };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serializes")
+    };
+}
+
+/// Internal TT-muncher for `json!` arrays. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Entry: empty array.
+    ([] -> [$($done:expr),*]) => {
+        $crate::Value::Seq(::std::vec![$($done),*])
+    };
+    // Next element is a nested array.
+    ([ [ $($inner:tt)* ] , $($rest:tt)* ] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($rest)*] -> [$($done,)* $crate::json!([$($inner)*])])
+    };
+    ([ [ $($inner:tt)* ] ] -> [$($done:expr),*]) => {
+        $crate::json_array!([] -> [$($done,)* $crate::json!([$($inner)*])])
+    };
+    // Next element is a nested object.
+    ([ { $($inner:tt)* } , $($rest:tt)* ] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($rest)*] -> [$($done,)* $crate::json!({$($inner)*})])
+    };
+    ([ { $($inner:tt)* } ] -> [$($done:expr),*]) => {
+        $crate::json_array!([] -> [$($done,)* $crate::json!({$($inner)*})])
+    };
+    // Next element is a JSON keyword.
+    ([ null , $($rest:tt)* ] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($rest)*] -> [$($done,)* $crate::Value::Null])
+    };
+    ([ null ] -> [$($done:expr),*]) => {
+        $crate::json_array!([] -> [$($done,)* $crate::Value::Null])
+    };
+    ([ true , $($rest:tt)* ] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($rest)*] -> [$($done,)* $crate::Value::Bool(true)])
+    };
+    ([ true ] -> [$($done:expr),*]) => {
+        $crate::json_array!([] -> [$($done,)* $crate::Value::Bool(true)])
+    };
+    ([ false , $($rest:tt)* ] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($rest)*] -> [$($done,)* $crate::Value::Bool(false)])
+    };
+    ([ false ] -> [$($done:expr),*]) => {
+        $crate::json_array!([] -> [$($done,)* $crate::Value::Bool(false)])
+    };
+    // Next element is a plain expression.
+    ([ $next:expr , $($rest:tt)* ] -> [$($done:expr),*]) => {
+        $crate::json_array!([$($rest)*] -> [$($done,)* $crate::json!($next)])
+    };
+    ([ $next:expr ] -> [$($done:expr),*]) => {
+        $crate::json_array!([] -> [$($done,)* $crate::json!($next)])
+    };
+}
+
+/// Internal TT-muncher for `json!` objects. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ({} -> [$($done:expr),*]) => {
+        $crate::Value::Map(::std::vec![$($done),*])
+    };
+    // key: nested array.
+    ({ $key:literal : [ $($inner:tt)* ] , $($rest:tt)* } -> [$($done:expr),*]) => {
+        $crate::json_object!({$($rest)*} ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!([$($inner)*]))])
+    };
+    ({ $key:literal : [ $($inner:tt)* ] $(,)? } -> [$($done:expr),*]) => {
+        $crate::json_object!({} ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!([$($inner)*]))])
+    };
+    // key: nested object.
+    ({ $key:literal : { $($inner:tt)* } , $($rest:tt)* } -> [$($done:expr),*]) => {
+        $crate::json_object!({$($rest)*} ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!({$($inner)*}))])
+    };
+    ({ $key:literal : { $($inner:tt)* } $(,)? } -> [$($done:expr),*]) => {
+        $crate::json_object!({} ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!({$($inner)*}))])
+    };
+    // key: JSON keyword.
+    ({ $key:literal : null , $($rest:tt)* } -> [$($done:expr),*]) => {
+        $crate::json_object!({$($rest)*} ->
+            [$($done,)* (::std::string::String::from($key), $crate::Value::Null)])
+    };
+    ({ $key:literal : null $(,)? } -> [$($done:expr),*]) => {
+        $crate::json_object!({} ->
+            [$($done,)* (::std::string::String::from($key), $crate::Value::Null)])
+    };
+    // key: plain expression.
+    ({ $key:literal : $value:expr , $($rest:tt)* } -> [$($done:expr),*]) => {
+        $crate::json_object!({$($rest)*} ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!($value))])
+    };
+    ({ $key:literal : $value:expr } -> [$($done:expr),*]) => {
+        $crate::json_object!({} ->
+            [$($done,)* (::std::string::String::from($key), $crate::json!($value))])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = json!({"a": 1, "b": [true, null, 2.5], "c": "x\"y"});
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1,"b":[true,null,2.5],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_has_indentation() {
+        let v = json!({"a": [1, 2]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"a\""), "{s}");
+        assert!(s.contains("\n    1"), "{s}");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let v = json!({"name": "STAR", "bits": 9, "ratios": [0.06, 0.05], "adc": null});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &f in &[std::f64::consts::PI, 1e-300, -2.2250738585072014e-308, 0.1] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(f, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v: Value = from_str(r#""a\nA\"b° ""#).unwrap();
+        assert_eq!(v, Content::Str("a\nA\"b° ".to_string()));
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn expression_values_embed() {
+        let xs = vec![1.5f64, 2.5];
+        let n = 7u32;
+        let v = json!({"xs": xs, "n": n, "nested": {"sum": 4.0}});
+        assert_eq!(v.get("n"), Some(&Content::I64(7)));
+        assert_eq!(v.get("nested").and_then(|m| m.get("sum")), Some(&Content::F64(4.0)));
+    }
+
+    #[test]
+    fn trailing_comma_in_object() {
+        let v = json!({"a": 1, "b": 2,});
+        assert_eq!(v.get("b"), Some(&Content::I64(2)));
+    }
+}

@@ -73,21 +73,55 @@ pub fn multi_head_attention<S: RowSoftmax + ?Sized>(
     v: &Matrix,
     softmax: &mut S,
 ) -> Result<AttentionOutput, ShapeError> {
+    validate_mha_inputs(config, q, k, v)?;
+    let mut heads = Vec::with_capacity(config.num_heads);
+    for h in 0..config.num_heads {
+        heads.push(scaled_dot_attention(
+            &head_slice(config, q, h),
+            &head_slice(config, k, h),
+            &head_slice(config, v, h),
+            softmax,
+        )?);
+    }
+    Ok(assemble_heads(config, &heads))
+}
+
+/// Checks that `q`, `k`, `v` are all `config.seq_len × config.d_model`.
+pub(crate) fn validate_mha_inputs(
+    config: &AttentionConfig,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+) -> Result<(), ShapeError> {
     let expected = (config.seq_len, config.d_model);
     for m in [q, k, v] {
         if m.shape() != expected {
             return Err(ShapeError { lhs: m.shape(), rhs: expected, op: "multi_head_attention" });
         }
     }
+    Ok(())
+}
+
+/// The contiguous `d_head`-column slice of head `h`.
+pub(crate) fn head_slice(config: &AttentionConfig, m: &Matrix, h: usize) -> Matrix {
+    let d_head = config.d_head();
+    Matrix::from_fn(config.seq_len, d_head, |r, c| m.get(r, h * d_head + c))
+}
+
+/// Concatenates per-head outputs back into the `seq_len × d_model` context
+/// and the stacked `(heads · seq_len) × seq_len` score/prob matrices.
+/// Purely positional, so the result is identical whether the head outputs
+/// were produced serially or in parallel.
+pub(crate) fn assemble_heads(
+    config: &AttentionConfig,
+    heads: &[AttentionOutput],
+) -> AttentionOutput {
     let d_head = config.d_head();
     let n = config.seq_len;
     let mut context = Matrix::zeros(n, config.d_model);
     let mut all_scores = Matrix::zeros(n * config.num_heads, n);
     let mut all_probs = Matrix::zeros(n * config.num_heads, n);
-
-    for h in 0..config.num_heads {
-        let slice = |m: &Matrix| Matrix::from_fn(n, d_head, |r, c| m.get(r, h * d_head + c));
-        let out = scaled_dot_attention(&slice(q), &slice(k), &slice(v), softmax)?;
+    for (h, out) in heads.iter().enumerate() {
         for r in 0..n {
             for c in 0..d_head {
                 context.set(r, h * d_head + c, out.context.get(r, c));
@@ -96,7 +130,7 @@ pub fn multi_head_attention<S: RowSoftmax + ?Sized>(
             all_probs.set_row(h * n + r, out.probs.row(r));
         }
     }
-    Ok(AttentionOutput { context, scores: all_scores, probs: all_probs })
+    AttentionOutput { context, scores: all_scores, probs: all_probs }
 }
 
 #[cfg(test)]

@@ -1,0 +1,209 @@
+//! Parallel attention execution on the `star-exec` work-stealing pool.
+//!
+//! Attention heads are embarrassingly parallel — the STAR accelerator
+//! itself exploits exactly this vector-grained head/row parallelism in its
+//! hardware pipeline — so the simulator mirrors it on the host: per-head
+//! [`multi_head_attention_par`] and per-row [`softmax_rows_par`].
+//!
+//! # Determinism
+//!
+//! Softmax engines are stateful (`&mut self`: energy ledgers, fault
+//! counters, noise RNG streams), so parallel workers cannot share one
+//! engine. Instead the caller supplies a **factory**: head `h` / row `r`
+//! always computes with `make_softmax(h)` — the *index* decides the
+//! engine, never the worker — so results are byte-identical for every
+//! worker count, including the serial worker=1 fallback. With a stateless
+//! softmax (e.g. [`ExactSoftmax`](crate::ExactSoftmax), or any engine
+//! whose per-row output does not depend on accumulated state) this is also
+//! bit-identical to the serial shared-engine path
+//! ([`multi_head_attention`](crate::multi_head_attention)), which the
+//! serial-vs-parallel equivalence property tests enforce.
+//!
+//! # Telemetry
+//!
+//! Worker threads have their own thread-local scope stacks, so each task
+//! records into a fresh scoped registry (`star_telemetry::with_scoped`)
+//! and returns its snapshot; the parent folds the snapshots back in
+//! **index order** with the commutative `Registry::merge`
+//! (`star_telemetry::absorb`). Fixed fold order + commutative merge ⇒
+//! metric totals are identical to the serial path too.
+
+use crate::attention::{assemble_heads, head_slice, validate_mha_inputs};
+use crate::{
+    scaled_dot_attention, AttentionConfig, AttentionOutput, Matrix, RowSoftmax, ShapeError,
+};
+use star_exec::Executor;
+
+/// Multi-head attention with heads evaluated in parallel.
+///
+/// `make_softmax(h)` constructs the engine used for head `h`; see the
+/// module docs for why a factory (and not a shared `&mut` engine) is the
+/// deterministic formulation.
+///
+/// # Errors
+///
+/// Returns a [`ShapeError`] if the input shapes do not match
+/// `config.seq_len × config.d_model` (checked before any work is spawned)
+/// or if a head evaluation fails (first head in index order wins, exactly
+/// like the serial loop).
+///
+/// # Examples
+///
+/// ```
+/// use star_attention::{
+///     multi_head_attention, multi_head_attention_par, AttentionConfig, ExactSoftmax, Matrix,
+/// };
+/// use star_exec::Executor;
+///
+/// let cfg = AttentionConfig::tiny(4);
+/// let x = Matrix::from_fn(4, 16, |r, c| ((r + c) as f64 * 0.37).sin());
+/// let par = multi_head_attention_par(&Executor::new(8), &cfg, &x, &x, &x, |_| ExactSoftmax::new())?;
+/// let serial = multi_head_attention(&cfg, &x, &x, &x, &mut ExactSoftmax::new())?;
+/// assert_eq!(par, serial);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn multi_head_attention_par<S, F>(
+    exec: &Executor,
+    config: &AttentionConfig,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    make_softmax: F,
+) -> Result<AttentionOutput, ShapeError>
+where
+    S: RowSoftmax,
+    F: Fn(usize) -> S + Sync,
+{
+    validate_mha_inputs(config, q, k, v)?;
+    let heads: Vec<usize> = (0..config.num_heads).collect();
+    let per_head = exec.par_map(&heads, |_, &h| {
+        star_telemetry::with_scoped(|| {
+            let mut softmax = make_softmax(h);
+            scaled_dot_attention(
+                &head_slice(config, q, h),
+                &head_slice(config, k, h),
+                &head_slice(config, v, h),
+                &mut softmax,
+            )
+        })
+    });
+    let mut outputs = Vec::with_capacity(per_head.len());
+    for (result, snap) in per_head {
+        // Index-ordered fold: absorb metrics for heads up to the first
+        // failure, mirroring how far the serial loop would have recorded.
+        star_telemetry::absorb(&snap);
+        outputs.push(result?);
+    }
+    Ok(assemble_heads(config, &outputs))
+}
+
+/// Applies a softmax to every row of `scores` with rows dispatched in
+/// parallel; row `r` always computes with `make_softmax(r)`.
+///
+/// The deterministic parallel counterpart of
+/// [`softmax_rows`](crate::softmax_rows); see the module docs for the
+/// factory/telemetry contract.
+///
+/// # Examples
+///
+/// ```
+/// use star_attention::{softmax_rows, softmax_rows_par, ExactSoftmax, Matrix};
+/// use star_exec::Executor;
+///
+/// let scores = Matrix::from_fn(6, 5, |r, c| ((r * 5 + c) as f64 * 0.61).sin() * 4.0);
+/// let par = softmax_rows_par(&Executor::new(4), &scores, |_| ExactSoftmax::new());
+/// let serial = softmax_rows(&mut ExactSoftmax::new(), &scores);
+/// assert_eq!(par, serial);
+/// ```
+pub fn softmax_rows_par<S, F>(exec: &Executor, scores: &Matrix, make_softmax: F) -> Matrix
+where
+    S: RowSoftmax,
+    F: Fn(usize) -> S + Sync,
+{
+    let rows: Vec<usize> = (0..scores.rows()).collect();
+    let per_row = exec.par_map(&rows, |_, &r| {
+        star_telemetry::with_scoped(|| {
+            let mut softmax = make_softmax(r);
+            let p = softmax.softmax_row(scores.row(r));
+            assert_eq!(p.len(), scores.cols(), "softmax changed the row length");
+            p
+        })
+    });
+    let mut out = Matrix::zeros(scores.rows(), scores.cols());
+    for (r, (p, snap)) in per_row.iter().enumerate() {
+        star_telemetry::absorb(snap);
+        out.set_row(r, p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{multi_head_attention, softmax_rows, ExactSoftmax};
+
+    fn deterministic(n: usize, d: usize, seed: f64) -> Matrix {
+        Matrix::from_fn(n, d, |r, c| ((r * d + c) as f64 * seed).sin())
+    }
+
+    #[test]
+    fn parallel_heads_match_serial_bitwise() {
+        let cfg = AttentionConfig::tiny(6); // 2 heads
+        let q = deterministic(6, 16, 0.31);
+        let k = deterministic(6, 16, 0.57);
+        let v = deterministic(6, 16, 0.83);
+        let serial = multi_head_attention(&cfg, &q, &k, &v, &mut ExactSoftmax::new()).unwrap();
+        for workers in [1, 2, 8] {
+            let par = multi_head_attention_par(&Executor::new(workers), &cfg, &q, &k, &v, |_| {
+                ExactSoftmax::new()
+            })
+            .unwrap();
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_rows_match_serial_bitwise() {
+        let scores = deterministic(9, 7, 1.7).scale(6.0);
+        let serial = softmax_rows(&mut ExactSoftmax::new(), &scores);
+        for workers in [1, 2, 8] {
+            let par = softmax_rows_par(&Executor::new(workers), &scores, |_| ExactSoftmax::new());
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn shape_errors_surface_before_spawning() {
+        let cfg = AttentionConfig::tiny(4);
+        let bad = Matrix::zeros(4, 8);
+        let good = Matrix::zeros(4, 16);
+        let r = multi_head_attention_par(&Executor::new(2), &cfg, &bad, &good, &good, |_| {
+            ExactSoftmax::new()
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn worker_telemetry_folds_into_parent_scope() {
+        let cfg = AttentionConfig::tiny(4);
+        let x = deterministic(4, 16, 0.45);
+        let count_per_run: Vec<u64> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                let ((), snap) = star_telemetry::with_scoped(|| {
+                    let _ =
+                        multi_head_attention_par(&Executor::new(workers), &cfg, &x, &x, &x, |h| {
+                            star_telemetry::count("test.par.heads", 1);
+                            let _ = h;
+                            ExactSoftmax::new()
+                        })
+                        .unwrap();
+                });
+                snap.counters.get("test.par.heads").copied().unwrap_or(0)
+            })
+            .collect();
+        // One factory call per head, visible in the parent scope, for
+        // every worker count.
+        assert_eq!(count_per_run, vec![cfg.num_heads as u64; 3]);
+    }
+}

@@ -69,6 +69,50 @@ impl RowSoftmax for ExactSoftmax {
     }
 }
 
+/// Exact softmax evaluated in `f32` — the functional model of a
+/// full-precision *single*-precision softmax (the "exact FP32" reference
+/// of the cross-engine differential suite; GPUs execute softmax in FP32,
+/// so this is the accuracy bar the paper's quantized engines are measured
+/// against).
+///
+/// Same stable max-subtraction dataflow as [`ExactSoftmax`], with every
+/// arithmetic step (subtract, `exp`, sum, divide) rounded to `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use star_attention::{ExactF32Softmax, RowSoftmax};
+///
+/// let mut s = ExactF32Softmax::new();
+/// let p = s.softmax_row(&[1.0, 2.0, 3.0]);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+/// assert!(p[2] > p[1] && p[1] > p[0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExactF32Softmax;
+
+impl ExactF32Softmax {
+    /// Creates the FP32 reference softmax.
+    pub fn new() -> Self {
+        ExactF32Softmax
+    }
+}
+
+impl RowSoftmax for ExactF32Softmax {
+    fn softmax_row(&mut self, scores: &[f64]) -> Vec<f64> {
+        assert!(!scores.is_empty(), "softmax of an empty row is undefined");
+        let xs: Vec<f32> = scores.iter().map(|&x| x as f32).collect();
+        let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.iter().map(|&e| f64::from(e / sum)).collect()
+    }
+
+    fn name(&self) -> &str {
+        "exact-f32"
+    }
+}
+
 /// Applies a [`RowSoftmax`] to every row of a matrix.
 pub fn softmax_rows<S: RowSoftmax + ?Sized>(
     softmax: &mut S,

@@ -1,0 +1,134 @@
+//! Property tests: the parallel attention paths are *bit-identical* to
+//! the serial ones for every worker count, and the telemetry merged back
+//! from worker scopes equals what a serial run records.
+//!
+//! This is the determinism contract of the `star-exec` layer, checked at
+//! the integration boundary: `par == serial` must hold not approximately
+//! but to the last ulp (outputs are compared through `f64::to_bits`),
+//! for 1, 2 and 8 workers, on randomly shaped problems. The worker count
+//! may change *when* work runs, never *what* it computes.
+
+use proptest::prelude::*;
+use star_attention::{
+    multi_head_attention, multi_head_attention_par, softmax_rows, softmax_rows_par,
+    AttentionConfig, ExactSoftmax, Matrix,
+};
+use star_exec::Executor;
+
+/// The worker counts the CI matrix exercises (serial, small, oversubscribed
+/// — the host running these tests may well have fewer than 8 cores, which
+/// is exactly the point: the answer must not depend on it).
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Deterministic pseudo-random matrix from a seed (xorshift; no RNG dep
+/// needed and fully reproducible across platforms).
+fn seeded_matrix(rows: usize, cols: usize, mut state: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        state ^= (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (c as u64);
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        // Map to roughly [-4, 4): attention-score magnitudes.
+        (state % 8192) as f64 / 1024.0 - 4.0
+    })
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_attention_is_bitwise_serial(
+        seq_pow in 1usize..5,      // seq_len 2..=16
+        heads_pow in 0usize..3,    // num_heads 1..=4
+        seed in any::<u64>(),
+    ) {
+        let seq_len = 1 << seq_pow;
+        let num_heads = 1 << heads_pow;
+        let d_head = 8;
+        let config = AttentionConfig {
+            d_model: num_heads * d_head,
+            num_heads,
+            seq_len,
+            num_layers: 1,
+            d_ff: 4 * num_heads * d_head,
+        };
+        let q = seeded_matrix(seq_len, config.d_model, seed);
+        let k = seeded_matrix(seq_len, config.d_model, seed ^ 0xAAAA);
+        let v = seeded_matrix(seq_len, config.d_model, seed ^ 0x5555);
+
+        let (serial, serial_snap) = star_telemetry::with_scoped(|| {
+            multi_head_attention(&config, &q, &k, &v, &mut ExactSoftmax::new())
+                .expect("shapes valid")
+        });
+
+        for threads in WORKER_COUNTS {
+            let exec = Executor::new(threads);
+            let (par, par_snap) = star_telemetry::with_scoped(|| {
+                multi_head_attention_par(&exec, &config, &q, &k, &v, |_| ExactSoftmax::new())
+                    .expect("shapes valid")
+            });
+            prop_assert_eq!(
+                bits(&serial.context), bits(&par.context),
+                "context diverged at {} workers", threads
+            );
+            prop_assert_eq!(
+                bits(&serial.probs), bits(&par.probs),
+                "probs diverged at {} workers", threads
+            );
+            prop_assert_eq!(
+                bits(&serial.scores), bits(&par.scores),
+                "scores diverged at {} workers", threads
+            );
+            // Merged worker telemetry equals the serial recording: same
+            // counters, same float sums (merge is folded in index order,
+            // matching the serial accumulation order).
+            prop_assert_eq!(
+                &serial_snap.counters, &par_snap.counters,
+                "counters diverged at {} workers", threads
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_softmax_rows_is_bitwise_serial(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let scores = seeded_matrix(rows, cols, seed);
+        let serial = softmax_rows(&mut ExactSoftmax::new(), &scores);
+        for threads in WORKER_COUNTS {
+            let exec = Executor::new(threads);
+            let par = softmax_rows_par(&exec, &scores, |_| ExactSoftmax::new());
+            prop_assert_eq!(
+                bits(&serial), bits(&par),
+                "softmax rows diverged at {} workers", threads
+            );
+        }
+    }
+
+    #[test]
+    fn executor_par_map_reduction_is_order_stable(
+        values in prop::collection::vec(-1e6f64..1e6, 1..64),
+    ) {
+        // Float reduction over par_map results: because results come back
+        // in index order, the fold order — and therefore the rounded sum —
+        // is identical for every worker count. (IEEE addition commutes but
+        // does not associate; index-ordered reduction is what makes the
+        // pool deterministic.)
+        let serial: f64 = values.iter().map(|v| v * 1.5 + 0.25).sum();
+        for threads in WORKER_COUNTS {
+            let exec = Executor::new(threads);
+            let mapped = exec.par_map(&values, |_, v| v * 1.5 + 0.25);
+            let total: f64 = mapped.iter().sum();
+            prop_assert_eq!(
+                serial.to_bits(), total.to_bits(),
+                "sum diverged at {} workers", threads
+            );
+        }
+    }
+}

@@ -2,17 +2,48 @@
 //! designs across sequence lengths, at both attention-layer and full
 //! 12-layer BERT-base granularity. Shows where STAR's advantage grows
 //! (softmax-heavy long sequences) and how the FFN dilutes it.
+//!
+//! The per-sequence-length evaluations are independent, so they fan out
+//! across the `star-exec` pool; rows are computed in parallel and printed
+//! in sweep order, byte-identical for every worker count.
 
 use star_arch::{Accelerator, GpuModel, RramAccelerator};
 use star_attention::AttentionConfig;
 use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_exec::Executor;
 
 fn main() {
     let seq_lens = [64usize, 128, 256, 512];
-    let gpu = GpuModel::titan_rtx();
-    let pl = RramAccelerator::pipelayer();
-    let rt = RramAccelerator::retransformer();
-    let st = RramAccelerator::star();
+    let exec = Executor::from_env();
+
+    // One task per sequence length: evaluate all four designs at both
+    // granularities. Results come back in sweep order.
+    let evaluated = exec.par_map(&seq_lens, |_, &n| {
+        let (rows, snap) = star_telemetry::with_scoped(|| {
+            let gpu = GpuModel::titan_rtx();
+            let pl = RramAccelerator::pipelayer();
+            let rt = RramAccelerator::retransformer();
+            let st = RramAccelerator::star();
+            let cfg = AttentionConfig::bert_base(n);
+            let layer = [
+                gpu.evaluate(&cfg).efficiency_gops_per_watt,
+                pl.evaluate(&cfg).efficiency_gops_per_watt,
+                rt.evaluate(&cfg).efficiency_gops_per_watt,
+                st.evaluate(&cfg).efficiency_gops_per_watt,
+            ];
+            let model = [
+                gpu.model_efficiency(&cfg),
+                pl.evaluate_model(&cfg).efficiency_gops_per_watt,
+                rt.evaluate_model(&cfg).efficiency_gops_per_watt,
+                st.evaluate_model(&cfg).efficiency_gops_per_watt,
+            ];
+            (layer, model)
+        });
+        (n, rows, snap)
+    });
+    for (_, _, snap) in &evaluated {
+        star_telemetry::absorb(snap);
+    }
 
     header("A5: attention-layer efficiency vs sequence length [GOPs/s/W]");
     println!(
@@ -20,14 +51,7 @@ fn main() {
         "seq", "gpu", "pipelayer", "retransformer", "star", "star/retx"
     );
     let mut layer_rows = Vec::new();
-    for &n in &seq_lens {
-        let cfg = AttentionConfig::bert_base(n);
-        let e = [
-            gpu.evaluate(&cfg).efficiency_gops_per_watt,
-            pl.evaluate(&cfg).efficiency_gops_per_watt,
-            rt.evaluate(&cfg).efficiency_gops_per_watt,
-            st.evaluate(&cfg).efficiency_gops_per_watt,
-        ];
+    for (n, (e, _), _) in &evaluated {
         println!(
             "  {:>6} {:>10.2} {:>12.2} {:>15.2} {:>10.2} {:>11.3}x",
             n,
@@ -48,14 +72,7 @@ fn main() {
         "seq", "gpu", "pipelayer", "retransformer", "star", "star/retx"
     );
     let mut model_rows = Vec::new();
-    for &n in &seq_lens {
-        let cfg = AttentionConfig::bert_base(n);
-        let e = [
-            gpu.model_efficiency(&cfg),
-            pl.evaluate_model(&cfg).efficiency_gops_per_watt,
-            rt.evaluate_model(&cfg).efficiency_gops_per_watt,
-            st.evaluate_model(&cfg).efficiency_gops_per_watt,
-        ];
+    for (n, (_, e), _) in &evaluated {
         println!(
             "  {:>6} {:>10.2} {:>12.2} {:>15.2} {:>10.2} {:>11.3}x",
             n,

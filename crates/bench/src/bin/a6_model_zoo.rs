@@ -1,10 +1,22 @@
 //! A6 (ablation) — does the STAR story survive model scale? The paper
 //! evaluates BERT-base; here the same accelerators run BERT-large and a
 //! GPT-2-small-shaped decoder, at layer and full-model granularity.
+//!
+//! Models are evaluated in parallel on the `star-exec` pool and reported
+//! in zoo order, byte-identical for every worker count.
 
 use star_arch::{Accelerator, GpuModel, RramAccelerator};
 use star_attention::AttentionConfig;
 use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_exec::Executor;
+
+struct ModelEval {
+    layer_eff: [f64; 4],
+    latency_ms: f64,
+    energy_mj: f64,
+    chip_area_mm2: f64,
+    model_eff: f64,
+}
 
 fn main() {
     let models: [(&str, AttentionConfig); 3] = [
@@ -12,10 +24,40 @@ fn main() {
         ("bert-large", AttentionConfig::bert_large(128)),
         ("gpt2-small", AttentionConfig::gpt2_small(256)),
     ];
-    let gpu = GpuModel::titan_rtx();
-    let pl = RramAccelerator::pipelayer();
-    let rt = RramAccelerator::retransformer();
-    let st = RramAccelerator::star();
+
+    let evaluated = Executor::from_env().par_map(&models, |_, (name, cfg)| {
+        let (eval, snap) = star_telemetry::with_scoped(|| {
+            let gpu = GpuModel::titan_rtx();
+            let pl = RramAccelerator::pipelayer();
+            let rt = RramAccelerator::retransformer();
+            let st = RramAccelerator::star();
+            let layer_eff = [
+                gpu.evaluate(cfg).efficiency_gops_per_watt,
+                pl.evaluate(cfg).efficiency_gops_per_watt,
+                rt.evaluate(cfg).efficiency_gops_per_watt,
+                st.evaluate(cfg).efficiency_gops_per_watt,
+            ];
+            assert!(
+                layer_eff[0] < layer_eff[1]
+                    && layer_eff[1] < layer_eff[2]
+                    && layer_eff[2] < layer_eff[3],
+                "{name}: ordering broke: {layer_eff:?}"
+            );
+            let r = st.evaluate_model(cfg);
+            let area = st.area_sheet(cfg).total_area();
+            ModelEval {
+                layer_eff,
+                latency_ms: r.latency.as_us() / 1000.0,
+                energy_mj: r.total_energy.value() * 1e-9,
+                chip_area_mm2: area.as_mm2(),
+                model_eff: r.efficiency_gops_per_watt,
+            }
+        });
+        (eval, snap)
+    });
+    for (_, snap) in &evaluated {
+        star_telemetry::absorb(snap);
+    }
 
     header("A6: attention-layer efficiency per model [GOPs/s/W]");
     println!(
@@ -23,13 +65,8 @@ fn main() {
         "model", "seq", "gpu", "pipelayer", "retransformer", "star", "star/retx"
     );
     let mut rows = Vec::new();
-    for (name, cfg) in &models {
-        let e = [
-            gpu.evaluate(cfg).efficiency_gops_per_watt,
-            pl.evaluate(cfg).efficiency_gops_per_watt,
-            rt.evaluate(cfg).efficiency_gops_per_watt,
-            st.evaluate(cfg).efficiency_gops_per_watt,
-        ];
+    for ((name, cfg), (eval, _)) in models.iter().zip(&evaluated) {
+        let e = eval.layer_eff;
         println!(
             "  {:<12} {:>6} {:>8.2} {:>10.2} {:>14.2} {:>10.2} {:>10.3}x",
             name,
@@ -40,7 +77,6 @@ fn main() {
             e[3],
             e[3] / e[2]
         );
-        assert!(e[0] < e[1] && e[1] < e[2] && e[2] < e[3], "{name}: ordering broke: {e:?}");
         rows.push(serde_json::json!({
             "model": name, "seq_len": cfg.seq_len, "d_model": cfg.d_model,
             "num_layers": cfg.num_layers,
@@ -54,22 +90,17 @@ fn main() {
         "model", "latency [ms]", "energy [mJ]", "chip area [mm^2]"
     );
     let mut model_rows = Vec::new();
-    for (name, cfg) in &models {
-        let r = st.evaluate_model(cfg);
-        let area = st.area_sheet(cfg).total_area();
+    for ((name, _), (eval, _)) in models.iter().zip(&evaluated) {
         println!(
             "  {:<12} {:>14.3} {:>16.3} {:>18.1}",
-            name,
-            r.latency.as_us() / 1000.0,
-            r.total_energy.value() * 1e-9,
-            area.as_mm2()
+            name, eval.latency_ms, eval.energy_mj, eval.chip_area_mm2
         );
         model_rows.push(serde_json::json!({
             "model": name,
-            "latency_ms": r.latency.as_us() / 1000.0,
-            "energy_mj": r.total_energy.value() * 1e-9,
-            "chip_area_mm2": area.as_mm2(),
-            "efficiency_gops_per_watt": r.efficiency_gops_per_watt,
+            "latency_ms": eval.latency_ms,
+            "energy_mj": eval.energy_mj,
+            "chip_area_mm2": eval.chip_area_mm2,
+            "efficiency_gops_per_watt": eval.model_eff,
         }));
     }
 

@@ -6,14 +6,22 @@
 
 use star_bench::{header, write_json, write_telemetry_sidecar};
 use star_core::design_space::{pareto_front, DesignSpace};
+use star_exec::Executor;
 use star_workload::{Dataset, ScoreTrace};
 
 fn main() {
     let trace = ScoreTrace::generate(Dataset::Mrpc, 96, 64, 0xA7);
     let space = DesignSpace::paper_neighborhood();
+    let exec = Executor::from_env();
     header(&format!("A7: evaluating {} engine configurations on the MRPC proxy", space.len()));
+    // Worker count goes to stderr: stdout must be byte-identical for
+    // every `STAR_EXEC_THREADS`.
+    eprintln!("a7_pareto: {} worker(s)", exec.threads());
 
-    let points = space.evaluate(&trace.rows).expect("all configurations build");
+    // Configurations fan out across the pool; results (and telemetry, via
+    // the scoped-capture + ordered-merge protocol) are byte-identical for
+    // every worker count.
+    let points = space.evaluate_par(&exec, &trace.rows).expect("all configurations build");
     let front = pareto_front(&points);
 
     println!(

@@ -2,18 +2,12 @@
 //! baseline CMOS softmax. Evaluated as in the paper at the BERT-base /
 //! CNEWS operating point (8-bit softmax, sequence length 128).
 
-use star_bench::{compare_line, header, write_json, write_telemetry_sidecar};
-use star_core::{
-    CmosBaselineSoftmax, RowSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig,
-};
-use star_fixed::QFormat;
+use star_bench::{compare_line, header, table1_engines, write_json, write_telemetry_sidecar};
+use star_core::{RowSoftmax, SoftmaxEngine};
 
 fn main() {
     // The paper's Table I operating point: CNEWS 8-bit, seq len 128.
-    let format = QFormat::CNEWS;
-    let baseline = CmosBaselineSoftmax::new(8);
-    let softermax = Softermax::new(format, 8);
-    let star = StarSoftmax::new(StarSoftmaxConfig::new(format)).expect("valid engine");
+    let (baseline, softermax, star) = table1_engines();
 
     let base_sheet = baseline.cost_sheet();
     let soft_sheet = softermax.cost_sheet();
@@ -54,23 +48,9 @@ fn main() {
         );
     }
 
-    let path = write_json(
-        "e2_table1",
-        &serde_json::json!({
-            "baseline": {"area_um2": base_sheet.total_area().value(), "power_mw": base_sheet.total_power().value()},
-            "softermax": {
-                "area_um2": soft_sheet.total_area().value(), "power_mw": soft_sheet.total_power().value(),
-                "area_ratio": soft_area, "power_ratio": soft_power,
-                "paper": {"area_ratio": 0.33, "power_ratio": 0.12},
-            },
-            "star_8bit": {
-                "area_um2": star_sheet.total_area().value(), "power_mw": star_sheet.total_power().value(),
-                "area_ratio": star_area, "power_ratio": star_power,
-                "paper": {"area_ratio": 0.06, "power_ratio": 0.05},
-            },
-        }),
-    )
-    .expect("write results");
+    // The JSON result is built by the shared builder so this binary and
+    // the golden-file regression test cannot drift apart.
+    let path = write_json("e2_table1", &star_bench::e2_table1_result()).expect("write results");
     println!("\nwrote {}", path.display());
     let telemetry = write_telemetry_sidecar("e2_table1").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());

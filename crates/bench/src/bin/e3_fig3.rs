@@ -2,18 +2,11 @@
 //! ReTransformer and STAR on one BERT-base attention layer (seq 128), and
 //! STAR's improvement factors over each.
 
-use star_arch::{Accelerator, GpuModel, PerfReport, RramAccelerator};
-use star_attention::AttentionConfig;
-use star_bench::{compare_line, header, write_json, write_telemetry_sidecar};
+use star_arch::PerfReport;
+use star_bench::{compare_line, fig3_reports, header, write_json, write_telemetry_sidecar};
 
 fn main() {
-    let cfg = AttentionConfig::bert_base(128);
-    let reports: Vec<PerfReport> = vec![
-        GpuModel::titan_rtx().evaluate(&cfg),
-        RramAccelerator::pipelayer().evaluate(&cfg),
-        RramAccelerator::retransformer().evaluate(&cfg),
-        RramAccelerator::star().evaluate(&cfg),
-    ];
+    let reports: Vec<PerfReport> = fig3_reports(128);
 
     header("E3 / Fig. 3: per-design evaluation (BERT-base attention, seq 128)");
     println!(
@@ -47,19 +40,9 @@ fn main() {
         compare_line("gain over ReTransformer", 1.31, star.efficiency_gain_over(&reports[2]))
     );
 
-    let path = write_json(
-        "e3_fig3",
-        &serde_json::json!({
-            "reports": reports,
-            "paper": {
-                "star_gops_per_watt": 612.66,
-                "gain_over_gpu": 30.63,
-                "gain_over_pipelayer": 4.32,
-                "gain_over_retransformer": 1.31,
-            },
-        }),
-    )
-    .expect("write results");
+    // The JSON result is built by the shared builder so this binary and
+    // the golden-file regression test cannot drift apart.
+    let path = write_json("e3_fig3", &star_bench::e3_fig3_result()).expect("write results");
     println!("\nwrote {}", path.display());
     let telemetry = write_telemetry_sidecar("e3_fig3").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());

@@ -1,8 +1,26 @@
-//! One-command reproduction: runs every experiment harness in order and
-//! summarizes pass/fail. Binaries are located next to this one in the
-//! cargo target directory, so `cargo run -p star-bench --bin repro_all`
-//! builds and runs the complete paper reproduction.
+//! One-command reproduction: runs every experiment harness and summarizes
+//! pass/fail. Binaries are located next to this one in the cargo target
+//! directory, so `cargo run -p star-bench --bin repro_all` builds and runs
+//! the complete paper reproduction.
+//!
+//! # Parallel fan-out
+//!
+//! The experiments are mutually independent processes writing disjoint
+//! result files, so they fan out across a `star-exec` pool
+//! (`STAR_EXEC_THREADS` workers; `1` recovers the historical serial
+//! behaviour). Child stdout/stderr is *captured* and replayed in the fixed
+//! experiment order, so the stdout transcript — like the `results/*.json`
+//! sidecars — is byte-identical for every worker count (worker-count
+//! diagnostics go to stderr only).
+//!
+//! # Subset selection
+//!
+//! `repro_all e2_table1 e3_fig3` (or `STAR_REPRO_ONLY=e2_table1,e3_fig3`)
+//! runs a subset — the CI smoke leg uses this to regenerate just the
+//! golden-fixture experiments.
 
+use star_exec::Executor;
+use std::path::Path;
 use std::process::Command;
 
 const EXPERIMENTS: [&str; 12] = [
@@ -20,30 +38,84 @@ const EXPERIMENTS: [&str; 12] = [
     "a7_pareto",
 ];
 
+/// Outcome of one experiment child process.
+struct Outcome {
+    name: &'static str,
+    /// `None`: binary missing. `Some(Err)`: spawn failure. `Some(Ok)`:
+    /// ran, with captured output.
+    run: Option<std::io::Result<std::process::Output>>,
+}
+
+fn run_one(dir: &Path, name: &'static str) -> Outcome {
+    let bin = dir.join(name);
+    if !bin.exists() {
+        return Outcome { name, run: None };
+    }
+    Outcome { name, run: Some(Command::new(&bin).output()) }
+}
+
+/// The selected experiment subset: CLI args win, then `STAR_REPRO_ONLY`
+/// (comma/space separated), then the full list. Unknown names abort —
+/// silently running nothing would look like success.
+fn selection() -> Vec<&'static str> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let from_env = std::env::var("STAR_REPRO_ONLY").unwrap_or_default();
+    let requested: Vec<String> = if !args.is_empty() {
+        args
+    } else {
+        from_env.split([',', ' ']).filter(|s| !s.is_empty()).map(String::from).collect()
+    };
+    if requested.is_empty() {
+        return EXPERIMENTS.to_vec();
+    }
+    requested
+        .iter()
+        .map(|r| {
+            EXPERIMENTS.iter().copied().find(|e| e == r).unwrap_or_else(|| {
+                eprintln!("unknown experiment {r:?}; known: {EXPERIMENTS:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
 fn main() {
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("target directory").to_path_buf();
+    let selected = selection();
+    let exec = Executor::from_env();
+    // Worker count goes to stderr: stdout is the canonical transcript and
+    // must be byte-identical for every `STAR_EXEC_THREADS`.
+    eprintln!(
+        "repro_all: {} experiment(s) across {} worker(s)",
+        selected.len(),
+        exec.threads().min(selected.len().max(1))
+    );
+
+    let outcomes = exec.par_map(&selected, |_, &name| run_one(&dir, name));
 
     let mut failures = Vec::new();
-    for name in EXPERIMENTS {
-        let bin = dir.join(name);
-        if !bin.exists() {
-            eprintln!(
-                "[skip] {name}: binary not built (run `cargo build --release -p star-bench --bins` first)"
-            );
-            failures.push(name);
-            continue;
-        }
-        println!("\n────────────────────────── {name} ──────────────────────────");
-        match Command::new(&bin).status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("[fail] {name}: exit {status}");
+    for outcome in &outcomes {
+        let name = outcome.name;
+        match &outcome.run {
+            None => {
+                eprintln!(
+                    "[skip] {name}: binary not built (run `cargo build --release -p star-bench --bins` first)"
+                );
                 failures.push(name);
             }
-            Err(e) => {
+            Some(Err(e)) => {
                 eprintln!("[fail] {name}: {e}");
                 failures.push(name);
+            }
+            Some(Ok(output)) => {
+                println!("\n────────────────────────── {name} ──────────────────────────");
+                print!("{}", String::from_utf8_lossy(&output.stdout));
+                eprint!("{}", String::from_utf8_lossy(&output.stderr));
+                if !output.status.success() {
+                    eprintln!("[fail] {name}: exit {}", output.status);
+                    failures.push(name);
+                }
             }
         }
     }
@@ -51,8 +123,8 @@ fn main() {
     println!("\n══════════════════════════ summary ══════════════════════════");
     println!(
         "  {} / {} experiments completed; results under {}",
-        EXPERIMENTS.len() - failures.len(),
-        EXPERIMENTS.len(),
+        selected.len() - failures.len(),
+        selected.len(),
         star_bench::results_dir().display()
     );
     // Each child process wrote its own sidecar; this one covers the

@@ -1,0 +1,88 @@
+//! Shared result builders for the experiment binaries.
+//!
+//! The `e*` binaries and the golden-file regression tests must agree on
+//! *exactly* the same numbers, so the JSON results are built here — one
+//! function per experiment — and both the binary (which writes
+//! `results/<name>.json`) and the test (which diffs against the checked-in
+//! fixture under `tests/golden/`) call it. Everything in these builders is
+//! deterministic closed-form cost modelling: no RNG, no wall clock, no
+//! environment, which is what makes byte-stable goldens possible.
+
+use star_arch::{Accelerator, GpuModel, PerfReport, RramAccelerator};
+use star_attention::AttentionConfig;
+use star_core::{CmosBaselineSoftmax, Softermax, SoftmaxEngine, StarSoftmax, StarSoftmaxConfig};
+use star_fixed::QFormat;
+
+/// The paper's Table I operating point: CNEWS 8-bit softmax designs.
+///
+/// Returns `(baseline, softermax, star)` engines ready for cost queries.
+///
+/// # Panics
+///
+/// Panics if the paper configuration fails to build (a programming error).
+pub fn table1_engines() -> (CmosBaselineSoftmax, Softermax, StarSoftmax) {
+    let format = QFormat::CNEWS;
+    let baseline = CmosBaselineSoftmax::new(8);
+    let softermax = Softermax::new(format, 8);
+    let star = StarSoftmax::new(StarSoftmaxConfig::new(format)).expect("valid engine");
+    (baseline, softermax, star)
+}
+
+/// The machine-readable E2 / Table I result: itemized area/power of the
+/// three softmax designs plus ratios normalized to the CMOS baseline, with
+/// the paper anchors embedded.
+pub fn e2_table1_result() -> serde_json::Value {
+    let (baseline, softermax, star) = table1_engines();
+    let base_sheet = baseline.cost_sheet();
+    let soft_sheet = softermax.cost_sheet();
+    let star_sheet = star.cost_sheet();
+    let soft_area = soft_sheet.area_ratio_to(&base_sheet);
+    let soft_power = soft_sheet.power_ratio_to(&base_sheet);
+    let star_area = star_sheet.area_ratio_to(&base_sheet);
+    let star_power = star_sheet.power_ratio_to(&base_sheet);
+    serde_json::json!({
+        "baseline": {
+            "area_um2": base_sheet.total_area().value(),
+            "power_mw": base_sheet.total_power().value(),
+        },
+        "softermax": {
+            "area_um2": soft_sheet.total_area().value(),
+            "power_mw": soft_sheet.total_power().value(),
+            "area_ratio": soft_area, "power_ratio": soft_power,
+            "paper": {"area_ratio": 0.33, "power_ratio": 0.12},
+        },
+        "star_8bit": {
+            "area_um2": star_sheet.total_area().value(),
+            "power_mw": star_sheet.total_power().value(),
+            "area_ratio": star_area, "power_ratio": star_power,
+            "paper": {"area_ratio": 0.06, "power_ratio": 0.05},
+        },
+    })
+}
+
+/// The four Fig. 3 designs evaluated on one BERT-base attention layer at
+/// sequence length `seq`, in the paper's order: GPU, PipeLayer,
+/// ReTransformer, STAR.
+pub fn fig3_reports(seq: usize) -> Vec<PerfReport> {
+    let cfg = AttentionConfig::bert_base(seq);
+    vec![
+        GpuModel::titan_rtx().evaluate(&cfg),
+        RramAccelerator::pipelayer().evaluate(&cfg),
+        RramAccelerator::retransformer().evaluate(&cfg),
+        RramAccelerator::star().evaluate(&cfg),
+    ]
+}
+
+/// The machine-readable E3 / Fig. 3 result at the paper's seq-128
+/// operating point, with the paper anchors embedded.
+pub fn e3_fig3_result() -> serde_json::Value {
+    serde_json::json!({
+        "reports": fig3_reports(128),
+        "paper": {
+            "star_gops_per_watt": 612.66,
+            "gain_over_gpu": 30.63,
+            "gain_over_pipelayer": 4.32,
+            "gain_over_retransformer": 1.31,
+        },
+    })
+}

@@ -10,6 +10,10 @@
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
+pub mod experiments;
+
+pub use experiments::{e2_table1_result, e3_fig3_result, fig3_reports, table1_engines};
+
 /// Directory experiment results are written to: `$STAR_RESULTS_DIR` or
 /// `./results`.
 pub fn results_dir() -> PathBuf {

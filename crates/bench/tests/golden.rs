@@ -1,0 +1,128 @@
+//! Golden-file regression tests for the machine-readable experiment
+//! results.
+//!
+//! The `e2_table1` and `e3_fig3` binaries write `results/*.json` through
+//! the shared builders in `star_bench::experiments`; these tests call the
+//! *same* builders and compare against fixtures checked in under
+//! `tests/golden/`. The builders are pure closed-form cost models (no
+//! RNG, no clock, no environment), and the vendored `serde_json`
+//! round-trips `f64` exactly, so the comparison is field-level *exact*
+//! equality — any drift in the cost model shows up as a named JSON path,
+//! not a fuzzy tolerance miss.
+//!
+//! When a deliberate model change moves the numbers, regenerate with:
+//!
+//! ```text
+//! cargo run --release -p star-bench --bin repro_all -- e2_table1 e3_fig3
+//! cp results/e2_table1.json results/e3_fig3.json crates/bench/tests/golden/
+//! ```
+
+use serde_json::Value;
+
+/// Recursively compares two JSON values, recording the path of every
+/// mismatch so a regression names the exact field that moved.
+fn diff(path: &str, got: &Value, want: &Value, out: &mut Vec<String>) {
+    match (got, want) {
+        (Value::Map(g), Value::Map(w)) => {
+            for (key, gv) in g {
+                let p = format!("{path}/{key}");
+                match w.iter().find(|(k, _)| k == key) {
+                    Some((_, wv)) => diff(&p, gv, wv, out),
+                    None => out.push(format!("{p}: unexpected field")),
+                }
+            }
+            for (key, _) in w {
+                if !g.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{path}/{key}: missing field"));
+                }
+            }
+        }
+        (Value::Seq(g), Value::Seq(w)) => {
+            if g.len() != w.len() {
+                out.push(format!("{path}: length {} != {}", g.len(), w.len()));
+            }
+            for (i, (gv, wv)) in g.iter().zip(w).enumerate() {
+                diff(&format!("{path}[{i}]"), gv, wv, out);
+            }
+        }
+        // Leaves compare exactly — the fixture was parsed back from the
+        // same builder's serialization, and the vendored serde_json
+        // round-trips every f64 exactly. No epsilon.
+        _ => {
+            if got != want {
+                out.push(format!("{path}: got {got:?}, want {want:?}"));
+            }
+        }
+    }
+}
+
+fn fixture(name: &str) -> Value {
+    let path = format!("{}/tests/golden/{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden fixture {path} unreadable: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("golden fixture {path} invalid: {e}"))
+}
+
+fn assert_matches_golden(name: &str, got: &Value) {
+    let want = fixture(name);
+    let mut mismatches = Vec::new();
+    diff("", got, &want, &mut mismatches);
+    assert!(
+        mismatches.is_empty(),
+        "{name} drifted from tests/golden/{name}.json in {} field(s):\n  {}\n\
+         (if the change is intentional, regenerate the fixture — see module docs)",
+        mismatches.len(),
+        mismatches.join("\n  ")
+    );
+}
+
+/// Follows a `/`-separated path of map keys and returns the number there.
+fn number_at(root: &Value, path: &str) -> f64 {
+    let mut v = root;
+    for key in path.split('/') {
+        v = v.get(key).unwrap_or_else(|| panic!("fixture missing {path:?} (at {key:?})"));
+    }
+    v.as_f64().unwrap_or_else(|| panic!("fixture field {path:?} is not numeric"))
+}
+
+#[test]
+fn e2_table1_matches_golden() {
+    assert_matches_golden("e2_table1", &star_bench::e2_table1_result());
+}
+
+#[test]
+fn e3_fig3_matches_golden() {
+    assert_matches_golden("e3_fig3", &star_bench::e3_fig3_result());
+}
+
+#[test]
+fn goldens_contain_paper_anchors() {
+    // Guard against fixtures regenerated from a builder that silently
+    // dropped the paper anchor fields: the anchors are the whole point
+    // of the reproduction.
+    let e2 = fixture("e2_table1");
+    assert_eq!(number_at(&e2, "softermax/paper/area_ratio"), 0.33);
+    assert_eq!(number_at(&e2, "star_8bit/paper/power_ratio"), 0.05);
+    let e3 = fixture("e3_fig3");
+    assert_eq!(number_at(&e3, "paper/star_gops_per_watt"), 612.66);
+    assert_eq!(number_at(&e3, "paper/gain_over_retransformer"), 1.31);
+}
+
+#[test]
+fn diff_reports_exact_paths() {
+    // Sanity-check the comparator itself: a one-field perturbation must
+    // be reported at its full path, and nothing else.
+    let base = fixture("e2_table1");
+    let mut tweaked = base.clone();
+    if let Value::Map(entries) = &mut tweaked {
+        let (_, star) = entries.iter_mut().find(|(k, _)| k == "star_8bit").expect("field");
+        if let Value::Map(fields) = star {
+            let (_, area) = fields.iter_mut().find(|(k, _)| k == "area_um2").expect("field");
+            *area = Value::F64(12345.0);
+        }
+    }
+    let mut mismatches = Vec::new();
+    diff("", &tweaked, &base, &mut mismatches);
+    assert_eq!(mismatches.len(), 1, "{mismatches:?}");
+    assert!(mismatches[0].starts_with("/star_8bit/area_um2:"), "{:?}", mismatches[0]);
+}

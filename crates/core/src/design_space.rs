@@ -10,6 +10,7 @@ use crate::engine::SoftmaxEngine;
 use crate::star::{BuildStarError, StarSoftmax, StarSoftmaxConfig};
 use serde::{Deserialize, Serialize};
 use star_attention::{argmax, ExactSoftmax, RowSoftmax};
+use star_exec::Executor;
 use star_fixed::QFormat;
 
 /// One evaluated engine configuration.
@@ -79,7 +80,24 @@ impl DesignSpace {
         self.len() == 0
     }
 
-    /// Evaluates every configuration on the given score rows.
+    /// The cross product of the three axes, in the fixed nested order
+    /// (format, then exp word width, then quotient width) every evaluation
+    /// reports in.
+    pub fn configurations(&self) -> Vec<(QFormat, u8, u8)> {
+        let mut configs = Vec::with_capacity(self.len());
+        for &format in &self.formats {
+            for &exp_bits in &self.exp_word_bits {
+                for &q_bits in &self.quotient_bits {
+                    configs.push((format, exp_bits, q_bits));
+                }
+            }
+        }
+        configs
+    }
+
+    /// Evaluates every configuration on the given score rows (serially —
+    /// equivalent to [`DesignSpace::evaluate_par`] on a one-worker
+    /// executor).
     ///
     /// # Errors
     ///
@@ -89,44 +107,71 @@ impl DesignSpace {
     ///
     /// Panics if `rows` is empty.
     pub fn evaluate(&self, rows: &[Vec<f64>]) -> Result<Vec<DesignPoint>, BuildStarError> {
+        self.evaluate_par(&Executor::serial(), rows)
+    }
+
+    /// Evaluates every configuration on the given score rows, with
+    /// configurations fanned out across the executor's workers.
+    ///
+    /// Each configuration builds its own engine and is scored
+    /// independently, and results are reduced in configuration order
+    /// ([`DesignSpace::configurations`]), so the output — and, via the
+    /// scoped-capture + commutative-merge telemetry protocol, the metric
+    /// totals — are byte-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`BuildStarError`] in configuration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn evaluate_par(
+        &self,
+        exec: &Executor,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<DesignPoint>, BuildStarError> {
         assert!(!rows.is_empty(), "need at least one evaluation row");
         let max_len = rows.iter().map(Vec::len).max().expect("non-empty");
         let mut exact = ExactSoftmax::new();
         let references: Vec<Vec<f64>> = rows.iter().map(|r| exact.softmax_row(r)).collect();
 
-        let mut points = Vec::with_capacity(self.len());
-        for &format in &self.formats {
-            for &exp_bits in &self.exp_word_bits {
-                for &q_bits in &self.quotient_bits {
-                    let config = StarSoftmaxConfig::new(format)
-                        .with_exp_word_bits(exp_bits)
-                        .with_quotient_bits(q_bits)
-                        .with_max_row_len(max_len);
-                    let mut engine = StarSoftmax::new(config)?;
-                    let mut err_sum = 0.0;
-                    let mut elems = 0usize;
-                    let mut agree = 0usize;
-                    for (row, reference) in rows.iter().zip(&references) {
-                        let p = engine.softmax_row(row);
-                        err_sum += p.iter().zip(reference).map(|(a, b)| (a - b).abs()).sum::<f64>();
-                        elems += row.len();
-                        if argmax(&p) == argmax(reference) {
-                            agree += 1;
-                        }
+        let configs = self.configurations();
+        let evaluated = exec.par_map(&configs, |_, &(format, exp_bits, q_bits)| {
+            star_telemetry::with_scoped(|| {
+                let config = StarSoftmaxConfig::new(format)
+                    .with_exp_word_bits(exp_bits)
+                    .with_quotient_bits(q_bits)
+                    .with_max_row_len(max_len);
+                let mut engine = StarSoftmax::new(config)?;
+                let mut err_sum = 0.0;
+                let mut elems = 0usize;
+                let mut agree = 0usize;
+                for (row, reference) in rows.iter().zip(&references) {
+                    let p = engine.softmax_row(row);
+                    err_sum += p.iter().zip(reference).map(|(a, b)| (a - b).abs()).sum::<f64>();
+                    elems += row.len();
+                    if argmax(&p) == argmax(reference) {
+                        agree += 1;
                     }
-                    let sheet = engine.cost_sheet();
-                    points.push(DesignPoint {
-                        format,
-                        exp_word_bits: exp_bits,
-                        quotient_bits: q_bits,
-                        area_um2: sheet.total_area().value(),
-                        power_mw: sheet.total_power().value(),
-                        row_latency_ns: engine.row_cost(128).latency.value(),
-                        mean_abs_error: err_sum / elems as f64,
-                        top1_agreement: agree as f64 / rows.len() as f64,
-                    });
                 }
-            }
+                let sheet = engine.cost_sheet();
+                Ok(DesignPoint {
+                    format,
+                    exp_word_bits: exp_bits,
+                    quotient_bits: q_bits,
+                    area_um2: sheet.total_area().value(),
+                    power_mw: sheet.total_power().value(),
+                    row_latency_ns: engine.row_cost(128).latency.value(),
+                    mean_abs_error: err_sum / elems as f64,
+                    top1_agreement: agree as f64 / rows.len() as f64,
+                })
+            })
+        });
+        let mut points = Vec::with_capacity(configs.len());
+        for (result, snap) in evaluated {
+            star_telemetry::absorb(&snap);
+            points.push(result?);
         }
         Ok(points)
     }
@@ -172,6 +217,21 @@ mod tests {
             assert!(p.mean_abs_error.is_finite());
             assert!((0.0..=1.0).contains(&p.top1_agreement));
         }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_bitwise() {
+        let space = small_space();
+        let rows = rows();
+        let serial = space.evaluate(&rows).expect("all build");
+        for workers in [2, 8] {
+            let par = space.evaluate_par(&Executor::new(workers), &rows).expect("all build");
+            assert_eq!(par, serial, "workers={workers}");
+        }
+        // Configuration order is the reporting contract.
+        let order: Vec<_> =
+            serial.iter().map(|p| (p.format, p.exp_word_bits, p.quotient_bits)).collect();
+        assert_eq!(order, space.configurations());
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Cross-engine differential suite.
+//!
+//! Every softmax engine in the repo — the STAR crossbar engine, the CMOS
+//! FP32 baseline, Softermax, and the exact-FP32 reference — is run against
+//! the exact FP64 reference on the same rows, and the disagreement is
+//! checked against *documented* error bounds. The rows cover both the
+//! calibrated dataset distributions (CNEWS / MRPC / CoLA, each at its
+//! paper bit-width) and hand-built adversarial inputs:
+//!
+//! - all-equal rows (the max-subtraction degenerate case: every
+//!   difference is zero, the output must be uniform),
+//! - single-spike rows (near-one-hot outputs; the winner must win),
+//! - saturating rows (scores beyond the fixed-point range clamp to the
+//!   format edge — STAR must degrade to uniform, not NaN or garbage),
+//! - quantization-edge rows (scores exactly on and exactly between
+//!   9-bit codes, the worst case for round-to-nearest).
+//!
+//! The error bounds asserted here were calibrated by running the suite
+//! with `--nocapture` (each test prints the observed maxima) and rounding
+//! up with ≥2× headroom, so they are regression tripwires, not theory.
+//! The dominant terms they bundle:
+//!
+//! - input quantization: ±½·2⁻ᶠʳᵃᶜ on each score before max-subtraction;
+//! - STAR's exponential LUT: codes carry `exp_word_bits` (default 16)
+//!   fractional bits, so each numerator is off by ≤2⁻¹⁶ relative;
+//! - STAR's iterative divider: truncated at `quotient_bits` (default 16)
+//!   fractional bits, always *under*-estimating the true quotient;
+//! - Softermax's 12-bit power-of-two codes and 12-bit quotients.
+//!
+//! The CAM max-search is held to a stricter standard than the arithmetic:
+//! it must agree with a scalar argmax *exactly* (same max value, same
+//! one-hot row) on every input, because stage 1 errors are not graceful —
+//! a wrong max breaks the numerical stability of everything downstream.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use star_attention::{ExactF32Softmax, ExactSoftmax, RowSoftmax};
+use star_core::{CmosBaselineSoftmax, Softermax, StarSoftmax, StarSoftmaxConfig};
+use star_crossbar::CamSubCrossbar;
+use star_device::{NoiseModel, TechnologyParams};
+use star_fixed::{Fixed, QFormat, Rounding};
+use star_workload::{Dataset, ScoreTrace};
+
+/// Largest absolute per-element disagreement between two probability rows.
+fn max_abs_err(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "rows must be comparable");
+    p.iter().zip(q).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+/// Index of the largest element (first winner on ties) — the scalar
+/// reference the CAM search is compared against.
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Tie-aware top-1 agreement: the engine agrees with the reference if the
+/// reference winner is among the engine's *maximal* outputs. Quantized
+/// engines legitimately collapse a sub-resolution top-2 gap into an exact
+/// tie; that is a loss of resolution, not a ranking error, and the
+/// bit-width study (E4) already charges for it separately.
+fn top1_agrees(probs: &[f64], reference: &[f64]) -> bool {
+    let peak = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    probs[argmax(reference)] == peak
+}
+
+/// Asserts the basic well-formedness contract every engine promises:
+/// same length, all entries non-negative and finite, sum within
+/// `sum_tol` of 1.
+fn assert_valid_distribution(name: &str, row: &[f64], probs: &[f64], sum_tol: f64) {
+    assert_eq!(probs.len(), row.len(), "{name}: row length changed");
+    for (i, &p) in probs.iter().enumerate() {
+        assert!(p.is_finite() && p >= 0.0, "{name}: probs[{i}] = {p} on row {row:?}");
+    }
+    let sum: f64 = probs.iter().sum();
+    assert!((sum - 1.0).abs() <= sum_tol, "{name}: sum {sum} outside 1 ± {sum_tol}");
+}
+
+/// One engine under test plus its calibrated per-element error bound
+/// against the exact FP64 reference and its normalization tolerance.
+struct Contender {
+    engine: Box<dyn RowSoftmax>,
+    /// Documented per-element |Δp| bound vs exact FP64.
+    elem_bound: f64,
+    /// Documented |Σp − 1| bound.
+    sum_tol: f64,
+    /// Minimum fraction of rows whose argmax matches the reference.
+    top1_floor: f64,
+}
+
+/// The full contender lineup at one dataset's paper operating point.
+fn contenders(format: QFormat) -> Vec<Contender> {
+    vec![
+        // FP32 references: quantization error is ~2⁻²⁴ relative, far
+        // below the fixed-point engines. Bound chosen ≥2× observed.
+        Contender {
+            engine: Box::new(ExactF32Softmax::new()),
+            elem_bound: 1e-6,
+            sum_tol: 1e-6,
+            top1_floor: 1.0,
+        },
+        Contender {
+            engine: Box::new(CmosBaselineSoftmax::new(8)),
+            elem_bound: 1e-6,
+            sum_tol: 1e-6,
+            top1_floor: 1.0,
+        },
+        // Softermax: inputs are scaled by log₂e *then* quantized, so the
+        // effective resolution is coarser and high scores saturate at
+        // format.max_value()/log₂e ≈ 22. Observed max |Δp| ≈ 0.08 on the
+        // saturating CNEWS/CoLA peaks; sub-resolution top-2 gaps collapse
+        // to exact ties (tolerated by the tie-aware top-1 metric).
+        Contender {
+            engine: Box::new(Softermax::new(format, 8)),
+            elem_bound: 0.25,
+            sum_tol: 0.05,
+            top1_floor: 0.90,
+        },
+        // STAR at the paper operating point for this dataset. Observed
+        // max |Δp| ≈ 0.04 (CoLA 7-bit, coarsest grid); the divider
+        // truncates so sums fall short of 1 by ≤ n·2⁻¹⁶ plus exp-code
+        // rounding.
+        Contender {
+            engine: Box::new(
+                StarSoftmax::new(StarSoftmaxConfig::new(format)).expect("paper config builds"),
+            ),
+            elem_bound: 0.10,
+            sum_tol: 0.02,
+            top1_floor: 0.95,
+        },
+    ]
+}
+
+/// The three paper operating points: dataset distribution + its format.
+fn paper_points() -> [(Dataset, QFormat); 3] {
+    [
+        (Dataset::Cnews, QFormat::CNEWS),
+        (Dataset::Mrpc, QFormat::MRPC),
+        (Dataset::Cola, QFormat::COLA),
+    ]
+}
+
+// ───────────────────────── random (calibrated) rows ─────────────────────────
+
+#[test]
+fn engines_track_exact_reference_on_dataset_rows() {
+    let mut exact = ExactSoftmax::new();
+    for (dataset, format) in paper_points() {
+        let trace = ScoreTrace::generate(dataset, 64, 48, 0xD1FF);
+        for c in &mut contenders(format) {
+            let name = c.engine.name().to_string();
+            let mut worst_elem = 0.0f64;
+            let mut worst_sum = 0.0f64;
+            let mut agree = 0usize;
+            for row in &trace.rows {
+                let reference = exact.softmax_row(row);
+                let probs = c.engine.softmax_row(row);
+                assert_valid_distribution(&name, row, &probs, c.sum_tol);
+                worst_elem = worst_elem.max(max_abs_err(&probs, &reference));
+                worst_sum = worst_sum.max((probs.iter().sum::<f64>() - 1.0).abs());
+                if top1_agrees(&probs, &reference) {
+                    agree += 1;
+                }
+            }
+            let top1 = agree as f64 / trace.rows.len() as f64;
+            eprintln!(
+                "[calibrate] {dataset:?}/{name}: max|Δp| {worst_elem:.3e}, \
+                 max|Σ−1| {worst_sum:.3e}, top1 {top1:.3}"
+            );
+            assert!(
+                worst_elem <= c.elem_bound,
+                "{dataset:?}/{name}: max element error {worst_elem:.3e} > bound {:.3e}",
+                c.elem_bound
+            );
+            assert!(
+                top1 >= c.top1_floor,
+                "{dataset:?}/{name}: top-1 agreement {top1:.3} < floor {}",
+                c.top1_floor
+            );
+        }
+    }
+}
+
+// ───────────────────────── adversarial rows ─────────────────────────
+
+#[test]
+fn all_equal_rows_stay_uniform() {
+    // Every difference from the max is zero, so every engine must return
+    // the uniform distribution up to its divider precision — including at
+    // scores that saturate the fixed-point format.
+    for (_, format) in paper_points() {
+        for c in &mut contenders(format) {
+            let name = c.engine.name().to_string();
+            for &value in &[-30.0, -1.5, 0.0, 1.5, 12.0] {
+                for &n in &[1usize, 2, 7, 64] {
+                    let row = vec![value; n];
+                    let probs = c.engine.softmax_row(&row);
+                    assert_valid_distribution(&name, &row, &probs, c.sum_tol);
+                    let uniform = 1.0 / n as f64;
+                    for &p in &probs {
+                        assert!(
+                            (p - uniform).abs() <= c.elem_bound.max(1e-4),
+                            "{name}: all-equal row ({value}, n={n}) gave {p}, want {uniform}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_spike_rows_are_one_hot() {
+    // One score dominates by far more than any engine's resolution: the
+    // winner must take (essentially) all the mass, and every engine must
+    // put its argmax on the spike.
+    for (_, format) in paper_points() {
+        let spike = format.max_value() * 0.5;
+        let floor = -format.max_value() * 0.5;
+        for c in &mut contenders(format) {
+            let name = c.engine.name().to_string();
+            for spike_at in [0usize, 3, 15] {
+                let mut row = vec![floor; 16];
+                row[spike_at] = spike;
+                let probs = c.engine.softmax_row(&row);
+                assert_valid_distribution(&name, &row, &probs, c.sum_tol);
+                assert_eq!(argmax(&probs), spike_at, "{name}: spike moved");
+                assert!(
+                    probs[spike_at] >= 0.95,
+                    "{name}: winner got only {} of the mass",
+                    probs[spike_at]
+                );
+                for (i, &p) in probs.iter().enumerate() {
+                    if i != spike_at {
+                        assert!(p <= 0.01, "{name}: loser {i} got {p}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn max_negative_rows_saturate_gracefully() {
+    // Scores far below the representable range clamp to the format
+    // minimum. All-saturated rows become all-equal rows (uniform output);
+    // one in-range score against a saturated floor is a spike.
+    for (_, format) in paper_points() {
+        for c in &mut contenders(format) {
+            let name = c.engine.name().to_string();
+            let row = vec![-1e4; 32];
+            let probs = c.engine.softmax_row(&row);
+            assert_valid_distribution(&name, &row, &probs, c.sum_tol);
+            for &p in &probs {
+                assert!((p - 1.0 / 32.0).abs() <= c.elem_bound.max(1e-4), "{name}: {p}");
+            }
+
+            let mut spiked = vec![-1e4; 32];
+            spiked[17] = 0.0;
+            let probs = c.engine.softmax_row(&spiked);
+            assert_valid_distribution(&name, &spiked, &probs, c.sum_tol);
+            assert_eq!(argmax(&probs), 17, "{name}: in-range score lost to saturated floor");
+            assert!(probs[17] >= 0.95, "{name}: winner got {}", probs[17]);
+        }
+    }
+}
+
+#[test]
+fn quantization_edge_rows_stay_bounded() {
+    // Rows built from scores exactly *on* the 9-bit MRPC grid and exactly
+    // *between* adjacent codes (the worst case for round-to-nearest).
+    // On-grid rows quantize losslessly, so STAR's remaining error is just
+    // the exp LUT + divider — an order of magnitude below the documented
+    // random-row bound.
+    let format = QFormat::MRPC;
+    let res = format.resolution();
+    let mut exact = ExactSoftmax::new();
+
+    let on_grid: Vec<f64> = (-8..8).map(|k| k as f64 * res * 3.0).collect();
+    let half_step: Vec<f64> = (-8..8).map(|k| k as f64 * res * 3.0 + res / 2.0).collect();
+
+    for c in &mut contenders(format) {
+        let name = c.engine.name().to_string();
+        for row in [&on_grid, &half_step] {
+            let reference = exact.softmax_row(row);
+            let probs = c.engine.softmax_row(row);
+            assert_valid_distribution(&name, row, &probs, c.sum_tol);
+            let err = max_abs_err(&probs, &reference);
+            eprintln!("[calibrate] edge/{name}: max|Δp| {err:.3e}");
+            assert!(err <= c.elem_bound, "{name}: edge-row error {err:.3e} > {:.3e}", c.elem_bound);
+            assert_eq!(argmax(&probs), argmax(&reference), "{name}: edge row moved the argmax");
+        }
+    }
+
+    // The half-step scores sit exactly between codes; nearest-rounding
+    // must move each by exactly res/2 and never more.
+    for &s in &half_step {
+        let q = Fixed::from_f64(s, format, Rounding::Nearest);
+        assert!(
+            (q.to_f64() - s).abs() <= res / 2.0 + 1e-12,
+            "rounding moved {s} to {} (> half a step)",
+            q.to_f64()
+        );
+    }
+}
+
+// ───────────────────────── CAM max-search vs scalar argmax ─────────────────────────
+
+/// Scalar reference: the maximum of a fixed-point slice by raw code.
+fn scalar_max(inputs: &[Fixed]) -> Fixed {
+    *inputs.iter().max_by_key(|f| f.raw()).expect("non-empty")
+}
+
+#[test]
+fn cam_max_search_agrees_with_scalar_argmax_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xCA4);
+    for format in [QFormat::CNEWS, QFormat::MRPC, QFormat::COLA] {
+        let mut cam =
+            CamSubCrossbar::new(format, &TechnologyParams::cmos32(), NoiseModel::ideal(), &mut rng);
+        let span = format.max_value();
+        for len in [1usize, 2, 3, 17, 64, 128] {
+            let inputs: Vec<Fixed> = (0..len)
+                .map(|_| Fixed::from_f64(rng.gen_range(-span..span), format, Rounding::Nearest))
+                .collect();
+            let result = cam.find_max(&inputs).expect("search succeeds under ideal noise");
+            let want = scalar_max(&inputs);
+            assert_eq!(result.max.raw(), want.raw(), "{format:?}/len {len}: wrong max");
+            assert_eq!(result.row, cam.row_of(want), "{format:?}/len {len}: wrong winning row");
+            assert_eq!(
+                cam.value_of(result.row).raw(),
+                want.raw(),
+                "{format:?}/len {len}: row does not read back to the max"
+            );
+            // Ideal noise: every input matched some row, and each matched
+            // row reads back to exactly that input.
+            for (input, row) in inputs.iter().zip(&result.per_input_rows) {
+                let row = row.expect("ideal CAM always matches");
+                assert_eq!(cam.value_of(row).raw(), input.raw(), "per-input row mismatch");
+            }
+        }
+    }
+}
+
+#[test]
+fn cam_max_search_handles_ties_and_extremes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xCA5);
+    let format = QFormat::MRPC;
+    let mut cam =
+        CamSubCrossbar::new(format, &TechnologyParams::cmos32(), NoiseModel::ideal(), &mut rng);
+
+    // Duplicated maxima: the winning row is *the* row encoding that
+    // value, so ties are resolved consistently by construction.
+    let tied = vec![
+        Fixed::from_f64(3.0, format, Rounding::Nearest),
+        Fixed::from_f64(-2.0, format, Rounding::Nearest),
+        Fixed::from_f64(3.0, format, Rounding::Nearest),
+    ];
+    let r = cam.find_max(&tied).expect("search");
+    assert_eq!(r.max.raw(), tied[0].raw());
+    assert_eq!(r.row, cam.row_of(tied[0]));
+
+    // All-equal input, format extremes, single element.
+    for value in [Fixed::max(format), Fixed::min(format), Fixed::zero(format)] {
+        let all_equal = vec![value; 9];
+        let r = cam.find_max(&all_equal).expect("search");
+        assert_eq!(r.max.raw(), value.raw(), "all-equal at {value:?}");
+        let single = vec![value];
+        let r = cam.find_max(&single).expect("search");
+        assert_eq!(r.max.raw(), value.raw(), "singleton at {value:?}");
+    }
+}

@@ -1,0 +1,119 @@
+//! The per-worker work-stealing deque.
+//!
+//! Shaped like the crossbeam/Chase–Lev deque — the owning worker treats its
+//! end as a LIFO stack (good cache locality: the most recently produced
+//! task is the hottest), while thieves take from the opposite end (FIFO:
+//! they grab the *oldest* task, which in a block-partitioned schedule is
+//! the start of the largest remaining contiguous run).
+//!
+//! The lock-free Chase–Lev algorithm needs `unsafe` for its raw circular
+//! buffer; the workspace is `#![forbid(unsafe_code)]` and dependency-free,
+//! so this implementation guards a `VecDeque` with a `Mutex` instead. The
+//! *scheduling* behaviour (owner-LIFO / thief-FIFO) is identical, and for
+//! the coarse-grained tasks this workspace runs (whole attention heads,
+//! whole engine configurations, whole experiment processes) the lock is
+//! never contended long enough to matter.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A double-ended work queue owned by one worker and stolen from by the
+/// rest.
+#[derive(Debug, Default)]
+pub struct WorkDeque<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> WorkDeque<T> {
+    /// An empty deque.
+    pub fn new() -> Self {
+        WorkDeque { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// A deque pre-loaded with `items` (front = first to be stolen,
+    /// back = first to be popped by the owner).
+    pub fn seeded(items: impl IntoIterator<Item = T>) -> Self {
+        WorkDeque { queue: Mutex::new(items.into_iter().collect()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // Tasks run *outside* the lock, so a panicking task can never
+        // poison the deque mid-mutation; recover the guard.
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Owner side: push a task onto the hot end.
+    pub fn push(&self, item: T) {
+        self.lock().push_back(item);
+    }
+
+    /// Owner side: pop the most recently pushed task (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_back()
+    }
+
+    /// Thief side: steal the oldest task (FIFO).
+    pub fn steal(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Number of queued tasks (snapshot; may be stale by the time the
+    /// caller acts on it).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no task is queued (snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = WorkDeque::new();
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.pop(), Some(3), "owner pops the hot end");
+        assert_eq!(d.steal(), Some(1), "thief steals the cold end");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn seeded_preserves_order() {
+        let d = WorkDeque::seeded(0..4);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn survives_concurrent_stealing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let d = WorkDeque::seeded(0..1000usize);
+        let taken = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while d.steal().is_some() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            while d.pop().is_some() {
+                taken.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), 1000, "every task taken exactly once");
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! star-exec: the deterministic work-stealing parallel execution layer.
+//!
+//! Every hot path of the STAR reproduction that is *device-math-free* —
+//! per-head attention, per-row softmax dispatch, design-space sweeps, the
+//! experiment fan-out — is embarrassingly parallel (the paper's own
+//! pipeline exploits exactly this vector-grained head/row parallelism in
+//! hardware). This crate provides the shared substrate:
+//!
+//! - [`Executor`] — a fork–join executor with a fixed worker count,
+//!   configured explicitly ([`Executor::new`]) or from the
+//!   `STAR_EXEC_THREADS` environment variable ([`Executor::from_env`]),
+//! - [`Executor::par_map`] / [`Executor::par_chunks`] — data-parallel maps
+//!   with **deterministic, index-ordered reduction**,
+//! - [`Executor::scope`] — heterogeneous fork–join task batches,
+//! - [`WorkDeque`] — the per-worker owner-LIFO / thief-FIFO deque
+//!   (crossbeam-style semantics, implemented locally and lock-based so the
+//!   workspace stays `#![forbid(unsafe_code)]` and dependency-free).
+//!
+//! # Determinism contract
+//!
+//! Same inputs ⇒ byte-identical outputs **regardless of worker count**.
+//! Work stealing reassigns *who* runs a task, never what it computes:
+//! results land in per-index slots and are reduced in index order, and the
+//! single-worker fallback is a plain ordered loop. Telemetry recorded by
+//! worker tasks is captured per task via `star_telemetry::with_scoped` at
+//! the call sites and folded into the parent registry with the commutative
+//! `Registry::merge`, so metric totals are also independent of scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use star_exec::Executor;
+//!
+//! let a = Executor::new(8).par_map(&[1.0f64, 2.0, 3.0], |_, x| x.exp());
+//! let b = Executor::serial().par_map(&[1.0f64, 2.0, 3.0], |_, x| x.exp());
+//! assert_eq!(a, b); // bit-identical, not just approximately equal
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deque;
+mod executor;
+
+pub use deque::WorkDeque;
+pub use executor::{Executor, Scope, MAX_THREADS, THREADS_ENV};

@@ -125,6 +125,32 @@ pub fn observe_with(name: &str, value: f64, bounds: &[f64]) {
     dispatch(|r| r.observe_with(name, value, bounds));
 }
 
+/// Folds `snap` into the active (scoped-or-global) registry with the
+/// commutative [`Registry::merge`].
+///
+/// This is the parent half of the thread-merged telemetry protocol used by
+/// the `star-exec` parallel regions: each worker task runs under
+/// [`with_scoped`] (worker threads have their own scope stacks, so their
+/// metrics never race the parent's), returns its [`Snapshot`] alongside
+/// its result, and the parent absorbs the snapshots in index order. The
+/// merge being commutative makes the folded totals identical for every
+/// worker count and schedule.
+///
+/// ```
+/// let ((), outer) = star_telemetry::with_scoped(|| {
+///     let worker_snaps: Vec<star_telemetry::Snapshot> = (0..4)
+///         .map(|_| star_telemetry::with_scoped(|| star_telemetry::count("w.tasks", 1)).1)
+///         .collect();
+///     for snap in &worker_snaps {
+///         star_telemetry::absorb(snap);
+///     }
+/// });
+/// assert_eq!(outer.counters["w.tasks"], 4);
+/// ```
+pub fn absorb(snap: &Snapshot) {
+    dispatch(|r| r.merge(snap));
+}
+
 /// Snapshot the active (scoped-or-global) registry.
 pub fn snapshot() -> Snapshot {
     let scoped = SCOPED.with(|s| s.borrow().last().map(Rc::clone));

@@ -213,6 +213,59 @@ impl Registry {
         let mut inner = self.lock();
         *inner = Inner::default();
     }
+
+    /// Folds a snapshot into this registry: counters and gauges add,
+    /// histograms add bucket-wise. This is the **commutative** reduction
+    /// used to fold per-worker scoped registries back into the parent
+    /// after a parallel region — because every combination is addition,
+    /// the merged totals are independent of the order workers finished in,
+    /// which is what makes parallel telemetry deterministic.
+    ///
+    /// Two caveats, both documented properties rather than surprises:
+    ///
+    /// - *Level* gauges (written with [`Registry::set`]) are merged
+    ///   additively like accumulators. Last-write-wins has no commutative
+    ///   merge; parallel code should only record additive quantities
+    ///   (which is all the simulator's hot paths do).
+    /// - Histograms whose bucket bounds differ from the resident ones
+    ///   cannot be aligned bucket-by-bucket; their observations are folded
+    ///   into the resident histogram's overflow bucket (count and sum are
+    ///   preserved exactly).
+    pub fn merge(&self, other: &Snapshot) {
+        let mut inner = self.lock();
+        for (name, &v) in &other.counters {
+            *inner.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &v) in &other.gauges {
+            *inner.gauges.entry(name.clone()).or_insert(0.0) += v;
+        }
+        for (name, h) in &other.histograms {
+            match inner.histograms.get_mut(name) {
+                None => {
+                    inner.histograms.insert(
+                        name.clone(),
+                        Histogram {
+                            bounds: h.bounds.clone(),
+                            counts: h.counts.clone(),
+                            sum: h.sum,
+                        },
+                    );
+                }
+                Some(mine) if mine.bounds == h.bounds => {
+                    for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    mine.sum += h.sum;
+                }
+                Some(mine) => {
+                    // Incompatible bucket layouts: preserve totals in the
+                    // overflow bucket rather than dropping observations.
+                    *mine.counts.last_mut().expect("histograms have an overflow bucket") += h.total;
+                    mine.sum += h.sum;
+                }
+            }
+        }
+    }
 }
 
 /// A point-in-time copy of a [`Registry`], serializable and diffable.
@@ -278,6 +331,18 @@ impl Snapshot {
             .filter(|(_, h)| h.total > 0)
             .collect();
         Snapshot { counters, gauges, histograms }
+    }
+
+    /// The commutative pure form of [`Registry::merge`]: a snapshot
+    /// holding the sum of `self` and `other`. `a.merged(&b) ==
+    /// b.merged(&a)` whenever the two snapshots' histograms use the same
+    /// bucket bounds (mismatched bounds fold into the overflow bucket of
+    /// whichever operand is merged first — see [`Registry::merge`]).
+    pub fn merged(&self, other: &Snapshot) -> Snapshot {
+        let reg = Registry::new();
+        reg.merge(self);
+        reg.merge(other);
+        reg.snapshot()
     }
 
     /// Counter names that start with `prefix` (used by reports and tests
@@ -445,6 +510,66 @@ mod tests {
         let json = serde_json::to_string(&snap).expect("serialize");
         let back: Snapshot = serde_json::from_str(&json).expect("parse");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_adds_every_metric_kind() {
+        let a = Registry::new();
+        a.count("ops", 3);
+        a.add("energy", 1.5);
+        a.observe("h", 2.0);
+        let b = Registry::new();
+        b.count("ops", 4);
+        b.count("only_b", 1);
+        b.add("energy", 0.5);
+        b.observe("h", 3.0);
+        a.merge(&b.snapshot());
+        let merged = a.snapshot();
+        assert_eq!(merged.counters["ops"], 7);
+        assert_eq!(merged.counters["only_b"], 1);
+        assert!((merged.gauges["energy"] - 2.0).abs() < 1e-12);
+        assert_eq!(merged.histograms["h"].total, 2);
+        assert!((merged.histograms["h"].sum - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let src = Registry::new();
+        src.count("x", 9);
+        src.add("g", 4.25);
+        src.observe_with("h", 1.5, &[1.0, 2.0]);
+        let snap = src.snapshot();
+        let dst = Registry::new();
+        dst.merge(&snap);
+        assert_eq!(dst.snapshot(), snap);
+    }
+
+    #[test]
+    fn merged_snapshots_commute() {
+        let a = Registry::new();
+        a.count("ops", 2);
+        a.observe("h", 0.5);
+        let b = Registry::new();
+        b.count("ops", 5);
+        b.add("e", 1.0);
+        b.observe("h", 7.0);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.merged(&sb), sb.merged(&sa));
+    }
+
+    #[test]
+    fn merge_mismatched_bounds_preserves_totals_in_overflow() {
+        let a = Registry::new();
+        a.observe_with("h", 0.5, &[1.0, 2.0]);
+        let b = Registry::new();
+        b.observe_with("h", 0.5, &[10.0]);
+        b.observe_with("h", 0.25, &[10.0]);
+        a.merge(&b.snapshot());
+        let h = &a.snapshot().histograms["h"];
+        assert_eq!(h.bounds, vec![1.0, 2.0], "resident bounds win");
+        assert_eq!(h.total, 3, "no observation dropped");
+        assert_eq!(*h.counts.last().unwrap(), 2, "foreign observations land in overflow");
+        assert!((h.sum - 1.25).abs() < 1e-12);
     }
 
     #[test]

@@ -83,6 +83,68 @@ proptest! {
     }
 
     #[test]
+    fn merge_is_commutative_and_associative(
+        a in prop::collection::vec((names(), 1u64..1000), 0..16),
+        b in prop::collection::vec((names(), 1u64..1000), 0..16),
+        c in prop::collection::vec((names(), 1u64..1000), 0..16),
+        values in prop::collection::vec(-1e3f64..1e3, 3),
+    ) {
+        let snaps: Vec<Snapshot> = [(&a, values[0]), (&b, values[1]), (&c, values[2])]
+            .iter()
+            .map(|(ops, v)| {
+                let reg = Registry::new();
+                apply_counts(&reg, ops);
+                reg.add("star.energy.exp_pj", *v);
+                reg.observe("star.softmax.row_len", v.abs());
+                reg.snapshot()
+            })
+            .collect();
+        let (sa, sb, sc) = (&snaps[0], &snaps[1], &snaps[2]);
+        // IEEE-754 addition is commutative, so two-way merges are
+        // *bit-identical* in either order …
+        prop_assert_eq!(sa.merged(sb), sb.merged(sa));
+        // … but not associative: regrouping three merges may move the last
+        // ulp of an f64 gauge. The integer parts (counters, histogram
+        // bucket counts) are exactly associative; float accumulators agree
+        // to rounding. This is precisely why the executor's call sites
+        // fold worker snapshots in *index order* — a fixed fold order plus
+        // commutativity makes parallel telemetry bit-deterministic.
+        let left = sa.merged(sb).merged(sc);
+        let right = sa.merged(&sb.merged(sc));
+        prop_assert_eq!(&left.counters, &right.counters);
+        for (name, lh) in &left.histograms {
+            let rh = &right.histograms[name];
+            prop_assert_eq!(&lh.counts, &rh.counts);
+            prop_assert_eq!(lh.total, rh.total);
+            prop_assert!((lh.sum - rh.sum).abs() <= 1e-9 * lh.sum.abs().max(1.0));
+        }
+        for (name, lv) in &left.gauges {
+            let rv = right.gauges[name];
+            prop_assert!((lv - rv).abs() <= 1e-9 * lv.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn merge_equals_running_both_workloads_in_one_registry(
+        a in prop::collection::vec((names(), 1u64..1000), 0..16),
+        b in prop::collection::vec((names(), 1u64..1000), 0..16),
+    ) {
+        // Two "workers" record independently and merge into a parent …
+        let (wa, wb) = (Registry::new(), Registry::new());
+        apply_counts(&wa, &a);
+        apply_counts(&wb, &b);
+        let parent = Registry::new();
+        parent.merge(&wa.snapshot());
+        parent.merge(&wb.snapshot());
+        // … which is indistinguishable from one serial registry that ran
+        // the concatenated workload.
+        let serial = Registry::new();
+        apply_counts(&serial, &a);
+        apply_counts(&serial, &b);
+        prop_assert_eq!(parent.snapshot(), serial.snapshot());
+    }
+
+    #[test]
     fn disabled_registry_records_nothing(
         ops in prop::collection::vec((names(), 1u64..1000), 0..16),
     ) {

@@ -5,7 +5,7 @@
 
 use star_arch::{Accelerator, RramAccelerator};
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_core::PipelineMode;
 
 fn main() {
@@ -56,7 +56,7 @@ fn main() {
         (full.efficiency_gain_over(&engine_only) - 1.0) * 100.0
     );
 
-    let path = write_json(
+    let (path, telemetry) = finalize_experiment(
         "a1_pipeline_ablation",
         &serde_json::json!({
             "sweep": rows,
@@ -69,7 +69,5 @@ fn main() {
     )
     .expect("write");
     println!("\nwrote {}", path.display());
-    let telemetry =
-        write_telemetry_sidecar("a1_pipeline_ablation").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

@@ -2,7 +2,7 @@
 //! area, power, and attention accuracy move as the softmax bitwidth steps
 //! through the three paper formats (7, 8, 9 bits) and beyond.
 
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_core::precision::evaluate_format;
 use star_core::{SoftmaxEngine, StarSoftmax, StarSoftmaxConfig};
 use star_fixed::QFormat;
@@ -54,8 +54,9 @@ fn main() {
     }
 
     println!("\n  shape check: area/power grow with bits, error falls with bits");
-    let path = write_json("a2_bitwidth_cost", &serde_json::json!({"sweep": rows})).expect("write");
+    let (path, telemetry) =
+        finalize_experiment("a2_bitwidth_cost", &serde_json::json!({"sweep": rows}))
+            .expect("write");
     println!("wrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("a2_bitwidth_cost").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

@@ -5,7 +5,7 @@
 
 use star_arch::{gops_per_watt, MatMulEngine, MatMulEngineConfig};
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_device::Energy;
 
 fn main() {
@@ -74,13 +74,12 @@ fn main() {
         }));
     }
 
-    let path = write_json(
+    let (path, telemetry) = finalize_experiment(
         "a3_matmul_sweep",
         &serde_json::json!({"adc_sweep": adc_rows, "size_sweep": size_rows, "mlc_sweep": mlc_rows}),
     )
     .expect("write");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("a3_matmul_sweep").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }
 

@@ -5,7 +5,7 @@
 
 use star_arch::RramAccelerator;
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_device::{EnduranceModel, RetentionModel};
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
     header("A4: retention of STAR's one-time-programmed tables");
     println!("  conductance window holds 90 % margin for {years:.1} years");
 
-    let path = write_json(
+    let (path, telemetry) = finalize_experiment(
         "a4_endurance",
         &serde_json::json!({
             "endurance_model": endurance,
@@ -49,6 +49,5 @@ fn main() {
     )
     .expect("write");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("a4_endurance").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

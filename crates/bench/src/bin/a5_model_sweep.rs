@@ -9,7 +9,7 @@
 
 use star_arch::{Accelerator, GpuModel, RramAccelerator};
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_exec::Executor;
 
 fn main() {
@@ -87,12 +87,11 @@ fn main() {
         }));
     }
 
-    let path = write_json(
+    let (path, telemetry) = finalize_experiment(
         "a5_model_sweep",
         &serde_json::json!({"attention_layer": layer_rows, "full_model": model_rows}),
     )
     .expect("write");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("a5_model_sweep").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

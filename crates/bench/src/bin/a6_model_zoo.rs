@@ -7,7 +7,7 @@
 
 use star_arch::{Accelerator, GpuModel, RramAccelerator};
 use star_attention::AttentionConfig;
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_exec::Executor;
 
 struct ModelEval {
@@ -104,12 +104,11 @@ fn main() {
         }));
     }
 
-    let path = write_json(
+    let (path, telemetry) = finalize_experiment(
         "a6_model_zoo",
         &serde_json::json!({"attention_layer": rows, "star_full_model": model_rows}),
     )
     .expect("write");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("a6_model_zoo").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

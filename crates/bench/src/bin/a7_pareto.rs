@@ -4,7 +4,7 @@
 //! frontier of (area, power, accuracy). Shows the paper's configuration
 //! choices sit on (or next to) the frontier.
 
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_core::design_space::{pareto_front, DesignSpace};
 use star_exec::Executor;
 use star_workload::{Dataset, ScoreTrace};
@@ -57,10 +57,11 @@ fn main() {
     }
     println!("  frontier size: {} of {}", front.len(), points.len());
 
-    let path =
-        write_json("a7_pareto", &serde_json::json!({"points": points, "pareto_front": front}))
-            .expect("write");
+    let (path, telemetry) = finalize_experiment(
+        "a7_pareto",
+        &serde_json::json!({"points": points, "pareto_front": front}),
+    )
+    .expect("write");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("a7_pareto").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

@@ -6,7 +6,7 @@
 use serde::Serialize;
 use star_arch::GpuModel;
 use star_attention::AttentionConfig;
-use star_bench::{compare_line, header, write_json, write_telemetry_sidecar};
+use star_bench::{compare_line, finalize_experiment, header};
 
 #[derive(Serialize)]
 struct SharePoint {
@@ -53,7 +53,7 @@ fn main() {
     println!("{}", compare_line("crossover sequence length", 512.0, crossover as f64));
     println!("{}", compare_line("max softmax share (%)", 59.20, max_share * 100.0));
 
-    let path = write_json(
+    let (path, telemetry) = finalize_experiment(
         "e1_softmax_share",
         &serde_json::json!({
             "points": points,
@@ -64,6 +64,5 @@ fn main() {
     )
     .expect("write results");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("e1_softmax_share").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

@@ -2,7 +2,7 @@
 //! baseline CMOS softmax. Evaluated as in the paper at the BERT-base /
 //! CNEWS operating point (8-bit softmax, sequence length 128).
 
-use star_bench::{compare_line, header, table1_engines, write_json, write_telemetry_sidecar};
+use star_bench::{compare_line, finalize_experiment, header, table1_engines};
 use star_core::{RowSoftmax, SoftmaxEngine};
 
 fn main() {
@@ -50,8 +50,8 @@ fn main() {
 
     // The JSON result is built by the shared builder so this binary and
     // the golden-file regression test cannot drift apart.
-    let path = write_json("e2_table1", &star_bench::e2_table1_result()).expect("write results");
+    let (path, telemetry) =
+        finalize_experiment("e2_table1", &star_bench::e2_table1_result()).expect("write results");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("e2_table1").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

@@ -3,7 +3,7 @@
 //! STAR's improvement factors over each.
 
 use star_arch::PerfReport;
-use star_bench::{compare_line, fig3_reports, header, write_json, write_telemetry_sidecar};
+use star_bench::{compare_line, fig3_reports, finalize_experiment, header};
 
 fn main() {
     let reports: Vec<PerfReport> = fig3_reports(128);
@@ -42,8 +42,8 @@ fn main() {
 
     // The JSON result is built by the shared builder so this binary and
     // the golden-file regression test cannot drift apart.
-    let path = write_json("e3_fig3", &star_bench::e3_fig3_result()).expect("write results");
+    let (path, telemetry) =
+        finalize_experiment("e3_fig3", &star_bench::e3_fig3_result()).expect("write results");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("e3_fig3").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

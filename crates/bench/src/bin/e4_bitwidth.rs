@@ -3,7 +3,7 @@
 //! field incl. sign + 2 fraction), MRPC 9 bits (6 + 3), CoLA 7 bits
 //! (5 + 2).
 
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_core::precision::{minimal_format, sweep_formats, AccuracyBar};
 use star_workload::{Dataset, ScoreTrace};
 
@@ -56,9 +56,9 @@ fn main() {
         }));
     }
 
-    let path = write_json("e4_bitwidth", &serde_json::json!({"datasets": results}))
-        .expect("write results");
+    let (path, telemetry) =
+        finalize_experiment("e4_bitwidth", &serde_json::json!({"datasets": results}))
+            .expect("write results");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("e4_bitwidth").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

@@ -2,7 +2,7 @@
 //! the CAM/LUT/VMM crossbars 256×18 for 9-bit data; removing the sign bit
 //! halves the exponential-stage CAM.
 
-use star_bench::{header, write_json, write_telemetry_sidecar};
+use star_bench::{finalize_experiment, header};
 use star_core::{StarSoftmax, StarSoftmaxConfig};
 use star_fixed::QFormat;
 
@@ -49,9 +49,9 @@ fn main() {
     assert_eq!((g.cam_sub.rows(), g.cam_sub.cols()), (512, 18));
     assert_eq!((g.lut.rows(), g.lut.cols()), (256, 18));
 
-    let path =
-        write_json("e5_geometry", &serde_json::json!({"configurations": rows})).expect("write");
+    let (path, telemetry) =
+        finalize_experiment("e5_geometry", &serde_json::json!({"configurations": rows}))
+            .expect("write");
     println!("\nwrote {}", path.display());
-    let telemetry = write_telemetry_sidecar("e5_geometry").expect("write telemetry sidecar");
     println!("wrote {}", telemetry.display());
 }

@@ -23,7 +23,7 @@ use star_exec::Executor;
 use std::path::Path;
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "e1_softmax_share",
     "e2_table1",
     "e3_fig3",
@@ -36,6 +36,7 @@ const EXPERIMENTS: [&str; 12] = [
     "a5_model_sweep",
     "a6_model_zoo",
     "a7_pareto",
+    "a8_serving",
 ];
 
 /// Outcome of one experiment child process.

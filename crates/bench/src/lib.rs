@@ -12,7 +12,10 @@ use std::path::{Path, PathBuf};
 
 pub mod experiments;
 
-pub use experiments::{e2_table1_result, e3_fig3_result, fig3_reports, table1_engines};
+pub use experiments::{
+    a8_serving_cases, a8_serving_result, e2_table1_result, e3_fig3_result, fig3_reports,
+    finalize_experiment, table1_engines,
+};
 
 /// Directory experiment results are written to: `$STAR_RESULTS_DIR` or
 /// `./results`.
@@ -75,6 +78,11 @@ pub struct TelemetrySidecar {
     pub name: String,
     /// Snapshot of every counter/gauge/histogram the run recorded.
     pub metrics: star_telemetry::Snapshot,
+    /// Per-histogram `count`/`mean`/`p50`/`p95`/`p99` summaries estimated
+    /// from the bucket counts (see
+    /// `star_telemetry::HistogramSnapshot::quantile` for the estimator's
+    /// caveats) — the dashboard-friendly view of `metrics.histograms`.
+    pub quantiles: serde_json::Value,
     /// Busy/stall/occupancy per stage for all three pipeline modes.
     pub pipeline: Vec<star_core::UtilizationReport>,
 }
@@ -110,9 +118,11 @@ pub fn paper_point_utilization() -> Vec<star_core::UtilizationReport> {
 ///
 /// Returns any I/O or serialization error.
 pub fn write_telemetry_sidecar(name: &str) -> std::io::Result<PathBuf> {
+    let metrics = star_telemetry::snapshot();
     let sidecar = TelemetrySidecar {
         name: name.to_string(),
-        metrics: star_telemetry::snapshot(),
+        quantiles: metrics.quantile_summaries(),
+        metrics,
         pipeline: paper_point_utilization(),
     };
     write_json(&format!("{name}.telemetry"), &sidecar)

@@ -1,11 +1,15 @@
 //! Golden-file regression tests for the machine-readable experiment
 //! results.
 //!
-//! The `e2_table1` and `e3_fig3` binaries write `results/*.json` through
-//! the shared builders in `star_bench::experiments`; these tests call the
-//! *same* builders and compare against fixtures checked in under
-//! `tests/golden/`. The builders are pure closed-form cost models (no
-//! RNG, no clock, no environment), and the vendored `serde_json`
+//! The `e2_table1`, `e3_fig3`, and `a8_serving` binaries write
+//! `results/*.json` through the shared builders in
+//! `star_bench::experiments`; these tests call the *same* builders and
+//! compare against fixtures checked in under `tests/golden/`. The e2/e3
+//! builders are pure closed-form cost models (no RNG, no clock, no
+//! environment); the a8 builder drives a seeded discrete-event simulation
+//! whose event loop is totally ordered and whose sweep reduces in case
+//! order, so it is equally deterministic — including across
+//! `STAR_EXEC_THREADS` worker counts. The vendored `serde_json`
 //! round-trips `f64` exactly, so the comparison is field-level *exact*
 //! equality — any drift in the cost model shows up as a named JSON path,
 //! not a fuzzy tolerance miss.
@@ -13,8 +17,9 @@
 //! When a deliberate model change moves the numbers, regenerate with:
 //!
 //! ```text
-//! cargo run --release -p star-bench --bin repro_all -- e2_table1 e3_fig3
-//! cp results/e2_table1.json results/e3_fig3.json crates/bench/tests/golden/
+//! cargo run --release -p star-bench --bin repro_all -- e2_table1 e3_fig3 a8_serving
+//! cp results/e2_table1.json results/e3_fig3.json results/a8_serving.json \
+//!    crates/bench/tests/golden/
 //! ```
 
 use serde_json::Value;
@@ -93,6 +98,25 @@ fn e2_table1_matches_golden() {
 #[test]
 fn e3_fig3_matches_golden() {
     assert_matches_golden("e3_fig3", &star_bench::e3_fig3_result());
+}
+
+#[test]
+fn a8_serving_matches_golden() {
+    assert_matches_golden("a8_serving", &star_bench::a8_serving_result());
+}
+
+#[test]
+fn a8_golden_headline_shows_batching_win() {
+    // The fixture must encode the experiment's claim: at the saturating
+    // operating point, dynamic batching strictly beats the batch-1
+    // baseline on goodput.
+    let a8 = fixture("a8_serving");
+    let gain = number_at(&a8, "headline/goodput_gain");
+    assert!(gain > 1.0, "fixture headline gain {gain} does not show a batching win");
+    assert!(
+        number_at(&a8, "headline/p99_ms/batched") < number_at(&a8, "headline/p99_ms/baseline"),
+        "fixture batched p99 is not below the baseline p99"
+    );
 }
 
 #[test]

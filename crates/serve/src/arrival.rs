@@ -1,0 +1,343 @@
+//! Arrival processes: seeded open-loop generators (Poisson, bursty MMPP)
+//! and the closed-loop client population.
+//!
+//! Open-loop traffic is materialized ahead of the simulation as a sorted
+//! request list — the generator is a pure function of `(process, mix,
+//! horizon, seed)`, so the same inputs produce the bitwise-identical
+//! request stream on every run and every machine (the vendored
+//! `ChaCha8Rng` is a counter-based stream cipher; no platform-dependent
+//! state). Closed-loop traffic cannot be pregenerated — each client's next
+//! arrival depends on when its previous request completed — so the
+//! simulator draws its think times from the same seeded stream during the
+//! event loop.
+
+use crate::request::{Request, RequestClass};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Open-loop Poisson arrivals — memoryless interarrivals, the classic
+/// sustained-load model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonArrival {
+    /// Mean arrival rate, requests per second.
+    pub rate_rps: f64,
+}
+
+/// Open-loop two-state Markov-modulated Poisson process: the source
+/// alternates between a calm state (`rate_lo_rps`) and a burst state
+/// (`rate_hi_rps`), dwelling an exponentially distributed time in each.
+/// Models bursty production traffic that defeats naive mean-rate
+/// provisioning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MmppArrival {
+    /// Arrival rate in the calm state, requests per second.
+    pub rate_lo_rps: f64,
+    /// Arrival rate in the burst state, requests per second.
+    pub rate_hi_rps: f64,
+    /// Mean dwell time in the calm state, ns.
+    pub dwell_lo_ns: f64,
+    /// Mean dwell time in the burst state, ns.
+    pub dwell_hi_ns: f64,
+}
+
+/// Closed-loop population: `clients` concurrent clients, each issuing one
+/// request, waiting for its completion, thinking for an exponentially
+/// distributed time of mean `think_ns`, and repeating. In-flight demand
+/// is bounded by `clients` *by construction*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopArrival {
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Mean think time between a completion and the next request, ns.
+    pub think_ns: f64,
+}
+
+/// An arrival process describing how requests enter the system.
+///
+/// (The variants wrap named structs rather than using struct variants
+/// because the vendored `serde_derive` supports only unit and newtype
+/// enum variants.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Open-loop Poisson arrivals.
+    Poisson(PoissonArrival),
+    /// Open-loop bursty MMPP arrivals.
+    Mmpp(MmppArrival),
+    /// Closed-loop client population.
+    ClosedLoop(ClosedLoopArrival),
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate_rps` requests per second.
+    pub fn poisson(rate_rps: f64) -> Self {
+        ArrivalProcess::Poisson(PoissonArrival { rate_rps })
+    }
+
+    /// A two-state MMPP source.
+    pub fn mmpp(rate_lo_rps: f64, rate_hi_rps: f64, dwell_lo_ns: f64, dwell_hi_ns: f64) -> Self {
+        ArrivalProcess::Mmpp(MmppArrival { rate_lo_rps, rate_hi_rps, dwell_lo_ns, dwell_hi_ns })
+    }
+
+    /// A closed loop of `clients` clients with mean think time `think_ns`.
+    pub fn closed_loop(clients: usize, think_ns: f64) -> Self {
+        ArrivalProcess::ClosedLoop(ClosedLoopArrival { clients, think_ns })
+    }
+
+    /// The long-run mean offered rate in requests per second, ignoring
+    /// queueing feedback (for closed loops this is the zero-latency upper
+    /// bound `clients / think`).
+    pub fn offered_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson(PoissonArrival { rate_rps }) => rate_rps,
+            ArrivalProcess::Mmpp(MmppArrival {
+                rate_lo_rps,
+                rate_hi_rps,
+                dwell_lo_ns,
+                dwell_hi_ns,
+            }) => {
+                // Time-weighted average of the two states.
+                (rate_lo_rps * dwell_lo_ns + rate_hi_rps * dwell_hi_ns)
+                    / (dwell_lo_ns + dwell_hi_ns)
+            }
+            ArrivalProcess::ClosedLoop(ClosedLoopArrival { clients, think_ns }) => {
+                clients as f64 / (think_ns * 1e-9)
+            }
+        }
+    }
+
+    /// Short label for reports (`poisson@2000rps`, `mmpp@500/4000rps`,
+    /// `closed@16c`).
+    pub fn label(&self) -> String {
+        match *self {
+            ArrivalProcess::Poisson(PoissonArrival { rate_rps }) => {
+                format!("poisson@{rate_rps:.0}rps")
+            }
+            ArrivalProcess::Mmpp(MmppArrival { rate_lo_rps, rate_hi_rps, .. }) => {
+                format!("mmpp@{rate_lo_rps:.0}/{rate_hi_rps:.0}rps")
+            }
+            ArrivalProcess::ClosedLoop(ClosedLoopArrival { clients, .. }) => {
+                format!("closed@{clients}c")
+            }
+        }
+    }
+}
+
+/// A weighted mix of request classes: each arrival samples its class
+/// proportionally to the weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    entries: Vec<(RequestClass, f64)>,
+}
+
+impl WorkloadMix {
+    /// A mix over `entries` (class, weight) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is not positive.
+    pub fn new(entries: Vec<(RequestClass, f64)>) -> Self {
+        assert!(!entries.is_empty(), "workload mix needs at least one class");
+        assert!(
+            entries.iter().all(|(_, w)| w.is_finite() && *w > 0.0),
+            "mix weights must be positive"
+        );
+        WorkloadMix { entries }
+    }
+
+    /// The single-class mix.
+    pub fn single(class: RequestClass) -> Self {
+        WorkloadMix::new(vec![(class, 1.0)])
+    }
+
+    /// Every class in the mix, in declaration order.
+    pub fn classes(&self) -> Vec<RequestClass> {
+        self.entries.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Samples a class proportionally to the weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RequestClass {
+        let total: f64 = self.entries.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen::<f64>() * total;
+        for (class, w) in &self.entries {
+            if x < *w {
+                return *class;
+            }
+            x -= w;
+        }
+        // Floating-point edge: x consumed the entire mass.
+        self.entries.last().expect("mix is non-empty").0
+    }
+}
+
+/// An exponential sample with the given mean (`mean > 0`), via inverse
+/// transform on a uniform draw. `1 - u` keeps the argument of `ln`
+/// strictly positive for `u ∈ [0, 1)`.
+pub(crate) fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive");
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() * mean
+}
+
+/// Materializes the open-loop arrival stream of `process` over
+/// `[0, horizon_ns)`: request ids are assigned in arrival order starting
+/// at 0 and classes are drawn from `mix`. Deterministic in `(process,
+/// mix, horizon_ns, seed)`.
+///
+/// # Panics
+///
+/// Panics if `process` is [`ArrivalProcess::ClosedLoop`] (closed-loop
+/// arrivals are generated inside the simulator), if a rate or dwell time
+/// is not positive, or if `horizon_ns` is not positive.
+pub fn generate_open_loop(
+    process: &ArrivalProcess,
+    mix: &WorkloadMix,
+    horizon_ns: f64,
+    seed: u64,
+) -> Vec<Request> {
+    use rand::SeedableRng;
+    assert!(horizon_ns > 0.0 && horizon_ns.is_finite(), "horizon must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    match *process {
+        ArrivalProcess::Poisson(PoissonArrival { rate_rps }) => {
+            assert!(rate_rps > 0.0, "Poisson rate must be positive");
+            let mean_gap_ns = 1e9 / rate_rps;
+            let mut t = exp_sample(&mut rng, mean_gap_ns);
+            while t < horizon_ns {
+                let class = mix.sample(&mut rng);
+                out.push(Request { id: out.len() as u64, class, arrive_ns: t, client: None });
+                t += exp_sample(&mut rng, mean_gap_ns);
+            }
+        }
+        ArrivalProcess::Mmpp(MmppArrival {
+            rate_lo_rps,
+            rate_hi_rps,
+            dwell_lo_ns,
+            dwell_hi_ns,
+        }) => {
+            assert!(rate_lo_rps > 0.0 && rate_hi_rps > 0.0, "MMPP rates must be positive");
+            assert!(dwell_lo_ns > 0.0 && dwell_hi_ns > 0.0, "MMPP dwell times must be positive");
+            let mut t = 0.0f64;
+            let mut high = false; // start calm
+            let mut switch_at = exp_sample(&mut rng, dwell_lo_ns);
+            loop {
+                let rate = if high { rate_hi_rps } else { rate_lo_rps };
+                let candidate = t + exp_sample(&mut rng, 1e9 / rate);
+                if candidate >= switch_at {
+                    // The state flips before the candidate arrival; the
+                    // memorylessness of the exponential lets us discard
+                    // the candidate and resample from the switch point.
+                    t = switch_at;
+                    high = !high;
+                    let dwell = if high { dwell_hi_ns } else { dwell_lo_ns };
+                    switch_at = t + exp_sample(&mut rng, dwell);
+                } else {
+                    t = candidate;
+                    if t >= horizon_ns {
+                        break;
+                    }
+                    let class = mix.sample(&mut rng);
+                    out.push(Request { id: out.len() as u64, class, arrive_ns: t, client: None });
+                }
+                if t >= horizon_ns {
+                    break;
+                }
+            }
+        }
+        ArrivalProcess::ClosedLoop(_) => {
+            panic!("closed-loop arrivals are generated inside the simulator, not ahead of it")
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelKind;
+    use rand::SeedableRng;
+
+    fn tiny_mix() -> WorkloadMix {
+        WorkloadMix::single(RequestClass::new(ModelKind::Tiny, 8))
+    }
+
+    #[test]
+    fn poisson_same_seed_is_bitwise_identical() {
+        let p = ArrivalProcess::poisson(10_000.0);
+        let a = generate_open_loop(&p, &tiny_mix(), 1e9, 7);
+        let b = generate_open_loop(&p, &tiny_mix(), 1e9, 7);
+        assert_eq!(a, b);
+        let c = generate_open_loop(&p, &tiny_mix(), 1e9, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_arrivals_sorted_and_in_horizon() {
+        let p = ArrivalProcess::poisson(50_000.0);
+        let reqs = generate_open_loop(&p, &tiny_mix(), 1e8, 3);
+        assert!(!reqs.is_empty());
+        for w in reqs.windows(2) {
+            assert!(w[0].arrive_ns <= w[1].arrive_ns);
+        }
+        assert!(reqs.iter().all(|r| r.arrive_ns < 1e8 && r.arrive_ns > 0.0));
+        assert!(reqs.iter().enumerate().all(|(i, r)| r.id == i as u64));
+    }
+
+    #[test]
+    fn mmpp_bursts_beat_calm_rate() {
+        let p = ArrivalProcess::mmpp(1_000.0, 100_000.0, 5e6, 5e6);
+        let reqs = generate_open_loop(&p, &tiny_mix(), 1e9, 11);
+        // Mean of the two states is ~50.5k rps over 1 s.
+        assert!(reqs.len() > 10_000, "{}", reqs.len());
+        for w in reqs.windows(2) {
+            assert!(w[0].arrive_ns <= w[1].arrive_ns);
+        }
+    }
+
+    #[test]
+    fn offered_rate_math() {
+        assert_eq!(ArrivalProcess::poisson(123.0).offered_rps(), 123.0);
+        let mmpp = ArrivalProcess::mmpp(100.0, 300.0, 1e6, 1e6);
+        assert!((mmpp.offered_rps() - 200.0).abs() < 1e-9);
+        let closed = ArrivalProcess::closed_loop(10, 1e6);
+        // 10 clients / 1 ms think = 10k rps upper bound.
+        assert!((closed.offered_rps() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        let a = RequestClass::new(ModelKind::Tiny, 8);
+        let b = RequestClass::new(ModelKind::Tiny, 16);
+        let mix = WorkloadMix::new(vec![(a, 9.0), (b, 1.0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let n = 10_000;
+        let hits_b = (0..n).filter(|_| mix.sample(&mut rng) == b).count();
+        let frac = hits_b as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.02, "{frac}");
+        assert_eq!(mix.classes(), vec![a, b]);
+    }
+
+    #[test]
+    fn exp_sample_mean_converges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 50_000;
+        let mean = 250.0;
+        let total: f64 = (0..n).map(|_| exp_sample(&mut rng, mean)).sum();
+        let observed = total / n as f64;
+        assert!((observed - mean).abs() / mean < 0.03, "{observed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the simulator")]
+    fn closed_loop_cannot_pregenerate() {
+        let p = ArrivalProcess::closed_loop(4, 1e6);
+        let _ = generate_open_loop(&p, &tiny_mix(), 1e9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn empty_mix_rejected() {
+        let _ = WorkloadMix::new(vec![(RequestClass::new(ModelKind::Tiny, 8), 0.0)]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Dynamic batching policy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the batcher packs queued requests into accelerator invocations.
+///
+/// A class queue becomes *ready for dispatch* when it holds `max_batch`
+/// requests **or** its oldest request has waited `window_ns` — the
+/// classic size-or-timeout dynamic batcher. `window_ns = 0` dispatches
+/// greedily (whatever is queued, up to `max_batch`, as soon as an
+/// instance frees up); `max_batch = 1` disables batching entirely and is
+/// the baseline every serving experiment compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Largest number of requests packed into one invocation.
+    pub max_batch: usize,
+    /// Longest time the oldest queued request may wait for the batch to
+    /// fill before being dispatched anyway, ns.
+    pub window_ns: f64,
+}
+
+impl BatchPolicy {
+    /// A size-or-timeout policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero or `window_ns` is negative/non-finite.
+    pub fn new(max_batch: usize, window_ns: f64) -> Self {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        assert!(window_ns.is_finite() && window_ns >= 0.0, "window must be finite, non-negative");
+        BatchPolicy { max_batch, window_ns }
+    }
+
+    /// The no-batching baseline: every request executes alone, greedily.
+    pub fn no_batching() -> Self {
+        BatchPolicy::new(1, 0.0)
+    }
+
+    /// True when the policy can never group two requests.
+    pub fn is_baseline(&self) -> bool {
+        self.max_batch == 1
+    }
+}
+
+impl fmt::Display for BatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_baseline() {
+            write!(f, "batch1")
+        } else {
+            write!(f, "batch{}@{:.0}us", self.max_batch, self.window_ns / 1e3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(BatchPolicy::no_batching().to_string(), "batch1");
+        assert_eq!(BatchPolicy::new(8, 50_000.0).to_string(), "batch8@50us");
+        assert!(BatchPolicy::no_batching().is_baseline());
+        assert!(!BatchPolicy::new(8, 0.0).is_baseline());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_batch_rejected() {
+        let _ = BatchPolicy::new(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_window_rejected() {
+        let _ = BatchPolicy::new(2, -1.0);
+    }
+}

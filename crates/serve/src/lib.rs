@@ -1,0 +1,62 @@
+//! `star-serve`: a deterministic discrete-event inference-serving
+//! simulator on top of the STAR accelerator models.
+//!
+//! The layers below this crate answer *"what does one attention layer
+//! cost on the hardware?"* (`star-core` pipeline model, `star-arch` cost
+//! sheets). This crate answers the system question one level up: *"what
+//! latency, goodput, and energy does a **fleet** of STAR instances
+//! deliver under load?"* — the question every serving stack (dynamic
+//! batching, admission control, SLO accounting) exists to answer.
+//!
+//! # Architecture
+//!
+//! | Module | Role |
+//! |---|---|
+//! | [`request`] | Request classes (model × sequence length), lifecycle records |
+//! | [`arrival`] | Seeded Poisson / bursty MMPP / closed-loop arrival processes |
+//! | [`batch`] | The size-or-timeout dynamic batching policy |
+//! | [`model`] | Service costs per batched invocation, grounded in `star-arch` |
+//! | [`sim`] | The single-threaded, seeded discrete-event loop |
+//! | [`slo`] | Exact latency quantiles, goodput, utilization, energy per request |
+//! | [`sweep`] | Parameter sweeps fanned out over `star-exec` |
+//!
+//! # Determinism
+//!
+//! One simulation is **bitwise replayable**: all randomness flows from a
+//! single `ChaCha8Rng` seeded by [`ServeConfig::seed`] and consumed in
+//! event order, events are totally ordered by `(time, sequence)`, and
+//! every collection iterates deterministically. Parallelism never enters
+//! the event loop — sweeps parallelize *across* simulations via
+//! [`star_exec::Executor`], whose index-ordered reduction (plus the
+//! scoped-telemetry absorb protocol) keeps the full sweep output
+//! byte-identical for any worker count.
+//!
+//! # Example
+//!
+//! ```
+//! use star_serve::{simulate, ServeConfig};
+//!
+//! let report = simulate(&ServeConfig::example());
+//! assert_eq!(report.arrivals, report.completed + report.rejected + report.expired);
+//! assert!(report.goodput_rps > 0.0);
+//! assert_eq!(report, simulate(&ServeConfig::example())); // bitwise replay
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod batch;
+pub mod model;
+pub mod request;
+pub mod sim;
+pub mod slo;
+pub mod sweep;
+
+pub use arrival::{generate_open_loop, ArrivalProcess, WorkloadMix};
+pub use batch::BatchPolicy;
+pub use model::{BatchCost, ClassService, ServiceModel, ServiceModelConfig};
+pub use request::{ModelKind, Request, RequestClass, RequestRecord};
+pub use sim::{simulate, simulate_traced, ServeConfig, SimOutcome};
+pub use slo::{LatencyStats, ServeReport};
+pub use sweep::{grid, run_sweep, SweepCase, SweepResult};

@@ -1,0 +1,277 @@
+//! The service-time model: what one accelerator invocation costs.
+//!
+//! A serving instance is one STAR accelerator (`star-arch`'s
+//! [`RramAccelerator::star_with`] operating point: ReTransformer-style
+//! MatMul engine + replicated RRAM softmax engines + vector-grained
+//! pipeline). A batch of `B` same-class requests executes as **one**
+//! invocation:
+//!
+//! - the per-request projection GEMMs serialize (`B ×` the single-request
+//!   projection latency — every request has its own tokens, nothing to
+//!   amortize),
+//! - the attention cores of all `B` requests stream *back-to-back through
+//!   the row pipeline without draining it*, so the pipeline fill/drain
+//!   term is paid once per batch instead of once per request
+//!   ([`attention_pipeline_latency`] over `B · seq` rows),
+//! - a fixed per-invocation overhead (`invoke_overhead_ns`: host → device
+//!   round trip, activation-buffer staging, pipeline reconfiguration) is
+//!   paid once per batch — the dominant amortization lever, as in every
+//!   real serving stack.
+//!
+//! At `B = 1` the latency is exactly the `star-arch` single-layer
+//! evaluation plus the invocation overhead, so the serving layer and the
+//! paper harness agree on the hardware numbers by construction (a unit
+//! test pins this).
+
+use crate::request::RequestClass;
+use serde::{Deserialize, Serialize};
+use star_arch::{Accelerator, MatMulEngine, MatMulEngineConfig, RramAccelerator};
+use star_core::{
+    attention_pipeline_latency, PipelineMode, RowStageLatency, SoftmaxEngine, StarSoftmax,
+    StarSoftmaxConfig,
+};
+use star_fixed::QFormat;
+use std::collections::BTreeMap;
+
+/// Hardware operating point of every instance in the simulated fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModelConfig {
+    /// Softmax fixed-point format (integer, fraction bits).
+    pub format: (u8, u8),
+    /// Replicated softmax engines per instance (the paper's operating
+    /// point interleaves 10).
+    pub softmax_units: usize,
+    /// Fixed per-invocation overhead: host dispatch, activation staging
+    /// into the double-buffered SRAM, pipeline reconfiguration. Paid once
+    /// per batch. See EXPERIMENTS.md "Calibration constants".
+    pub invoke_overhead_ns: f64,
+}
+
+impl Default for ServiceModelConfig {
+    /// The paper operating point (MRPC q5.3, 10 engines) with a 20 µs
+    /// invocation overhead.
+    fn default() -> Self {
+        ServiceModelConfig { format: (5, 3), softmax_units: 10, invoke_overhead_ns: 20_000.0 }
+    }
+}
+
+impl ServiceModelConfig {
+    /// The configured [`QFormat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored bit widths are invalid.
+    pub fn qformat(&self) -> QFormat {
+        QFormat::new(self.format.0, self.format.1).expect("valid stored format")
+    }
+}
+
+/// Precomputed per-class costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassService {
+    /// Per-row stage latencies (qk, softmax/units, av), ns.
+    pub stages: RowStageLatency,
+    /// Per-request fixed latency (projection GEMMs), ns.
+    pub per_request_fixed_ns: f64,
+    /// Per-request dynamic energy, pJ.
+    pub per_request_energy_pj: f64,
+    /// Instance background power while the invocation runs, mW.
+    pub background_power_mw: f64,
+}
+
+/// Latency and energy of one batched invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchCost {
+    /// End-to-end invocation latency, ns.
+    pub latency_ns: f64,
+    /// Total energy (dynamic + background), pJ.
+    pub energy_pj: f64,
+}
+
+/// The service-time oracle the event loop queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceModel {
+    config: ServiceModelConfig,
+    classes: BTreeMap<RequestClass, ClassService>,
+}
+
+impl ServiceModel {
+    /// Builds the model for `classes` at the `config` operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, if the softmax engine cannot be
+    /// built for the format, or if `softmax_units` is zero.
+    pub fn new(config: ServiceModelConfig, classes: &[RequestClass]) -> Self {
+        assert!(!classes.is_empty(), "service model needs at least one class");
+        assert!(config.softmax_units > 0, "need at least one softmax engine");
+        assert!(
+            config.invoke_overhead_ns.is_finite() && config.invoke_overhead_ns >= 0.0,
+            "invocation overhead must be finite and non-negative"
+        );
+        let format = config.qformat();
+        let engine =
+            StarSoftmax::new(StarSoftmaxConfig::new(format)).expect("paper formats build engines");
+        let matmul = MatMulEngine::new(MatMulEngineConfig::paper());
+        let accelerator = RramAccelerator::star_with(format, config.softmax_units);
+        let mut map = BTreeMap::new();
+        for &class in classes {
+            map.entry(class).or_insert_with(|| {
+                Self::class_service(&engine, &matmul, &accelerator, class, config.softmax_units)
+            });
+        }
+        ServiceModel { config, classes: map }
+    }
+
+    fn class_service(
+        engine: &StarSoftmax,
+        matmul: &MatMulEngine,
+        accelerator: &RramAccelerator,
+        class: RequestClass,
+        units: usize,
+    ) -> ClassService {
+        let cfg = class.config();
+        let n = cfg.seq_len;
+        let dh = cfg.d_head();
+        let d = cfg.d_model;
+        let qk = matmul.row_cost(dh, n);
+        let av = matmul.row_cost(n, dh);
+        let sm = engine.row_cost(n);
+        let stages =
+            RowStageLatency::new(qk.latency, sm.latency * (1.0 / units as f64), av.latency);
+        let proj = matmul.gemm_cost(n, d, d).repeat(4);
+        let heads = cfg.num_heads as f64;
+        let core_energy = (qk.energy + av.energy + sm.energy) * n as f64 * heads;
+        // Background power from the arch-level evaluation: the residual
+        // (total − dynamic) / latency, so the two layers cannot drift.
+        let report = accelerator.evaluate(&cfg);
+        let background_power_mw =
+            (report.total_energy.value() - report.dynamic_energy.value()) / report.latency.value();
+        ClassService {
+            stages,
+            per_request_fixed_ns: proj.latency.value(),
+            per_request_energy_pj: proj.energy.value() + core_energy.value(),
+            background_power_mw,
+        }
+    }
+
+    /// The operating point.
+    pub fn config(&self) -> &ServiceModelConfig {
+        &self.config
+    }
+
+    /// The per-class cost sheet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` was not registered at construction.
+    pub fn class(&self, class: RequestClass) -> &ClassService {
+        self.classes
+            .get(&class)
+            .unwrap_or_else(|| panic!("class {class} not registered in the service model"))
+    }
+
+    /// Latency and energy of one invocation executing `batch` same-class
+    /// requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `class` is unknown.
+    pub fn batch_cost(&self, class: RequestClass, batch: usize) -> BatchCost {
+        assert!(batch > 0, "batch must hold at least one request");
+        let c = self.class(class);
+        let rows = batch * class.seq_len;
+        let core = attention_pipeline_latency(rows, c.stages, PipelineMode::VectorGrained).value();
+        let latency_ns =
+            self.config.invoke_overhead_ns + batch as f64 * c.per_request_fixed_ns + core;
+        let energy_pj = batch as f64 * c.per_request_energy_pj + c.background_power_mw * latency_ns;
+        BatchCost { latency_ns, energy_pj }
+    }
+
+    /// The batch-of-one service latency — the zero-queueing floor every
+    /// latency distribution sits on.
+    pub fn unit_latency_ns(&self, class: RequestClass) -> f64 {
+        self.batch_cost(class, 1).latency_ns
+    }
+
+    /// The saturated throughput of one instance running back-to-back
+    /// batches of size `batch`, requests per second.
+    pub fn peak_rps(&self, class: RequestClass, batch: usize) -> f64 {
+        batch as f64 / (self.batch_cost(class, batch).latency_ns * 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelKind;
+
+    fn model(classes: &[RequestClass]) -> ServiceModel {
+        ServiceModel::new(ServiceModelConfig::default(), classes)
+    }
+
+    #[test]
+    fn batch_of_one_matches_arch_evaluation() {
+        let class = RequestClass::new(ModelKind::BertBase, 128);
+        let m = model(&[class]);
+        let report = RramAccelerator::star().evaluate(&class.config());
+        let unit = m.batch_cost(class, 1);
+        let expected = report.latency.value() + m.config().invoke_overhead_ns;
+        assert!(
+            (unit.latency_ns - expected).abs() < 1e-6,
+            "serve {} vs arch {}",
+            unit.latency_ns,
+            expected
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_fixed_costs() {
+        let class = RequestClass::new(ModelKind::BertBase, 128);
+        let m = model(&[class]);
+        let unit = m.batch_cost(class, 1);
+        let batch8 = m.batch_cost(class, 8);
+        // Per-request latency strictly improves with batching…
+        assert!(batch8.latency_ns / 8.0 < unit.latency_ns);
+        // …and so does throughput.
+        assert!(m.peak_rps(class, 8) > m.peak_rps(class, 1));
+        // A batch still takes longer than a single request end-to-end.
+        assert!(batch8.latency_ns > unit.latency_ns);
+    }
+
+    #[test]
+    fn batch_energy_scales_with_members() {
+        let class = RequestClass::new(ModelKind::Tiny, 16);
+        let m = model(&[class]);
+        let one = m.batch_cost(class, 1);
+        let four = m.batch_cost(class, 4);
+        assert!(four.energy_pj > one.energy_pj);
+        // Amortizing the invocation overhead and pipeline fill across the
+        // batch strictly saves energy versus four separate invocations
+        // (the background power burns for less total time).
+        assert!(four.energy_pj < 4.0 * one.energy_pj);
+    }
+
+    #[test]
+    fn longer_sequences_cost_more() {
+        let short = RequestClass::new(ModelKind::BertBase, 64);
+        let long = RequestClass::new(ModelKind::BertBase, 256);
+        let m = model(&[short, long]);
+        assert!(m.unit_latency_ns(long) > m.unit_latency_ns(short));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_class_rejected() {
+        let m = model(&[RequestClass::new(ModelKind::Tiny, 8)]);
+        let _ = m.batch_cost(RequestClass::new(ModelKind::Tiny, 32), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_batch_rejected() {
+        let class = RequestClass::new(ModelKind::Tiny, 8);
+        let m = model(&[class]);
+        let _ = m.batch_cost(class, 0);
+    }
+}

@@ -1,0 +1,650 @@
+//! The deterministic discrete-event serving simulator.
+//!
+//! One [`simulate`] call models a fleet of `fleet` STAR accelerator
+//! instances fed from bounded per-class queues by an arrival process. The
+//! event loop is **single-threaded and fully ordered**: events are
+//! processed in `(time, sequence-number)` order from a binary heap, every
+//! random draw comes from one seeded `ChaCha8Rng` consumed in event
+//! order, and all collections iterate deterministically (`BTreeMap` /
+//! `BTreeSet`). Two runs with the same [`ServeConfig`] therefore produce
+//! bitwise-identical reports — parallelism lives *outside* the event loop
+//! (parameter sweeps fan out whole simulations over `star-exec`; see
+//! [`crate::sweep`]).
+//!
+//! # Event model
+//!
+//! - `Arrive` — a request enters. If the queue bound is hit it is
+//!   rejected (backpressure); otherwise it joins its class queue.
+//! - `WindowExpire` — a class's oldest request has waited out the batch
+//!   window; the batcher may now dispatch a partial batch.
+//! - `InstanceFree` — an invocation finished; its requests complete and
+//!   the instance returns to the idle set.
+//!
+//! After every event the dispatcher greedily matches idle instances with
+//! *ready* class queues (full batch, expired window, or zero window).
+//! Requests whose deadline has already passed while queueing are dropped
+//! at dispatch time (they could only waste accelerator time).
+
+use crate::arrival::{exp_sample, generate_open_loop, ArrivalProcess, WorkloadMix};
+use crate::batch::BatchPolicy;
+use crate::model::{ServiceModel, ServiceModelConfig};
+use crate::request::{Request, RequestClass, RequestRecord};
+use crate::slo::{LatencyStats, ServeReport};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use star_telemetry::ChromeTrace;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+/// Complete description of one serving experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Number of accelerator instances.
+    pub fleet: usize,
+    /// Batching policy.
+    pub policy: BatchPolicy,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Request-class mix.
+    pub mix: WorkloadMix,
+    /// Arrivals stop at this time; the simulation then drains, ns.
+    pub horizon_ns: f64,
+    /// RNG seed (arrivals, class sampling, think times).
+    pub seed: u64,
+    /// Admission bound: arrivals beyond this many *queued* requests are
+    /// rejected.
+    pub max_queue: usize,
+    /// Per-request latency SLO, ns. Completions within it count toward
+    /// goodput; requests that out-wait it in the queue are dropped at
+    /// dispatch.
+    pub deadline_ns: f64,
+    /// Hardware operating point of every instance.
+    pub service: ServiceModelConfig,
+}
+
+impl ServeConfig {
+    /// A small, fast configuration for tests and examples: a tiny model
+    /// class, Poisson arrivals, two instances.
+    pub fn example() -> Self {
+        use crate::request::ModelKind;
+        ServeConfig {
+            fleet: 2,
+            policy: BatchPolicy::new(4, 50_000.0),
+            arrival: ArrivalProcess::poisson(20_000.0),
+            mix: WorkloadMix::single(RequestClass::new(ModelKind::Tiny, 16)),
+            horizon_ns: 5e6,
+            seed: 42,
+            max_queue: 64,
+            deadline_ns: 2e6,
+            service: ServiceModelConfig::default(),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.fleet > 0, "fleet must hold at least one instance");
+        assert!(self.max_queue > 0, "queue bound must be positive");
+        assert!(
+            self.deadline_ns.is_finite() && self.deadline_ns > 0.0,
+            "deadline must be positive"
+        );
+        assert!(self.horizon_ns.is_finite() && self.horizon_ns > 0.0, "horizon must be positive");
+    }
+}
+
+/// One dispatched invocation in flight.
+#[derive(Debug, Clone)]
+struct Batch {
+    class: RequestClass,
+    dispatch_ns: f64,
+    members: Vec<Request>,
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    Arrive(Request),
+    WindowExpire(RequestClass),
+    InstanceFree { instance: usize, batch: Batch },
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: time first (finite by construction), then the
+        // creation sequence number as the deterministic tie-break.
+        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The simulator state.
+struct Sim<'a> {
+    cfg: &'a ServeConfig,
+    service: ServiceModel,
+    heap: BinaryHeap<Reverse<Event>>,
+    event_seq: u64,
+    next_request_id: u64,
+    rng: ChaCha8Rng,
+    queues: BTreeMap<RequestClass, VecDeque<Request>>,
+    queued_total: usize,
+    idle: BTreeSet<usize>,
+    armed_windows: BTreeMap<RequestClass, f64>,
+    // Accounting.
+    arrivals: u64,
+    rejected: u64,
+    expired: u64,
+    completed: u64,
+    good: u64,
+    late: u64,
+    batches: u64,
+    batched_requests: u64,
+    latencies_ns: Vec<f64>,
+    queue_delays_ns: Vec<f64>,
+    records: Vec<RequestRecord>,
+    busy_ns: Vec<f64>,
+    energy_pj: f64,
+    in_system: u64,
+    max_in_system: u64,
+    makespan_ns: f64,
+    trace: Option<ChromeTrace>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a ServeConfig, traced: bool) -> Self {
+        cfg.validate();
+        let classes = cfg.mix.classes();
+        let service = ServiceModel::new(cfg.service.clone(), &classes);
+        let mut queues = BTreeMap::new();
+        for class in classes {
+            queues.insert(class, VecDeque::new());
+        }
+        let mut trace = traced.then(ChromeTrace::new);
+        if let Some(t) = trace.as_mut() {
+            t.name_process(1, "requests");
+            for i in 0..cfg.fleet {
+                t.name_process(100 + i as u64, format!("instance {i}"));
+            }
+        }
+        Sim {
+            cfg,
+            service,
+            heap: BinaryHeap::new(),
+            event_seq: 0,
+            next_request_id: 0,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5EB5_E001),
+            queues,
+            queued_total: 0,
+            idle: (0..cfg.fleet).collect(),
+            armed_windows: BTreeMap::new(),
+            arrivals: 0,
+            rejected: 0,
+            expired: 0,
+            completed: 0,
+            good: 0,
+            late: 0,
+            batches: 0,
+            batched_requests: 0,
+            latencies_ns: Vec::new(),
+            queue_delays_ns: Vec::new(),
+            records: Vec::new(),
+            busy_ns: vec![0.0; cfg.fleet],
+            energy_pj: 0.0,
+            in_system: 0,
+            max_in_system: 0,
+            makespan_ns: 0.0,
+            trace,
+        }
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        debug_assert!(time.is_finite(), "event times must be finite");
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Seeds the heap with the entire open-loop trace, or the first
+    /// request of every closed-loop client.
+    fn seed_arrivals(&mut self) {
+        match self.cfg.arrival {
+            ArrivalProcess::Poisson(_) | ArrivalProcess::Mmpp(_) => {
+                let reqs = generate_open_loop(
+                    &self.cfg.arrival,
+                    &self.cfg.mix,
+                    self.cfg.horizon_ns,
+                    self.cfg.seed,
+                );
+                self.next_request_id = reqs.len() as u64;
+                for req in reqs {
+                    self.push_event(req.arrive_ns, EventKind::Arrive(req));
+                }
+            }
+            ArrivalProcess::ClosedLoop(crate::arrival::ClosedLoopArrival { clients, think_ns }) => {
+                assert!(clients > 0, "closed loop needs at least one client");
+                assert!(think_ns > 0.0, "think time must be positive");
+                for client in 0..clients {
+                    let t = exp_sample(&mut self.rng, think_ns);
+                    self.issue_client_request(client, t);
+                }
+            }
+        }
+    }
+
+    /// Schedules the next request of a closed-loop client at `t` (no-op
+    /// past the horizon, which is how the closed loop drains).
+    fn issue_client_request(&mut self, client: usize, t: f64) {
+        if t >= self.cfg.horizon_ns {
+            return;
+        }
+        let class = self.cfg.mix.sample(&mut self.rng);
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        self.push_event(
+            t,
+            EventKind::Arrive(Request { id, class, arrive_ns: t, client: Some(client) }),
+        );
+    }
+
+    /// A finished (or failed) closed-loop request lets its client think,
+    /// then issue the next one.
+    fn client_think_and_reissue(&mut self, client: Option<usize>, now: f64) {
+        if let (Some(client), ArrivalProcess::ClosedLoop(loop_cfg)) = (client, &self.cfg.arrival) {
+            let think = exp_sample(&mut self.rng, loop_cfg.think_ns);
+            self.issue_client_request(client, now + think);
+        }
+    }
+
+    fn on_arrive(&mut self, now: f64, req: Request) {
+        self.arrivals += 1;
+        star_telemetry::count("serve.requests.arrived", 1);
+        if self.queued_total >= self.cfg.max_queue {
+            self.rejected += 1;
+            star_telemetry::count("serve.requests.rejected", 1);
+            self.client_think_and_reissue(req.client, now);
+            return;
+        }
+        star_telemetry::count("serve.requests.admitted", 1);
+        self.in_system += 1;
+        self.max_in_system = self.max_in_system.max(self.in_system);
+        self.queued_total += 1;
+        self.queues.get_mut(&req.class).expect("mix classes pre-registered").push_back(req);
+        self.try_dispatch(now);
+    }
+
+    fn on_window_expire(&mut self, now: f64, class: RequestClass) {
+        if self.armed_windows.get(&class) == Some(&now) {
+            self.armed_windows.remove(&class);
+        }
+        self.try_dispatch(now);
+    }
+
+    fn on_instance_free(&mut self, now: f64, instance: usize, batch: Batch) {
+        let size = batch.members.len();
+        debug_assert!(
+            batch.members.iter().all(|r| r.class == batch.class),
+            "batches never mix request classes"
+        );
+        for req in batch.members {
+            let latency = now - req.arrive_ns;
+            self.in_system -= 1;
+            self.completed += 1;
+            if latency <= self.cfg.deadline_ns {
+                self.good += 1;
+            } else {
+                self.late += 1;
+                star_telemetry::count("serve.requests.late", 1);
+            }
+            star_telemetry::count("serve.requests.completed", 1);
+            star_telemetry::observe("serve.latency_us", latency / 1e3);
+            star_telemetry::observe("serve.queue_us", (batch.dispatch_ns - req.arrive_ns) / 1e3);
+            self.latencies_ns.push(latency);
+            self.queue_delays_ns.push(batch.dispatch_ns - req.arrive_ns);
+            if let Some(t) = self.trace.as_mut() {
+                t.complete_ns(
+                    format!("req{} {}", req.id, req.class),
+                    "request",
+                    req.arrive_ns,
+                    latency,
+                    1,
+                    req.id,
+                    serde_json::json!({
+                        "queue_ns": batch.dispatch_ns - req.arrive_ns,
+                        "batch": size,
+                        "instance": instance,
+                    }),
+                );
+            }
+            self.records.push(RequestRecord {
+                id: req.id,
+                class: req.class,
+                arrive_ns: req.arrive_ns,
+                dispatch_ns: batch.dispatch_ns,
+                finish_ns: now,
+                batch_size: size,
+                instance,
+            });
+            self.client_think_and_reissue(req.client, now);
+        }
+        self.idle.insert(instance);
+        self.try_dispatch(now);
+    }
+
+    /// Greedily matches idle instances with ready class queues.
+    fn try_dispatch(&mut self, now: f64) {
+        while let Some(&instance) = self.idle.first() {
+            // The ready class whose head has waited longest (ties broken
+            // by request id, then by class order via the BTreeMap scan).
+            let mut best: Option<(f64, u64, RequestClass)> = None;
+            let mut to_arm: Vec<(RequestClass, f64)> = Vec::new();
+            for (&class, q) in &self.queues {
+                let Some(head) = q.front() else { continue };
+                let expiry = head.arrive_ns + self.cfg.policy.window_ns;
+                let ready = q.len() >= self.cfg.policy.max_batch || now >= expiry;
+                if ready {
+                    let key = (head.arrive_ns, head.id);
+                    if best.is_none_or(|(t, id, _)| key < (t, id)) {
+                        best = Some((key.0, key.1, class));
+                    }
+                } else {
+                    to_arm.push((class, expiry));
+                }
+            }
+            for (class, expiry) in to_arm {
+                // Arm one wake-up per class; re-arm only if nothing
+                // earlier is pending (duplicates would be harmless but
+                // noisy).
+                let covered =
+                    self.armed_windows.get(&class).is_some_and(|&t| t > now && t <= expiry);
+                if !covered {
+                    self.armed_windows.insert(class, expiry);
+                    self.push_event(expiry, EventKind::WindowExpire(class));
+                }
+            }
+            let Some((_, _, class)) = best else { break };
+            let members = self.form_batch(now, class);
+            if members.is_empty() {
+                continue; // everything at the head had expired
+            }
+            let size = members.len();
+            let cost = self.service.batch_cost(class, size);
+            self.idle.remove(&instance);
+            self.busy_ns[instance] += cost.latency_ns;
+            self.energy_pj += cost.energy_pj;
+            self.batches += 1;
+            self.batched_requests += size as u64;
+            star_telemetry::count("serve.batches.dispatched", 1);
+            star_telemetry::observe_with(
+                "serve.batch.size",
+                size as f64,
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+            );
+            star_telemetry::add("serve.energy.total_pj", cost.energy_pj);
+            if let Some(t) = self.trace.as_mut() {
+                t.complete_ns(
+                    format!("{class} x{size}"),
+                    "execute",
+                    now,
+                    cost.latency_ns,
+                    100 + instance as u64,
+                    0,
+                    serde_json::json!({ "batch": size, "latency_ns": cost.latency_ns }),
+                );
+            }
+            let finish = now + cost.latency_ns;
+            self.push_event(
+                finish,
+                EventKind::InstanceFree {
+                    instance,
+                    batch: Batch { class, dispatch_ns: now, members },
+                },
+            );
+        }
+    }
+
+    /// Pops up to `max_batch` requests of `class`, dropping any whose
+    /// deadline already lapsed in the queue.
+    fn form_batch(&mut self, now: f64, class: RequestClass) -> Vec<Request> {
+        let mut members = Vec::new();
+        let mut reissue: Vec<Option<usize>> = Vec::new();
+        {
+            let q = self.queues.get_mut(&class).expect("class registered");
+            while members.len() < self.cfg.policy.max_batch {
+                let Some(head) = q.front() else { break };
+                if now - head.arrive_ns > self.cfg.deadline_ns {
+                    let dead = q.pop_front().expect("head exists");
+                    self.queued_total -= 1;
+                    self.in_system -= 1;
+                    self.expired += 1;
+                    star_telemetry::count("serve.requests.expired", 1);
+                    reissue.push(dead.client);
+                    continue;
+                }
+                members.push(q.pop_front().expect("head exists"));
+                self.queued_total -= 1;
+            }
+        }
+        for client in reissue {
+            self.client_think_and_reissue(client, now);
+        }
+        members
+    }
+
+    fn run(mut self) -> SimOutcome {
+        self.seed_arrivals();
+        while let Some(Reverse(event)) = self.heap.pop() {
+            self.makespan_ns = self.makespan_ns.max(event.time);
+            match event.kind {
+                EventKind::Arrive(req) => self.on_arrive(event.time, req),
+                EventKind::WindowExpire(class) => self.on_window_expire(event.time, class),
+                EventKind::InstanceFree { instance, batch } => {
+                    self.on_instance_free(event.time, instance, batch)
+                }
+            }
+        }
+        debug_assert_eq!(self.queued_total, 0, "drain leaves no queued request");
+        debug_assert_eq!(self.in_system, 0, "every admitted request completes or expires");
+        let makespan_s = (self.makespan_ns * 1e-9).max(f64::MIN_POSITIVE);
+        let utilization: Vec<f64> =
+            self.busy_ns.iter().map(|b| b / self.makespan_ns.max(f64::MIN_POSITIVE)).collect();
+        let mean_utilization = utilization.iter().sum::<f64>() / utilization.len() as f64;
+        let report = ServeReport {
+            arrivals: self.arrivals,
+            completed: self.completed,
+            good: self.good,
+            late: self.late,
+            rejected: self.rejected,
+            expired: self.expired,
+            makespan_ns: self.makespan_ns,
+            offered_rps: self.cfg.arrival.offered_rps(),
+            throughput_rps: self.completed as f64 / makespan_s,
+            goodput_rps: self.good as f64 / makespan_s,
+            latency: LatencyStats::from_ns_samples(&self.latencies_ns),
+            queue_delay: LatencyStats::from_ns_samples(&self.queue_delays_ns),
+            batches: self.batches,
+            mean_batch_size: if self.batches == 0 {
+                0.0
+            } else {
+                self.batched_requests as f64 / self.batches as f64
+            },
+            utilization,
+            mean_utilization,
+            total_energy_pj: self.energy_pj,
+            energy_per_request_nj: if self.completed == 0 {
+                0.0
+            } else {
+                self.energy_pj / 1e3 / self.completed as f64
+            },
+            max_in_system: self.max_in_system,
+        };
+        SimOutcome { report, records: self.records, trace: self.trace }
+    }
+}
+
+/// Everything a traced simulation produces.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The SLO report.
+    pub report: ServeReport,
+    /// Per-request lifecycle records, completion order.
+    pub records: Vec<RequestRecord>,
+    /// Chrome trace (present when requested).
+    pub trace: Option<ChromeTrace>,
+}
+
+/// Runs the serving simulation and returns its report.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (zero fleet, non-positive deadline,
+/// horizon, or queue bound; unknown classes).
+pub fn simulate(cfg: &ServeConfig) -> ServeReport {
+    Sim::new(cfg, false).run().report
+}
+
+/// Like [`simulate`], but also collects per-request records and the
+/// Perfetto-compatible request/instance trace.
+pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
+    Sim::new(cfg, true).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelKind;
+
+    #[test]
+    fn conservation_no_request_lost() {
+        let cfg = ServeConfig::example();
+        let r = simulate(&cfg);
+        assert!(r.arrivals > 0);
+        assert_eq!(r.arrivals, r.completed + r.rejected + r.expired);
+        assert_eq!(r.completed, r.good + r.late);
+    }
+
+    #[test]
+    fn same_seed_bitwise_identical() {
+        let cfg = ServeConfig::example();
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a, b);
+        let mut other = cfg;
+        other.seed ^= 1;
+        assert_ne!(simulate(&other), a);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_report() {
+        let cfg = ServeConfig::example();
+        let plain = simulate(&cfg);
+        let traced = simulate_traced(&cfg);
+        assert_eq!(plain, traced.report);
+        assert_eq!(traced.records.len() as u64, plain.completed);
+        let trace = traced.trace.expect("trace requested");
+        // One request span per completion plus one span per batch.
+        assert_eq!(trace.len() as u64, plain.completed + plain.batches);
+    }
+
+    #[test]
+    fn utilization_and_latency_sane() {
+        let cfg = ServeConfig::example();
+        let r = simulate(&cfg);
+        assert_eq!(r.utilization.len(), cfg.fleet);
+        for u in &r.utilization {
+            assert!((0.0..=1.0 + 1e-9).contains(u), "{u}");
+        }
+        // Latency can never beat the batch-of-one service floor.
+        let model = ServiceModel::new(cfg.service.clone(), &cfg.mix.classes());
+        let floor_ms = model.unit_latency_ns(RequestClass::new(ModelKind::Tiny, 16)) / 1e6;
+        assert!(r.latency.p50_ms >= floor_ms * 0.999, "{} < {floor_ms}", r.latency.p50_ms);
+        assert!(r.latency.max_ms >= r.latency.p99_ms);
+        assert!(r.latency.p99_ms >= r.latency.p50_ms);
+    }
+
+    #[test]
+    fn closed_loop_bounds_outstanding_requests() {
+        let clients = 5;
+        let mut cfg = ServeConfig::example();
+        cfg.arrival = ArrivalProcess::closed_loop(clients, 50_000.0);
+        let r = simulate(&cfg);
+        assert!(r.completed > 0);
+        assert!(r.max_in_system <= clients as u64, "{}", r.max_in_system);
+        assert_eq!(r.arrivals, r.completed + r.rejected + r.expired);
+    }
+
+    #[test]
+    fn tiny_queue_rejects_under_overload() {
+        let mut cfg = ServeConfig::example();
+        cfg.max_queue = 2;
+        cfg.fleet = 1;
+        cfg.arrival = ArrivalProcess::poisson(200_000.0);
+        let r = simulate(&cfg);
+        assert!(r.rejected > 0, "overload must trip admission control");
+        assert_eq!(r.arrivals, r.completed + r.rejected + r.expired);
+    }
+
+    #[test]
+    fn batching_beats_baseline_at_saturation() {
+        // Fleet-2 capacity for the example's Tiny class: ~74 krps at
+        // batch 1, ~215 krps at batch 8 — 120 krps saturates the
+        // baseline but not the batcher.
+        let mut batched = ServeConfig::example();
+        batched.arrival = ArrivalProcess::poisson(120_000.0);
+        batched.policy = BatchPolicy::new(8, 100_000.0);
+        batched.max_queue = 512;
+        let mut baseline = batched.clone();
+        baseline.policy = BatchPolicy::no_batching();
+        let rb = simulate(&batched);
+        let r1 = simulate(&baseline);
+        assert!(rb.mean_batch_size > 1.0, "{}", rb.mean_batch_size);
+        assert!(
+            rb.goodput_rps > r1.goodput_rps,
+            "batched {} vs baseline {}",
+            rb.goodput_rps,
+            r1.goodput_rps
+        );
+    }
+
+    #[test]
+    fn mmpp_burst_traffic_runs() {
+        let mut cfg = ServeConfig::example();
+        cfg.arrival = ArrivalProcess::mmpp(5_000.0, 80_000.0, 1e6, 5e5);
+        let r = simulate(&cfg);
+        assert!(r.arrivals > 0);
+        assert_eq!(r.arrivals, r.completed + r.rejected + r.expired);
+    }
+
+    #[test]
+    fn telemetry_records_request_lifecycle() {
+        let cfg = ServeConfig::example();
+        let (report, snap) = star_telemetry::with_scoped(|| simulate(&cfg));
+        assert_eq!(snap.counters["serve.requests.arrived"], report.arrivals);
+        assert_eq!(snap.counters["serve.requests.completed"], report.completed);
+        assert_eq!(snap.counters["serve.batches.dispatched"], report.batches);
+        assert_eq!(snap.histograms["serve.latency_us"].total, report.completed);
+        assert!(snap.gauges["serve.energy.total_pj"] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet")]
+    fn zero_fleet_rejected() {
+        let mut cfg = ServeConfig::example();
+        cfg.fleet = 0;
+        let _ = simulate(&cfg);
+    }
+}

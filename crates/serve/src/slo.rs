@@ -1,0 +1,143 @@
+//! SLO accounting: exact latency quantiles, goodput, utilization, and
+//! energy per request.
+//!
+//! The tracker keeps every raw latency sample and sorts once at the end,
+//! so the reported p50/p95/p99 are **exact order statistics**, not bucket
+//! estimates (the `star-telemetry` histograms recorded alongside give the
+//! bucketed view for dashboards; see
+//! `star_telemetry::HistogramSnapshot::quantile` for why bucketed tails
+//! are only lower bounds).
+
+use serde::{Deserialize, Serialize};
+
+/// Exact order-statistic summary of a latency sample set, in
+/// milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean, ms.
+    pub mean_ms: f64,
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Maximum, ms.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Summary of `samples_ns` (nanosecond samples; order irrelevant).
+    /// Returns the zero summary when empty.
+    pub fn from_ns_samples(samples_ns: &[f64]) -> Self {
+        if samples_ns.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted: Vec<f64> = samples_ns.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let pick = |q: f64| -> f64 {
+            // Exact order statistic: rank ⌈q·n⌉ (1-based), clamped.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            sorted[rank - 1] / 1e6
+        };
+        let sum: f64 = sorted.iter().sum();
+        LatencyStats {
+            count: n as u64,
+            mean_ms: sum / n as f64 / 1e6,
+            p50_ms: pick(0.50),
+            p95_ms: pick(0.95),
+            p99_ms: pick(0.99),
+            max_ms: sorted[n - 1] / 1e6,
+        }
+    }
+}
+
+/// Everything one serving simulation reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests that entered the system (admitted + rejected).
+    pub arrivals: u64,
+    /// Requests that finished executing.
+    pub completed: u64,
+    /// Completions within the deadline.
+    pub good: u64,
+    /// Completions past the deadline.
+    pub late: u64,
+    /// Arrivals refused at admission (queue full).
+    pub rejected: u64,
+    /// Admitted requests dropped at dispatch because their deadline had
+    /// already passed while they queued.
+    pub expired: u64,
+    /// Time of the last event, ns (the simulation makespan).
+    pub makespan_ns: f64,
+    /// Long-run offered load, requests per second.
+    pub offered_rps: f64,
+    /// Completions per second of makespan.
+    pub throughput_rps: f64,
+    /// Within-deadline completions per second of makespan — the headline
+    /// serving metric.
+    pub goodput_rps: f64,
+    /// End-to-end latency summary over completions.
+    pub latency: LatencyStats,
+    /// Queueing-delay summary over completions.
+    pub queue_delay: LatencyStats,
+    /// Accelerator invocations issued.
+    pub batches: u64,
+    /// Mean requests per invocation.
+    pub mean_batch_size: f64,
+    /// Per-instance busy fraction of the makespan.
+    pub utilization: Vec<f64>,
+    /// Mean utilization across the fleet.
+    pub mean_utilization: f64,
+    /// Total energy across all invocations, pJ.
+    pub total_energy_pj: f64,
+    /// Energy per completed request, nJ.
+    pub energy_per_request_nj: f64,
+    /// Peak number of requests simultaneously in the system (queued +
+    /// executing). For closed-loop runs this never exceeds the client
+    /// count.
+    pub max_in_system: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::from_ns_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let s = LatencyStats::from_ns_samples(&[2_000_000.0]);
+        assert_eq!(s.count, 1);
+        for v in [s.mean_ms, s.p50_ms, s.p95_ms, s.p99_ms, s.max_ms] {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_order_statistics() {
+        // 100 samples: 1..=100 ms.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 * 1e6).collect();
+        let s = LatencyStats::from_ns_samples(&samples);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = LatencyStats::from_ns_samples(&[3.0, 1.0, 2.0]);
+        let b = LatencyStats::from_ns_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+}

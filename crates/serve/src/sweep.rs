@@ -1,0 +1,153 @@
+//! Parameter sweeps: fan whole simulations out over `star-exec`.
+//!
+//! Each sweep case is one complete [`ServeConfig`]; the event loop inside
+//! a case is single-threaded, so parallelism lives here, *between* cases.
+//! [`run_sweep`] maps cases through [`star_exec::Executor::par_map`]
+//! (index-ordered results) and runs every simulation under its own
+//! [`star_telemetry::with_scoped`] registry, absorbing the per-case
+//! snapshots back into the caller's scope **in case order**. Because the
+//! simulator is deterministic and snapshot absorption is commutative
+//! *and* applied in a fixed order, the full sweep output — reports and
+//! telemetry alike — is byte-identical for any worker count
+//! (`STAR_EXEC_THREADS=1` vs `8`; a differential test pins this).
+
+use crate::sim::{simulate, ServeConfig};
+use crate::slo::ServeReport;
+use serde::{Deserialize, Serialize};
+use star_exec::Executor;
+
+/// One labelled point in a parameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCase {
+    /// Human-readable label, e.g. `"poisson40000/batch8@50us/fleet2"`.
+    pub label: String,
+    /// The full simulation configuration for this point.
+    pub config: ServeConfig,
+}
+
+impl SweepCase {
+    /// A case labelled from its own configuration:
+    /// `"{arrival}/{policy}/fleet{N}"`.
+    pub fn auto(config: ServeConfig) -> Self {
+        let label = format!("{}/{}/fleet{}", config.arrival.label(), config.policy, config.fleet);
+        SweepCase { label, config }
+    }
+}
+
+/// One finished point: the case's label, its configuration, and the
+/// report it produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The case label.
+    pub label: String,
+    /// The configuration that ran.
+    pub config: ServeConfig,
+    /// The simulation report.
+    pub report: ServeReport,
+}
+
+/// Runs every case on `exec`, returning results in **case order**.
+///
+/// Each case's telemetry is recorded in a scoped registry on its worker
+/// thread and absorbed into the caller's scope in case order, so counter
+/// totals and histogram contents are independent of the worker count.
+///
+/// # Panics
+///
+/// Propagates any configuration panic from the underlying simulations.
+pub fn run_sweep(cases: &[SweepCase], exec: &Executor) -> Vec<SweepResult> {
+    let outcomes =
+        exec.par_map(cases, |_, case| star_telemetry::with_scoped(|| simulate(&case.config)));
+    outcomes
+        .into_iter()
+        .zip(cases.iter())
+        .map(|((report, snap), case)| {
+            star_telemetry::absorb(&snap);
+            SweepResult { label: case.label.clone(), config: case.config.clone(), report }
+        })
+        .collect()
+}
+
+/// The cross product `rates × policies × fleets` over one shared base
+/// configuration, in row-major order (rate outermost, fleet innermost).
+/// Every case keeps the base seed: determinism comes from the
+/// configuration, not from distinct seeds.
+pub fn grid(
+    base: &ServeConfig,
+    rates_rps: &[f64],
+    policies: &[crate::batch::BatchPolicy],
+    fleets: &[usize],
+) -> Vec<SweepCase> {
+    let mut cases = Vec::with_capacity(rates_rps.len() * policies.len() * fleets.len());
+    for &rate in rates_rps {
+        for &policy in policies {
+            for &fleet in fleets {
+                let mut cfg = base.clone();
+                cfg.arrival = crate::arrival::ArrivalProcess::poisson(rate);
+                cfg.policy = policy;
+                cfg.fleet = fleet;
+                cases.push(SweepCase::auto(cfg));
+            }
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchPolicy;
+
+    #[test]
+    fn grid_has_full_cross_product() {
+        let base = ServeConfig::example();
+        let cases = grid(
+            &base,
+            &[1000.0, 2000.0],
+            &[BatchPolicy::no_batching(), BatchPolicy::new(4, 50_000.0)],
+            &[1, 2, 4],
+        );
+        assert_eq!(cases.len(), 12);
+        // Labels are unique across the grid.
+        let mut labels: Vec<&str> = cases.iter().map(|c| c.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let base = ServeConfig::example();
+        let cases = grid(&base, &[5000.0, 20_000.0], &[BatchPolicy::new(4, 50_000.0)], &[1, 2]);
+        let serial = run_sweep(&cases, &Executor::serial());
+        let parallel = run_sweep(&cases, &Executor::new(4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_telemetry_is_worker_count_invariant() {
+        let base = ServeConfig::example();
+        let cases = grid(&base, &[10_000.0], &[BatchPolicy::new(4, 50_000.0)], &[1, 2]);
+        let ((), serial) = star_telemetry::with_scoped(|| {
+            run_sweep(&cases, &Executor::serial());
+        });
+        let ((), parallel) = star_telemetry::with_scoped(|| {
+            run_sweep(&cases, &Executor::new(8));
+        });
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+    }
+
+    #[test]
+    fn results_keep_case_order() {
+        let base = ServeConfig::example();
+        let cases = grid(&base, &[1000.0, 4000.0], &[BatchPolicy::no_batching()], &[1]);
+        let results = run_sweep(&cases, &Executor::new(2));
+        for (case, result) in cases.iter().zip(&results) {
+            assert_eq!(case.label, result.label);
+            assert_eq!(case.config, result.config);
+        }
+    }
+}

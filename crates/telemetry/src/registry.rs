@@ -69,6 +69,55 @@ impl HistogramSnapshot {
             self.sum / self.total as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the bucket counts, or
+    /// `None` when the histogram is empty.
+    ///
+    /// Within the bucket holding the target rank the value is linearly
+    /// interpolated between the bucket's edges (the first finite bucket's
+    /// lower edge is taken as 0, the Prometheus convention for
+    /// non-negative observations). A rank that lands in the overflow
+    /// bucket clamps to the last finite bound — the histogram cannot know
+    /// how far above it the tail reaches, so heavy-tailed inputs report a
+    /// *lower bound* on the true quantile. Callers that need exact tail
+    /// quantiles (e.g. the serving SLO tracker) should keep the raw
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        // Target rank in 1..=total (q = 0 maps to the first observation).
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            seen += count;
+            if seen >= rank {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: clamp to the last finite bound.
+                    return Some(self.bounds.last().copied().unwrap_or(f64::INFINITY));
+                }
+                let hi = self.bounds[i];
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                // Position of the rank inside this bucket, interpolated.
+                let into = (rank - (seen - count)) as f64 / count as f64;
+                return Some(lo + (hi - lo) * into);
+            }
+        }
+        unreachable!("total > 0 implies some bucket holds the rank");
+    }
+
+    /// The `(p50, p95, p99)` latency-style summary, or `None` when empty.
+    pub fn quantile_summary(&self) -> Option<(f64, f64, f64)> {
+        Some((self.quantile(0.50)?, self.quantile(0.95)?, self.quantile(0.99)?))
+    }
 }
 
 #[derive(Debug, Default)]
@@ -388,7 +437,16 @@ impl Snapshot {
         if !self.histograms.is_empty() {
             out.push_str("histograms:\n");
             for (name, h) in &self.histograms {
-                out.push_str(&format!("  {name:<width$}  n={} mean={:.4}\n", h.total, h.mean()));
+                match h.quantile_summary() {
+                    Some((p50, p95, p99)) => out.push_str(&format!(
+                        "  {name:<width$}  n={} mean={:.4} p50~{p50:.4} p95~{p95:.4} p99~{p99:.4}\n",
+                        h.total,
+                        h.mean()
+                    )),
+                    None => {
+                        out.push_str(&format!("  {name:<width$}  n={} mean={:.4}\n", h.total, h.mean()))
+                    }
+                }
                 for (i, count) in h.counts.iter().enumerate() {
                     if *count == 0 {
                         continue;
@@ -408,6 +466,31 @@ impl Snapshot {
     /// JSON form (object with `counters` / `gauges` / `histograms`).
     pub fn to_json(&self) -> serde_json::Value {
         serde_json::to_value(self).expect("snapshot serializes")
+    }
+
+    /// Per-histogram quantile summaries as JSON — one object per
+    /// histogram with `count`, `mean`, and estimated `p50`/`p95`/`p99`
+    /// (see [`HistogramSnapshot::quantile`] for the estimation and
+    /// overflow-clamping semantics). Empty histograms are omitted. This
+    /// is what the experiment sidecars embed next to the raw buckets so
+    /// downstream tooling gets tail summaries without re-deriving them.
+    pub fn quantile_summaries(&self) -> serde_json::Value {
+        let mut out = Vec::new();
+        for (name, h) in &self.histograms {
+            if let Some((p50, p95, p99)) = h.quantile_summary() {
+                out.push((
+                    name.clone(),
+                    serde_json::json!({
+                        "count": h.total,
+                        "mean": h.mean(),
+                        "p50": p50,
+                        "p95": p95,
+                        "p99": p99,
+                    }),
+                ));
+            }
+        }
+        serde_json::Value::Map(out)
     }
 }
 
@@ -570,6 +653,98 @@ mod tests {
         assert_eq!(h.total, 3, "no observation dropped");
         assert_eq!(*h.counts.last().unwrap(), 2, "foreign observations land in overflow");
         assert!((h.sum - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        let h = HistogramSnapshot {
+            bounds: DEFAULT_BUCKET_BOUNDS.to_vec(),
+            counts: vec![0; DEFAULT_BUCKET_BOUNDS.len() + 1],
+            total: 0,
+            sum: 0.0,
+        };
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile_summary(), None);
+        // Empty histograms never appear in summaries.
+        let r = Registry::new();
+        r.count("not.a.histogram", 1);
+        assert_eq!(r.snapshot().quantile_summaries(), serde_json::Value::Map(vec![]));
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let r = Registry::new();
+        r.observe_with("h", 5.0, &[1.0, 10.0, 100.0]);
+        let snap = r.snapshot();
+        let h = &snap.histograms["h"];
+        // One sample in (1, 10]: every quantile interpolates inside that
+        // bucket and with a single count lands on the upper bound.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(10.0), "q={q}");
+        }
+        assert_eq!(h.quantile_summary(), Some((10.0, 10.0, 10.0)));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let r = Registry::new();
+        // 100 observations uniform over the (0, 1] bucket, 100 over (1, 2].
+        for _ in 0..100 {
+            r.observe_with("h", 0.5, &[1.0, 2.0]);
+            r.observe_with("h", 1.5, &[1.0, 2.0]);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["h"];
+        // Rank 100 of 200 is the last of the first bucket → its upper edge.
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        // Rank 150 is halfway through the second bucket → 1.5.
+        assert_eq!(h.quantile(0.75), Some(1.5));
+        // Rank 1 is 1/100 into the first bucket.
+        assert!((h.quantile(0.0).unwrap() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_heavy_tail_clamps_to_last_bound() {
+        let r = Registry::new();
+        // 1 in-range observation, 99 far past the last bound: the p50 and
+        // p99 both live in the overflow bucket, which clamps to the last
+        // finite bound (a documented lower bound, not an estimate).
+        r.observe_with("h", 0.5, &[1.0, 2.0]);
+        for _ in 0..99 {
+            r.observe_with("h", 1e12, &[1.0, 2.0]);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.99), Some(2.0));
+        // The single in-range sample is still reachable at q = 0.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let r = Registry::new();
+        r.observe("h", 1.0);
+        let snap = r.snapshot();
+        let _ = snap.histograms["h"].quantile(1.5);
+    }
+
+    #[test]
+    fn quantile_summaries_render_json() {
+        let r = Registry::new();
+        for v in [1.0, 2.0, 3.0, 500.0] {
+            r.observe_with("serve.latency", v, &[10.0, 1000.0]);
+        }
+        let snap = r.snapshot();
+        let json = snap.quantile_summaries();
+        let entry = json.get("serve.latency").expect("histogram summarized");
+        assert_eq!(entry.get("count").and_then(serde_json::Value::as_f64), Some(4.0));
+        assert!(entry.get("p50").is_some());
+        assert!(entry.get("p95").is_some());
+        assert!(entry.get("p99").is_some());
+        let pretty = snap.render_pretty();
+        assert!(pretty.contains("p99~"), "{pretty}");
     }
 
     #[test]

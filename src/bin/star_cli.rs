@@ -34,6 +34,12 @@ COMMANDS:
                                    utilization summary goes to stderr
     metrics <format> [seq]         run a representative softmax workload and
                                    print the telemetry counter/gauge table
+    serve [rate] [fleet] [batch] [window_us]
+                                   simulate a fleet of STAR instances serving
+                                   Poisson BERT-base/128 traffic against a
+                                   2 ms SLO and print the goodput/latency
+                                   report (defaults: 16000 rps, 2 instances,
+                                   batch 8, 50 us window)
     help                           this message
 
 Paper formats: CNEWS = q5.2 (8 bits), MRPC = q5.3 (9 bits), CoLA = q4.2 (7 bits).";
@@ -48,6 +54,7 @@ fn main() -> ExitCode {
         "fig3" => cmd_fig3(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -228,6 +235,89 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a positional argument with a default, rejecting zero.
+fn parse_positive<T: std::str::FromStr + PartialOrd + Default>(
+    arg: Option<&String>,
+    default: T,
+    what: &str,
+) -> Result<T, String> {
+    let v = match arg {
+        Some(a) => a.parse().map_err(|_| format!("`{a}` is not a valid {what}"))?,
+        None => default,
+    };
+    if v <= T::default() {
+        return Err(format!("{what} must be positive"));
+    }
+    Ok(v)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use star::serve::{
+        simulate, ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig, ServiceModel,
+        ServiceModelConfig, WorkloadMix,
+    };
+    let rate: f64 = parse_positive(args.first(), 16_000.0, "arrival rate (rps)")?;
+    if !rate.is_finite() {
+        return Err("arrival rate must be finite".into());
+    }
+    let fleet: usize = parse_positive(args.get(1), 2, "fleet size")?;
+    let batch: usize = parse_positive(args.get(2), 8, "batch size")?;
+    let window_us: f64 = match args.get(3) {
+        Some(a) => a.parse().map_err(|_| format!("`{a}` is not a window in us"))?,
+        None => 50.0,
+    };
+    if !(window_us.is_finite() && window_us >= 0.0) {
+        return Err("window must be finite and non-negative".into());
+    }
+
+    let class = RequestClass::new(ModelKind::BertBase, 128);
+    let cfg = ServeConfig {
+        fleet,
+        policy: BatchPolicy::new(batch, window_us * 1e3),
+        arrival: ArrivalProcess::poisson(rate),
+        mix: WorkloadMix::single(class),
+        horizon_ns: 1e8,
+        seed: 2023,
+        max_queue: 256,
+        deadline_ns: 2e6,
+        service: ServiceModelConfig::default(),
+    };
+    let service = ServiceModel::new(cfg.service.clone(), &[class]);
+    let r = simulate(&cfg);
+
+    println!("serving {class} on {fleet} STAR instance(s), policy {}:", cfg.policy);
+    println!(
+        "  zero-load floor {:.1} us/request, fleet capacity {:.0} rps at batch 1, {:.0} at batch {batch}",
+        service.unit_latency_ns(class) / 1e3,
+        service.peak_rps(class, 1) * fleet as f64,
+        service.peak_rps(class, batch) * fleet as f64,
+    );
+    println!(
+        "  arrivals {}   completed {}   good {}   late {}   rejected {}   expired {}",
+        r.arrivals, r.completed, r.good, r.late, r.rejected, r.expired
+    );
+    println!(
+        "  offered {:.0} rps   throughput {:.0} rps   goodput {:.0} rps (2 ms SLO)",
+        r.offered_rps, r.throughput_rps, r.goodput_rps
+    );
+    println!(
+        "  latency ms  p50 {:.3}   p95 {:.3}   p99 {:.3}   max {:.3}",
+        r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms, r.latency.max_ms
+    );
+    println!(
+        "  queue   ms  p50 {:.3}   p95 {:.3}   p99 {:.3}",
+        r.queue_delay.p50_ms, r.queue_delay.p95_ms, r.queue_delay.p99_ms
+    );
+    println!(
+        "  batches {}   mean size {:.2}   utilization {:.1} %   energy/request {:.1} nJ",
+        r.batches,
+        r.mean_batch_size,
+        r.mean_utilization * 100.0,
+        r.energy_per_request_nj
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +364,23 @@ mod tests {
     fn trace_and_metrics_commands_run() {
         cmd_trace(&["q5.3".into(), "16".into()]).expect("trace");
         cmd_metrics(&["q5.3".into(), "16".into()]).expect("metrics");
+    }
+
+    #[test]
+    fn serve_command_runs() {
+        // Defaults, and an explicit no-batching single-instance run.
+        cmd_serve(&[]).expect("serve defaults");
+        cmd_serve(&["8000".into(), "1".into(), "1".into(), "0".into()]).expect("serve explicit");
+    }
+
+    #[test]
+    fn serve_command_rejects_bad_arguments() {
+        assert!(cmd_serve(&["abc".into()]).is_err());
+        assert!(cmd_serve(&["0".into()]).is_err());
+        assert!(cmd_serve(&["8000".into(), "0".into()]).is_err());
+        assert!(cmd_serve(&["8000".into(), "1".into(), "0".into()]).is_err());
+        assert!(cmd_serve(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
+        assert!(cmd_serve(&["inf".into()]).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`workload`] | `star-workload` | calibrated CNEWS/MRPC/CoLA score proxies |
 //! | [`arch`] | `star-arch` | GPU / PipeLayer / ReTransformer / STAR accelerators |
 //! | [`telemetry`] | `star-telemetry` | counters/gauges/histograms, Chrome trace emission |
+//! | [`serve`] | `star-serve` | discrete-event serving simulator: arrivals, batching, SLOs |
 //!
 //! # Quickstart
 //!
@@ -47,5 +48,6 @@ pub use star_core as core;
 pub use star_crossbar as crossbar;
 pub use star_device as device;
 pub use star_fixed as fixed;
+pub use star_serve as serve;
 pub use star_telemetry as telemetry;
 pub use star_workload as workload;

@@ -73,6 +73,34 @@ fn main() {
     );
     assert!(gain > 1.0, "dynamic batching must beat the baseline at saturation, got {gain}");
 
+    header("A8: per-class SLO under a mixed workload (batched, saturating)");
+    println!(
+        "  {:<24} {:>9} {:>7} {:>7} {:>7} {:>7} {:>9} {:>8}",
+        "class", "arrivals", "good", "late", "reject", "expire", "goodput", "p99 ms"
+    );
+    let classes = walk(&result, "mixed_workload.per_class").as_array().expect("per_class array");
+    let mut goodput_sum = 0.0;
+    for c in classes {
+        goodput_sum += num(c, "goodput_rps");
+        println!(
+            "  {:<24} {:>9} {:>7} {:>7} {:>7} {:>7} {:>9.0} {:>8.3}",
+            walk(c, "class").as_str().unwrap_or("?"),
+            int(c, "arrivals"),
+            int(c, "good"),
+            int(c, "late"),
+            int(c, "rejected"),
+            int(c, "expired"),
+            num(c, "goodput_rps"),
+            num(c, "p99_ms"),
+        );
+    }
+    let aggregate = num(&result, "mixed_workload.goodput_rps");
+    println!("  {:<24} {:>58.0} rps aggregate", "", aggregate);
+    assert!(
+        (goodput_sum - aggregate).abs() <= 1e-6 * aggregate.max(1.0),
+        "per-class goodput must sum to the aggregate: {goodput_sum} vs {aggregate}"
+    );
+
     let (path, telemetry) = finalize_experiment("a8_serving", &result).expect("write results");
     println!("\nwrote {}", path.display());
     println!("wrote {}", telemetry.display());

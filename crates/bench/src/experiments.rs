@@ -140,7 +140,11 @@ pub fn a8_serving_cases() -> (star_serve::ServeConfig, Vec<star_serve::SweepCase
 
 /// The machine-readable A8 serving result: the full sweep plus a headline
 /// comparison of dynamic batching against the batch-1 baseline at the
-/// saturating operating point (32 krps on the 2-instance fleet).
+/// saturating operating point (32 krps on the 2-instance fleet), plus a
+/// mixed-workload run whose per-class SLO breakdown (goodput, p99 per
+/// request class) is the precursor to the multi-tenant scheduling
+/// roadmap item. Every case also carries `report.per_class`, so the
+/// per-class rows are machine-readable throughout the sweep.
 ///
 /// The sweep fans out over `star_exec::Executor::from_env()`
 /// (`STAR_EXEC_THREADS`); per-case telemetry is recorded in scoped
@@ -148,11 +152,41 @@ pub fn a8_serving_cases() -> (star_serve::ServeConfig, Vec<star_serve::SweepCase
 /// telemetry sidecar built from the ambient registry — is byte-identical
 /// for any worker count.
 pub fn a8_serving_result() -> serde_json::Value {
-    use star_serve::ServiceModel;
+    use star_serve::{
+        ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig, ServiceModel,
+        WorkloadMix,
+    };
     let (base, cases) = a8_serving_cases();
     let class = base.mix.classes()[0];
     let service = ServiceModel::new(base.service.clone(), &[class]);
     let results = star_serve::run_sweep(&cases, &star_exec::Executor::from_env());
+
+    // Mixed-tenant run at the saturating batched operating point: two
+    // request classes share the fleet, and the per-class SLO rows show
+    // how the aggregate goodput/p99 splits between them (the precursor
+    // to per-tenant scheduling — today both classes ride one queue).
+    let mixed_cfg = ServeConfig {
+        policy: BatchPolicy::new(8, 50_000.0),
+        arrival: ArrivalProcess::poisson(32_000.0),
+        mix: WorkloadMix::new(vec![
+            (RequestClass::new(ModelKind::BertBase, 128), 0.7),
+            (RequestClass::new(ModelKind::BertBase, 64), 0.3),
+        ]),
+        ..base.clone()
+    };
+    let mixed = star_serve::simulate(&mixed_cfg);
+    let class_json = |c: &star_serve::ClassSloReport| {
+        serde_json::json!({
+            "class": c.class.to_string(),
+            "arrivals": c.arrivals,
+            "good": c.good,
+            "late": c.late,
+            "rejected": c.rejected,
+            "expired": c.expired,
+            "goodput_rps": c.goodput_rps,
+            "p99_ms": c.latency.p99_ms,
+        })
+    };
 
     let case_json = |r: &star_serve::SweepResult| {
         serde_json::json!({
@@ -202,6 +236,20 @@ pub fn a8_serving_result() -> serde_json::Value {
                 "baseline": baseline.report.rejected + baseline.report.expired,
                 "batched": batched.report.rejected + batched.report.expired,
             },
+            "per_class": {
+                "baseline": baseline.report.per_class.iter().map(class_json).collect::<Vec<_>>(),
+                "batched": batched.report.per_class.iter().map(class_json).collect::<Vec<_>>(),
+            },
+        },
+        "mixed_workload": {
+            "note": "two classes share the saturating batched fleet; per-class \
+                     goodput/p99 is the precursor to multi-tenant scheduling",
+            "mix": mixed_cfg.mix.classes().iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+            "offered_rps": mixed.offered_rps,
+            "goodput_rps": mixed.goodput_rps,
+            "p99_ms": mixed.latency.p99_ms,
+            "per_class": mixed.per_class.iter().map(class_json).collect::<Vec<_>>(),
+            "report": mixed,
         },
     })
 }

@@ -120,6 +120,38 @@ fn a8_golden_headline_shows_batching_win() {
 }
 
 #[test]
+fn a8_golden_surfaces_per_class_slo() {
+    // The mixed-workload section must carry one SLO row per request
+    // class, with per-class goodput summing to the aggregate — the
+    // machine-readable precursor to multi-tenant scheduling.
+    let a8 = fixture("a8_serving");
+    let mixed = a8.get("mixed_workload").expect("mixed_workload section");
+    let classes =
+        mixed.get("per_class").and_then(|v| v.as_array()).expect("mixed_workload/per_class array");
+    assert_eq!(classes.len(), 2, "the mixed workload has two classes");
+    let mut goodput_sum = 0.0;
+    for (i, c) in classes.iter().enumerate() {
+        assert!(c.get("class").and_then(|v| v.as_str()).is_some());
+        goodput_sum += number_at(c, "goodput_rps");
+        assert!(number_at(c, "p99_ms") > 0.0, "class row {i} has a p99");
+    }
+    let aggregate = number_at(&a8, "mixed_workload/goodput_rps");
+    assert!(
+        (goodput_sum - aggregate).abs() <= 1e-6 * aggregate,
+        "per-class goodput {goodput_sum} does not sum to the aggregate {aggregate}"
+    );
+    // Every sweep case report also carries per-class rows now.
+    for case in a8.get("cases").and_then(|v| v.as_array()).expect("cases") {
+        let rows = case
+            .get("report")
+            .and_then(|r| r.get("per_class"))
+            .and_then(|v| v.as_array())
+            .expect("case report per_class");
+        assert_eq!(rows.len(), 1, "single-class sweep cases have one SLO row");
+    }
+}
+
+#[test]
 fn goldens_contain_paper_anchors() {
     // Guard against fixtures regenerated from a builder that silently
     // dropped the paper anchor fields: the anchors are the whole point

@@ -1,0 +1,55 @@
+//! Event-loop throughput with and without span tracing.
+//!
+//! Reports the rate the discrete-event loop processes simulated requests
+//! and what the full span-tree/trace machinery costs on top:
+//!
+//! - `untraced` — `simulate`: the production sweep path (reports only).
+//! - `traced` — `simulate_traced`: span tree per request, invocation
+//!   spans per batch, system-state samples per event.
+//!
+//! The measured traced/untraced ratio is recorded in DESIGN.md
+//! ("Observability") — re-run with `STAR_BENCH_BUDGET_MS=2000` for
+//! steadier numbers before updating it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use star_serve::{
+    simulate, simulate_traced, ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig,
+    ServiceModelConfig, WorkloadMix,
+};
+
+/// A Tiny-class workload sized so one simulation handles a few thousand
+/// requests — large enough to amortize setup, small enough to iterate.
+fn bench_config(rate_rps: f64) -> ServeConfig {
+    ServeConfig {
+        fleet: 2,
+        policy: BatchPolicy::new(8, 50_000.0),
+        arrival: ArrivalProcess::poisson(rate_rps),
+        mix: WorkloadMix::single(RequestClass::new(ModelKind::Tiny, 16)),
+        horizon_ns: 5e7,
+        seed: 7,
+        max_queue: 256,
+        deadline_ns: 2e6,
+        service: ServiceModelConfig::default(),
+    }
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_event_loop");
+    for rate in [20_000.0, 80_000.0] {
+        let cfg = bench_config(rate);
+        // Sanity: both paths agree before we time them.
+        let plain = simulate(&cfg);
+        assert_eq!(plain, simulate_traced(&cfg).report);
+        assert!(plain.arrivals > 0);
+        group.bench_with_input(BenchmarkId::new("untraced", rate as u64), &cfg, |b, cfg| {
+            b.iter(|| simulate(cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("traced", rate as u64), &cfg, |b, cfg| {
+            b.iter(|| simulate_traced(cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_loop);
+criterion_main!(benches);

@@ -17,7 +17,8 @@
 //! | [`batch`] | The size-or-timeout dynamic batching policy |
 //! | [`model`] | Service costs per batched invocation, grounded in `star-arch` |
 //! | [`sim`] | The single-threaded, seeded discrete-event loop |
-//! | [`slo`] | Exact latency quantiles, goodput, utilization, energy per request |
+//! | [`slo`] | Exact latency quantiles, goodput, per-class breakdowns, burn-rate monitor |
+//! | [`trace`] | Per-request span trees, batch invocation spans, Perfetto export |
 //! | [`sweep`] | Parameter sweeps fanned out over `star-exec` |
 //!
 //! # Determinism
@@ -52,11 +53,18 @@ pub mod request;
 pub mod sim;
 pub mod slo;
 pub mod sweep;
+pub mod trace;
 
 pub use arrival::{generate_open_loop, ArrivalProcess, WorkloadMix};
 pub use batch::BatchPolicy;
-pub use model::{BatchCost, ClassService, ServiceModel, ServiceModelConfig};
+pub use model::{BatchCost, ClassService, InvocationPhases, ServiceModel, ServiceModelConfig};
 pub use request::{ModelKind, Request, RequestClass, RequestRecord};
 pub use sim::{simulate, simulate_traced, ServeConfig, SimOutcome};
-pub use slo::{LatencyStats, ServeReport};
+pub use slo::{
+    BurnWindow, ClassSloReport, Exemplar, LatencyStats, ServeReport, SloAnalysis, SloPolicy,
+};
 pub use sweep::{grid, run_sweep, SweepCase, SweepResult};
+pub use trace::{
+    invocation_span, BatchTrace, RequestOutcome, RequestTrace, ServeTrace, SystemSample,
+    TRACE_SIDECAR_KEY,
+};

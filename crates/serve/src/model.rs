@@ -88,6 +88,68 @@ pub struct BatchCost {
     pub energy_pj: f64,
 }
 
+/// Sequential phase decomposition of one batched invocation — the
+/// hardware-cost half of a request's span tree.
+///
+/// The five phases partition [`BatchCost::latency_ns`] *exactly*: the
+/// first four are the analytically attributable terms of the vector-
+/// grained pipeline formula and the last (`av_drain_ns`) is the residual,
+/// so `sum() == batch_cost(class, batch).latency_ns` bit-for-bit and span
+/// trees built from these phases always reconcile with the event loop's
+/// service times.
+///
+/// Phase meanings, in chronological order:
+///
+/// 1. `overhead_ns` — host dispatch, activation staging, pipeline
+///    reconfiguration (`invoke_overhead_ns`, paid once per batch).
+/// 2. `projection_ns` — the `B` serialized per-request projection GEMMs.
+/// 3. `qk_fill_ns` — first `QKᵀ` row through the MatMul engine (pipeline
+///    fill).
+/// 4. `softmax_stream_ns` — the softmax stage of row 0 plus the
+///    steady-state streaming of the remaining `B·seq − 1` rows at the
+///    bottleneck rate (this is where the STAR engine's row latency
+///    shows up).
+/// 5. `av_drain_ns` — the final `P·V` row draining the pipeline
+///    (residual term).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvocationPhases {
+    /// Per-batch invocation overhead, ns.
+    pub overhead_ns: f64,
+    /// Serialized projection GEMMs for all batch members, ns.
+    pub projection_ns: f64,
+    /// Pipeline fill: the first `QKᵀ` row, ns.
+    pub qk_fill_ns: f64,
+    /// Softmax of row 0 plus steady-state streaming of the remaining
+    /// rows at the bottleneck rate, ns.
+    pub softmax_stream_ns: f64,
+    /// Pipeline drain: the final `P·V` row (residual so the five phases
+    /// sum exactly to the invocation latency), ns.
+    pub av_drain_ns: f64,
+}
+
+impl InvocationPhases {
+    /// Total latency — equals [`BatchCost::latency_ns`] exactly.
+    pub fn sum(&self) -> f64 {
+        self.overhead_ns
+            + self.projection_ns
+            + self.qk_fill_ns
+            + self.softmax_stream_ns
+            + self.av_drain_ns
+    }
+
+    /// The phases as `(category, duration)` pairs in chronological order,
+    /// using the span categories the trace layer emits.
+    pub fn as_categories(&self) -> [(&'static str, f64); 5] {
+        [
+            ("overhead", self.overhead_ns),
+            ("projection", self.projection_ns),
+            ("qk_fill", self.qk_fill_ns),
+            ("softmax_stream", self.softmax_stream_ns),
+            ("av_drain", self.av_drain_ns),
+        ]
+    }
+}
+
 /// The service-time oracle the event loop queries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceModel {
@@ -188,6 +250,37 @@ impl ServiceModel {
         BatchCost { latency_ns, energy_pj }
     }
 
+    /// The sequential phase decomposition of one invocation (see
+    /// [`InvocationPhases`]). The phases sum to
+    /// [`ServiceModel::batch_cost`]'s `latency_ns` *exactly* — the last
+    /// phase is computed as the residual, so floating-point rounding in
+    /// the analytic terms can never make span trees disagree with the
+    /// event loop's service times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `class` is unknown.
+    pub fn invocation_phases(&self, class: RequestClass, batch: usize) -> InvocationPhases {
+        let total = self.batch_cost(class, batch).latency_ns;
+        let c = self.class(class);
+        let rows = (batch * class.seq_len) as f64;
+        let overhead_ns = self.config.invoke_overhead_ns;
+        let projection_ns = batch as f64 * c.per_request_fixed_ns;
+        let qk_fill_ns = c.stages.qk.value();
+        let softmax_stream_ns =
+            c.stages.softmax.value() + (rows - 1.0) * c.stages.bottleneck().value();
+        // Residual drain term: nominally the final `P·V` row; numerically
+        // it absorbs the rounding noise of the analytic terms. Computing
+        // it as `total − S` with `S` accumulated in *the same grouping*
+        // `sum()` uses makes the recomposition exact: `S` is within a
+        // factor of two of `total` (the drain is one row of a multi-row
+        // invocation), so by Sterbenz's lemma the subtraction is exact and
+        // `S + (total − S)` rounds to `total` itself.
+        let analytic = ((overhead_ns + projection_ns) + qk_fill_ns) + softmax_stream_ns;
+        let av_drain_ns = total - analytic;
+        InvocationPhases { overhead_ns, projection_ns, qk_fill_ns, softmax_stream_ns, av_drain_ns }
+    }
+
     /// The batch-of-one service latency — the zero-queueing floor every
     /// latency distribution sits on.
     pub fn unit_latency_ns(&self, class: RequestClass) -> f64 {
@@ -258,6 +351,39 @@ mod tests {
         let long = RequestClass::new(ModelKind::BertBase, 256);
         let m = model(&[short, long]);
         assert!(m.unit_latency_ns(long) > m.unit_latency_ns(short));
+    }
+
+    #[test]
+    fn invocation_phases_sum_exactly_to_batch_cost() {
+        let class = RequestClass::new(ModelKind::BertBase, 128);
+        let m = model(&[class]);
+        for batch in [1usize, 2, 4, 8, 16] {
+            let cost = m.batch_cost(class, batch);
+            let phases = m.invocation_phases(class, batch);
+            // Bit-exact recomposition: the residual-drain construction
+            // plus Sterbenz's lemma make this an equality, not a bound.
+            assert_eq!(phases.sum(), cost.latency_ns, "batch {batch}");
+            // Every phase is non-negative and chronologically meaningful.
+            for (cat, dur) in phases.as_categories() {
+                assert!(dur >= 0.0, "phase {cat} negative at batch {batch}: {dur}");
+            }
+        }
+    }
+
+    #[test]
+    fn invocation_phases_scale_with_batch() {
+        let class = RequestClass::new(ModelKind::BertBase, 128);
+        let m = model(&[class]);
+        let p1 = m.invocation_phases(class, 1);
+        let p8 = m.invocation_phases(class, 8);
+        // Overhead is per-batch: identical.
+        assert_eq!(p1.overhead_ns, p8.overhead_ns);
+        // Projection serializes per request: 8×.
+        assert!((p8.projection_ns - 8.0 * p1.projection_ns).abs() < 1e-6);
+        // The softmax stream grows with the row count.
+        assert!(p8.softmax_stream_ns > p1.softmax_stream_ns);
+        // The fill phase is one row regardless of batch.
+        assert_eq!(p1.qk_fill_ns, p8.qk_fill_ns);
     }
 
     #[test]

@@ -29,11 +29,14 @@ use crate::arrival::{exp_sample, generate_open_loop, ArrivalProcess, WorkloadMix
 use crate::batch::BatchPolicy;
 use crate::model::{ServiceModel, ServiceModelConfig};
 use crate::request::{Request, RequestClass, RequestRecord};
-use crate::slo::{LatencyStats, ServeReport};
+use crate::slo::{ClassSloReport, LatencyStats, ServeReport};
+use crate::trace::{
+    invocation_span, BatchTrace, RequestOutcome, RequestTrace, ServeTrace, SystemSample,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use star_telemetry::ChromeTrace;
+use star_telemetry::Span;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
@@ -107,6 +110,19 @@ enum EventKind {
     InstanceFree { instance: usize, batch: Batch },
 }
 
+/// Per-class running totals (always maintained — they cost a handful of
+/// integer bumps per request and feed [`ServeReport::per_class`]).
+#[derive(Debug, Clone, Default)]
+struct ClassAccum {
+    arrivals: u64,
+    rejected: u64,
+    expired: u64,
+    completed: u64,
+    good: u64,
+    late: u64,
+    latencies_ns: Vec<f64>,
+}
+
 #[derive(Debug, Clone)]
 struct Event {
     time: f64,
@@ -162,7 +178,8 @@ struct Sim<'a> {
     in_system: u64,
     max_in_system: u64,
     makespan_ns: f64,
-    trace: Option<ChromeTrace>,
+    per_class: BTreeMap<RequestClass, ClassAccum>,
+    trace: Option<ServeTrace>,
 }
 
 impl<'a> Sim<'a> {
@@ -171,16 +188,12 @@ impl<'a> Sim<'a> {
         let classes = cfg.mix.classes();
         let service = ServiceModel::new(cfg.service.clone(), &classes);
         let mut queues = BTreeMap::new();
+        let mut per_class = BTreeMap::new();
         for class in classes {
             queues.insert(class, VecDeque::new());
+            per_class.insert(class, ClassAccum::default());
         }
-        let mut trace = traced.then(ChromeTrace::new);
-        if let Some(t) = trace.as_mut() {
-            t.name_process(1, "requests");
-            for i in 0..cfg.fleet {
-                t.name_process(100 + i as u64, format!("instance {i}"));
-            }
-        }
+        let trace = traced.then(|| ServeTrace::new(cfg.fleet, cfg.deadline_ns));
         Sim {
             cfg,
             service,
@@ -208,8 +221,26 @@ impl<'a> Sim<'a> {
             in_system: 0,
             max_in_system: 0,
             makespan_ns: 0.0,
+            per_class,
             trace,
         }
+    }
+
+    /// Samples post-event system state onto the trace timeseries (one
+    /// sample per distinct event time; later events at the same instant
+    /// overwrite, so the sample reflects the settled state).
+    fn record_sample(&mut self, now: f64) {
+        let Some(t) = self.trace.as_mut() else { return };
+        let queued = self.queued_total as u64;
+        let busy = (self.cfg.fleet - self.idle.len()) as u64;
+        if let Some(last) = t.samples.last_mut() {
+            if last.t_ns == now {
+                last.queued = queued;
+                last.busy = busy;
+                return;
+            }
+        }
+        t.samples.push(SystemSample { t_ns: now, queued, busy });
     }
 
     fn push_event(&mut self, time: f64, kind: EventKind) {
@@ -272,10 +303,23 @@ impl<'a> Sim<'a> {
 
     fn on_arrive(&mut self, now: f64, req: Request) {
         self.arrivals += 1;
+        self.per_class.get_mut(&req.class).expect("mix classes pre-registered").arrivals += 1;
         star_telemetry::count("serve.requests.arrived", 1);
         if self.queued_total >= self.cfg.max_queue {
             self.rejected += 1;
+            self.per_class.get_mut(&req.class).expect("class registered").rejected += 1;
             star_telemetry::count("serve.requests.rejected", 1);
+            if let Some(t) = self.trace.as_mut() {
+                // A rejected request's whole lifecycle is one instant.
+                t.requests.push(RequestTrace {
+                    id: req.id,
+                    class: req.class,
+                    outcome: RequestOutcome::Rejected,
+                    batch_size: 0,
+                    instance: None,
+                    span: Span::leaf(format!("req{} {}", req.id, req.class), "request", now, 0.0),
+                });
+            }
             self.client_think_and_reissue(req.client, now);
             return;
         }
@@ -300,36 +344,78 @@ impl<'a> Sim<'a> {
             batch.members.iter().all(|r| r.class == batch.class),
             "batches never mix request classes"
         );
+        // Hardware phase decomposition, computed once per batch and
+        // shared by the instance-lane span and every member's
+        // `"invocation"` sub-tree. Tracing consumes no RNG draws and
+        // changes no event arithmetic — the traced and untraced runs
+        // stay bitwise identical.
+        let phases =
+            self.trace.is_some().then(|| self.service.invocation_phases(batch.class, size));
+        if let (Some(t), Some(p)) = (self.trace.as_mut(), phases.as_ref()) {
+            t.batches.push(BatchTrace {
+                instance,
+                class: batch.class,
+                size,
+                span: invocation_span(
+                    format!("{} x{size}", batch.class),
+                    batch.dispatch_ns,
+                    now - batch.dispatch_ns,
+                    p,
+                ),
+            });
+        }
         for req in batch.members {
             let latency = now - req.arrive_ns;
+            let queue_ns = batch.dispatch_ns - req.arrive_ns;
+            let good = latency <= self.cfg.deadline_ns;
             self.in_system -= 1;
             self.completed += 1;
-            if latency <= self.cfg.deadline_ns {
+            let acc = self.per_class.get_mut(&req.class).expect("class registered");
+            acc.completed += 1;
+            acc.latencies_ns.push(latency);
+            if good {
                 self.good += 1;
+                acc.good += 1;
             } else {
                 self.late += 1;
+                acc.late += 1;
                 star_telemetry::count("serve.requests.late", 1);
             }
             star_telemetry::count("serve.requests.completed", 1);
             star_telemetry::observe("serve.latency_us", latency / 1e3);
-            star_telemetry::observe("serve.queue_us", (batch.dispatch_ns - req.arrive_ns) / 1e3);
-            self.latencies_ns.push(latency);
-            self.queue_delays_ns.push(batch.dispatch_ns - req.arrive_ns);
-            if let Some(t) = self.trace.as_mut() {
-                t.complete_ns(
+            star_telemetry::observe("serve.queue_us", queue_ns / 1e3);
+            // Per-class span-duration histograms: the dashboard view of
+            // the per-request span tree's two lifecycle children.
+            star_telemetry::observe(
+                &format!("serve.class.{}.latency_us", req.class),
+                latency / 1e3,
+            );
+            star_telemetry::observe(&format!("serve.class.{}.queue_us", req.class), queue_ns / 1e3);
+            if let (Some(t), Some(p)) = (self.trace.as_mut(), phases.as_ref()) {
+                let span = Span::leaf(
                     format!("req{} {}", req.id, req.class),
                     "request",
                     req.arrive_ns,
                     latency,
-                    1,
-                    req.id,
-                    serde_json::json!({
-                        "queue_ns": batch.dispatch_ns - req.arrive_ns,
-                        "batch": size,
-                        "instance": instance,
-                    }),
-                );
+                )
+                .with_child(Span::leaf("queue", "queue", req.arrive_ns, queue_ns))
+                .with_child(invocation_span(
+                    "invoke",
+                    batch.dispatch_ns,
+                    now - batch.dispatch_ns,
+                    p,
+                ));
+                t.requests.push(RequestTrace {
+                    id: req.id,
+                    class: req.class,
+                    outcome: if good { RequestOutcome::Good } else { RequestOutcome::Late },
+                    batch_size: size,
+                    instance: Some(instance),
+                    span,
+                });
             }
+            self.latencies_ns.push(latency);
+            self.queue_delays_ns.push(queue_ns);
             self.records.push(RequestRecord {
                 id: req.id,
                 class: req.class,
@@ -395,17 +481,6 @@ impl<'a> Sim<'a> {
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
             );
             star_telemetry::add("serve.energy.total_pj", cost.energy_pj);
-            if let Some(t) = self.trace.as_mut() {
-                t.complete_ns(
-                    format!("{class} x{size}"),
-                    "execute",
-                    now,
-                    cost.latency_ns,
-                    100 + instance as u64,
-                    0,
-                    serde_json::json!({ "batch": size, "latency_ns": cost.latency_ns }),
-                );
-            }
             let finish = now + cost.latency_ns;
             self.push_event(
                 finish,
@@ -421,26 +496,49 @@ impl<'a> Sim<'a> {
     /// deadline already lapsed in the queue.
     fn form_batch(&mut self, now: f64, class: RequestClass) -> Vec<Request> {
         let mut members = Vec::new();
-        let mut reissue: Vec<Option<usize>> = Vec::new();
+        let mut dead: Vec<Request> = Vec::new();
         {
             let q = self.queues.get_mut(&class).expect("class registered");
             while members.len() < self.cfg.policy.max_batch {
                 let Some(head) = q.front() else { break };
                 if now - head.arrive_ns > self.cfg.deadline_ns {
-                    let dead = q.pop_front().expect("head exists");
+                    dead.push(q.pop_front().expect("head exists"));
                     self.queued_total -= 1;
                     self.in_system -= 1;
                     self.expired += 1;
                     star_telemetry::count("serve.requests.expired", 1);
-                    reissue.push(dead.client);
                     continue;
                 }
                 members.push(q.pop_front().expect("head exists"));
                 self.queued_total -= 1;
             }
         }
-        for client in reissue {
-            self.client_think_and_reissue(client, now);
+        for req in dead {
+            self.per_class.get_mut(&req.class).expect("class registered").expired += 1;
+            if let Some(t) = self.trace.as_mut() {
+                // The whole (futile) lifetime was spent queued.
+                let wait = now - req.arrive_ns;
+                t.requests.push(RequestTrace {
+                    id: req.id,
+                    class: req.class,
+                    outcome: RequestOutcome::Expired,
+                    batch_size: 0,
+                    instance: None,
+                    span: Span::leaf(
+                        format!("req{} {}", req.id, req.class),
+                        "request",
+                        req.arrive_ns,
+                        wait,
+                    )
+                    .with_child(Span::leaf(
+                        "queue",
+                        "queue",
+                        req.arrive_ns,
+                        wait,
+                    )),
+                });
+            }
+            self.client_think_and_reissue(req.client, now);
         }
         members
     }
@@ -456,10 +554,29 @@ impl<'a> Sim<'a> {
                     self.on_instance_free(event.time, instance, batch)
                 }
             }
+            self.record_sample(event.time);
         }
         debug_assert_eq!(self.queued_total, 0, "drain leaves no queued request");
         debug_assert_eq!(self.in_system, 0, "every admitted request completes or expires");
         let makespan_s = (self.makespan_ns * 1e-9).max(f64::MIN_POSITIVE);
+        if let Some(t) = self.trace.as_mut() {
+            t.makespan_ns = self.makespan_ns;
+        }
+        let per_class: Vec<ClassSloReport> = self
+            .per_class
+            .iter()
+            .map(|(&class, a)| ClassSloReport {
+                class,
+                arrivals: a.arrivals,
+                completed: a.completed,
+                good: a.good,
+                late: a.late,
+                rejected: a.rejected,
+                expired: a.expired,
+                goodput_rps: a.good as f64 / makespan_s,
+                latency: LatencyStats::from_ns_samples(&a.latencies_ns),
+            })
+            .collect();
         let utilization: Vec<f64> =
             self.busy_ns.iter().map(|b| b / self.makespan_ns.max(f64::MIN_POSITIVE)).collect();
         let mean_utilization = utilization.iter().sum::<f64>() / utilization.len() as f64;
@@ -491,6 +608,7 @@ impl<'a> Sim<'a> {
                 self.energy_pj / 1e3 / self.completed as f64
             },
             max_in_system: self.max_in_system,
+            per_class,
         };
         SimOutcome { report, records: self.records, trace: self.trace }
     }
@@ -503,8 +621,9 @@ pub struct SimOutcome {
     pub report: ServeReport,
     /// Per-request lifecycle records, completion order.
     pub records: Vec<RequestRecord>,
-    /// Chrome trace (present when requested).
-    pub trace: Option<ChromeTrace>,
+    /// Span trees, batch invocations, and the system-state timeseries
+    /// (present when requested; see [`crate::trace`]).
+    pub trace: Option<ServeTrace>,
 }
 
 /// Runs the serving simulation and returns its report.
@@ -517,8 +636,11 @@ pub fn simulate(cfg: &ServeConfig) -> ServeReport {
     Sim::new(cfg, false).run().report
 }
 
-/// Like [`simulate`], but also collects per-request records and the
-/// Perfetto-compatible request/instance trace.
+/// Like [`simulate`], but also collects per-request records and the full
+/// [`ServeTrace`] (span tree per request, invocation spans per batch,
+/// queue-depth/busy timeseries). The report is bitwise identical to the
+/// untraced run: tracing consumes no RNG draws and perturbs no event
+/// arithmetic.
 pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
     Sim::new(cfg, true).run()
 }
@@ -556,8 +678,37 @@ mod tests {
         assert_eq!(plain, traced.report);
         assert_eq!(traced.records.len() as u64, plain.completed);
         let trace = traced.trace.expect("trace requested");
-        // One request span per completion plus one span per batch.
-        assert_eq!(trace.len() as u64, plain.completed + plain.batches);
+        // Conservation: one root span per arrival, one invocation span
+        // per batch; every tree satisfies the span invariants.
+        assert_eq!(trace.requests.len() as u64, plain.arrivals);
+        assert_eq!(trace.batches.len() as u64, plain.batches);
+        assert_eq!(trace.makespan_ns, plain.makespan_ns);
+        trace.validate().expect("all span trees valid");
+        assert!(!trace.samples.is_empty());
+    }
+
+    #[test]
+    fn per_class_breakdown_sums_to_totals() {
+        use crate::arrival::WorkloadMix;
+        let mut cfg = ServeConfig::example();
+        cfg.mix = WorkloadMix::new(vec![
+            (RequestClass::new(ModelKind::Tiny, 16), 0.7),
+            (RequestClass::new(ModelKind::Tiny, 32), 0.3),
+        ]);
+        let r = simulate(&cfg);
+        assert_eq!(r.per_class.len(), 2);
+        let sum =
+            |f: fn(&crate::slo::ClassSloReport) -> u64| -> u64 { r.per_class.iter().map(f).sum() };
+        assert_eq!(sum(|c| c.arrivals), r.arrivals);
+        assert_eq!(sum(|c| c.completed), r.completed);
+        assert_eq!(sum(|c| c.good), r.good);
+        assert_eq!(sum(|c| c.late), r.late);
+        assert_eq!(sum(|c| c.rejected), r.rejected);
+        assert_eq!(sum(|c| c.expired), r.expired);
+        // Classes are reported in class order and goodput splits too.
+        assert!(r.per_class[0].class < r.per_class[1].class);
+        let goodput: f64 = r.per_class.iter().map(|c| c.goodput_rps).sum();
+        assert!((goodput - r.goodput_rps).abs() < 1e-6 * r.goodput_rps.max(1.0));
     }
 
     #[test]

@@ -1,14 +1,33 @@
-//! SLO accounting: exact latency quantiles, goodput, utilization, and
-//! energy per request.
+//! SLO accounting: exact latency quantiles, goodput, utilization, energy
+//! per request, and the burn-rate monitor.
 //!
 //! The tracker keeps every raw latency sample and sorts once at the end,
 //! so the reported p50/p95/p99 are **exact order statistics**, not bucket
 //! estimates (the `star-telemetry` histograms recorded alongside give the
 //! bucketed view for dashboards; see
-//! `star_telemetry::HistogramSnapshot::quantile` for why bucketed tails
-//! are only lower bounds).
+//! `star_telemetry::HistogramSnapshot::quantile` for the estimator's
+//! bounded-relative-error guarantee).
+//!
+//! # Burn-rate monitoring
+//!
+//! [`SloAnalysis::from_trace`] applies the SRE error-budget model to a
+//! finished [`ServeTrace`]: with availability target `T` (fraction of
+//! requests that must complete within the deadline), the error budget is
+//! `1 − T` and the **burn rate** of a window is its violation fraction
+//! divided by the budget — burn 1.0 consumes the budget exactly at the
+//! sustainable rate, burn 14 is the classic "page now" threshold. The
+//! analysis slides each configured window length over the terminal-event
+//! timeline (two pointers, exact, no bucketing) and reports the peak
+//! burn per window plus the earliest instant any window first reached
+//! burn ≥ 1 ([`BurnWindow::first_breach_ns`]), the run-level
+//! time-to-first-violation, a per-class goodput/p99 breakdown, and the K
+//! slowest completed requests as exemplars with their full span-phase
+//! decomposition.
 
+use crate::request::RequestClass;
+use crate::trace::{RequestOutcome, ServeTrace};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Exact order-statistic summary of a latency sample set, in
 /// milliseconds.
@@ -100,6 +119,271 @@ pub struct ServeReport {
     /// executing). For closed-loop runs this never exceeds the client
     /// count.
     pub max_in_system: u64,
+    /// Per-class breakdown (one entry per class in the workload mix,
+    /// class order), so mixed workloads expose which class pays the
+    /// latency/goodput price.
+    pub per_class: Vec<ClassSloReport>,
+}
+
+/// The SLO report restricted to one request class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSloReport {
+    /// The request class.
+    pub class: RequestClass,
+    /// Requests of this class that entered the system.
+    pub arrivals: u64,
+    /// Completions (good + late).
+    pub completed: u64,
+    /// Completions within the deadline.
+    pub good: u64,
+    /// Completions past the deadline.
+    pub late: u64,
+    /// Refused at admission.
+    pub rejected: u64,
+    /// Dropped at dispatch after out-waiting the deadline.
+    pub expired: u64,
+    /// Within-deadline completions per second of makespan.
+    pub goodput_rps: f64,
+    /// End-to-end latency summary over this class's completions.
+    pub latency: LatencyStats,
+}
+
+/// Availability target and rolling-window lengths for burn-rate
+/// analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloPolicy {
+    /// Availability target in `(0, 1)`: the fraction of requests that
+    /// must complete within the deadline.
+    pub target: f64,
+    /// Rolling window lengths, ns. Short windows catch fast burns,
+    /// long windows catch slow leaks (the SRE multi-window pattern).
+    pub windows_ns: Vec<f64>,
+}
+
+impl Default for SloPolicy {
+    /// 99% availability over 1 ms / 10 ms / 50 ms rolling windows —
+    /// sized for simulation horizons of ~100 ms, the scaled-down analogue
+    /// of the 5 m / 1 h / 6 h production ladder.
+    fn default() -> Self {
+        SloPolicy { target: 0.99, windows_ns: vec![1e6, 1e7, 5e7] }
+    }
+}
+
+impl SloPolicy {
+    /// A policy with explicit `target` and `windows_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target < 1`, windows are positive, and at
+    /// least one window is given.
+    pub fn new(target: f64, windows_ns: Vec<f64>) -> Self {
+        assert!(target > 0.0 && target < 1.0, "availability target must be in (0, 1)");
+        assert!(!windows_ns.is_empty(), "need at least one burn window");
+        assert!(
+            windows_ns.iter().all(|w| w.is_finite() && *w > 0.0),
+            "burn windows must be positive"
+        );
+        SloPolicy { target, windows_ns }
+    }
+
+    /// The error budget `1 − target`.
+    pub fn budget(&self) -> f64 {
+        1.0 - self.target
+    }
+}
+
+/// Burn-rate findings for one rolling window length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurnWindow {
+    /// Window length, ns.
+    pub window_ns: f64,
+    /// Worst violation fraction observed in any window position.
+    pub peak_error_rate: f64,
+    /// `peak_error_rate / budget` — the headline burn rate.
+    pub peak_burn_rate: f64,
+    /// Earliest terminal-event time at which this window's trailing
+    /// error rate first reached burn ≥ 1 (`None` if it never did).
+    pub first_breach_ns: Option<f64>,
+}
+
+/// One worst-request exemplar: a slow request with its span-phase
+/// decomposition, the row of the "where did the time go" table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Request id.
+    pub id: u64,
+    /// Request class.
+    pub class: RequestClass,
+    /// Terminal state.
+    pub outcome: RequestOutcome,
+    /// End-to-end latency, ms.
+    pub latency_ms: f64,
+    /// Per-category span durations, ms (`queue`, `invocation`, and the
+    /// five hardware phases; the root `request` category is omitted).
+    pub breakdown_ms: BTreeMap<String, f64>,
+}
+
+/// The full SLO analysis of one traced run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloAnalysis {
+    /// The policy analyzed against.
+    pub policy: SloPolicy,
+    /// Terminal events considered (= arrivals).
+    pub total: u64,
+    /// Requests that burned budget (late + expired + rejected).
+    pub violations: u64,
+    /// `1 − violations / total` (1.0 for an empty run).
+    pub availability: f64,
+    /// Earliest terminal-event time of any violation.
+    pub time_to_first_violation_ns: Option<f64>,
+    /// One entry per policy window, policy order.
+    pub windows: Vec<BurnWindow>,
+    /// Per-class goodput/latency breakdown, class order.
+    pub per_class: Vec<ClassSloReport>,
+    /// The K slowest completed requests, slowest first.
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl SloAnalysis {
+    /// Analyzes a finished trace against `policy`, keeping the `k`
+    /// slowest completed requests as exemplars.
+    pub fn from_trace(trace: &ServeTrace, policy: SloPolicy, k: usize) -> Self {
+        // Terminal events ordered by time (ties by request id): the
+        // timeline the rolling windows slide over.
+        let mut events: Vec<(f64, u64, bool)> = trace
+            .requests
+            .iter()
+            .map(|r| (r.finish_ns(), r.id, r.outcome.is_violation()))
+            .collect();
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let total = events.len() as u64;
+        let violations = events.iter().filter(|e| e.2).count() as u64;
+        let availability = if total == 0 { 1.0 } else { 1.0 - violations as f64 / total as f64 };
+        let time_to_first_violation_ns = events.iter().find(|e| e.2).map(|e| e.0);
+
+        let budget = policy.budget();
+        let windows = policy
+            .windows_ns
+            .iter()
+            .map(|&window_ns| {
+                let mut peak_error_rate: f64 = 0.0;
+                let mut first_breach_ns = None;
+                let mut left = 0usize;
+                let mut bad_in_window = 0u64;
+                for right in 0..events.len() {
+                    if events[right].2 {
+                        bad_in_window += 1;
+                    }
+                    // Trailing window (t − w, t]: evict events at or
+                    // before the left edge.
+                    while events[left].0 <= events[right].0 - window_ns {
+                        if events[left].2 {
+                            bad_in_window -= 1;
+                        }
+                        left += 1;
+                    }
+                    let in_window = (right - left + 1) as f64;
+                    let rate = bad_in_window as f64 / in_window;
+                    peak_error_rate = peak_error_rate.max(rate);
+                    if first_breach_ns.is_none() && rate >= budget {
+                        first_breach_ns = Some(events[right].0);
+                    }
+                }
+                BurnWindow {
+                    window_ns,
+                    peak_error_rate,
+                    peak_burn_rate: peak_error_rate / budget,
+                    first_breach_ns,
+                }
+            })
+            .collect();
+
+        let per_class = per_class_from_trace(trace);
+
+        // K slowest completed requests, slowest first (ties by id so the
+        // table is deterministic).
+        let mut completed: Vec<&crate::trace::RequestTrace> =
+            trace.requests.iter().filter(|r| r.outcome.is_completed()).collect();
+        completed.sort_by(|a, b| b.latency_ns().total_cmp(&a.latency_ns()).then(a.id.cmp(&b.id)));
+        let exemplars = completed
+            .iter()
+            .take(k)
+            .map(|r| {
+                let mut cats = BTreeMap::new();
+                r.span.accumulate_categories(&mut cats);
+                cats.remove("request");
+                Exemplar {
+                    id: r.id,
+                    class: r.class,
+                    outcome: r.outcome,
+                    latency_ms: r.latency_ns() / 1e6,
+                    breakdown_ms: cats.into_iter().map(|(c, ns)| (c, ns / 1e6)).collect(),
+                }
+            })
+            .collect();
+
+        SloAnalysis {
+            policy,
+            total,
+            violations,
+            availability,
+            time_to_first_violation_ns,
+            windows,
+            per_class,
+            exemplars,
+        }
+    }
+}
+
+/// Recomputes the per-class breakdown from a trace (the standalone path
+/// `star_cli trace-analyze` uses; the simulator fills
+/// [`ServeReport::per_class`] with the same numbers directly).
+fn per_class_from_trace(trace: &ServeTrace) -> Vec<ClassSloReport> {
+    #[derive(Default)]
+    struct Accum {
+        arrivals: u64,
+        completed: u64,
+        good: u64,
+        late: u64,
+        rejected: u64,
+        expired: u64,
+        latencies_ns: Vec<f64>,
+    }
+    let mut by_class: BTreeMap<RequestClass, Accum> = BTreeMap::new();
+    for r in &trace.requests {
+        let a = by_class.entry(r.class).or_default();
+        a.arrivals += 1;
+        match r.outcome {
+            RequestOutcome::Good => {
+                a.completed += 1;
+                a.good += 1;
+                a.latencies_ns.push(r.latency_ns());
+            }
+            RequestOutcome::Late => {
+                a.completed += 1;
+                a.late += 1;
+                a.latencies_ns.push(r.latency_ns());
+            }
+            RequestOutcome::Expired => a.expired += 1,
+            RequestOutcome::Rejected => a.rejected += 1,
+        }
+    }
+    let makespan_s = (trace.makespan_ns * 1e-9).max(f64::MIN_POSITIVE);
+    by_class
+        .into_iter()
+        .map(|(class, a)| ClassSloReport {
+            class,
+            arrivals: a.arrivals,
+            completed: a.completed,
+            good: a.good,
+            late: a.late,
+            rejected: a.rejected,
+            expired: a.expired,
+            goodput_rps: a.good as f64 / makespan_s,
+            latency: LatencyStats::from_ns_samples(&a.latencies_ns),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -139,5 +423,109 @@ mod tests {
         let a = LatencyStats::from_ns_samples(&[3.0, 1.0, 2.0]);
         let b = LatencyStats::from_ns_samples(&[1.0, 2.0, 3.0]);
         assert_eq!(a, b);
+    }
+
+    use crate::request::ModelKind;
+    use crate::trace::RequestTrace;
+    use star_telemetry::Span;
+
+    fn synthetic_trace(outcomes: &[(f64, RequestOutcome)]) -> ServeTrace {
+        let class = RequestClass::new(ModelKind::Tiny, 16);
+        let mut trace = ServeTrace::new(1, 1e6);
+        for (i, &(finish_ns, outcome)) in outcomes.iter().enumerate() {
+            let dur = if outcome == RequestOutcome::Rejected { 0.0 } else { 1000.0 };
+            trace.requests.push(RequestTrace {
+                id: i as u64,
+                class,
+                outcome,
+                batch_size: usize::from(outcome.is_completed()),
+                instance: outcome.is_completed().then_some(0),
+                span: Span::leaf(format!("req{i}"), "request", finish_ns - dur, dur),
+            });
+            trace.makespan_ns = trace.makespan_ns.max(finish_ns);
+        }
+        trace
+    }
+
+    #[test]
+    fn empty_trace_is_fully_available() {
+        let trace = ServeTrace::new(1, 1e6);
+        let a = SloAnalysis::from_trace(&trace, SloPolicy::default(), 3);
+        assert_eq!(a.total, 0);
+        assert_eq!(a.availability, 1.0);
+        assert!(a.time_to_first_violation_ns.is_none());
+        assert!(a.windows.iter().all(|w| w.peak_burn_rate == 0.0 && w.first_breach_ns.is_none()));
+        assert!(a.exemplars.is_empty());
+        assert!(a.per_class.is_empty());
+    }
+
+    #[test]
+    fn burn_rate_flags_a_violation_burst() {
+        use RequestOutcome::{Good, Late};
+        // 10 good requests 10 µs apart, then a burst of 5 late ones.
+        let mut events: Vec<(f64, RequestOutcome)> =
+            (0..10).map(|i| (1e4 * (i + 1) as f64, Good)).collect();
+        events.extend((0..5).map(|i| (1.1e5 + 1e3 * i as f64, Late)));
+        let trace = synthetic_trace(&events);
+        let policy = SloPolicy::new(0.99, vec![5e3, 1e9]);
+        let a = SloAnalysis::from_trace(&trace, policy, 2);
+        assert_eq!(a.total, 15);
+        assert_eq!(a.violations, 5);
+        assert!((a.availability - 10.0 / 15.0).abs() < 1e-12);
+        assert_eq!(a.time_to_first_violation_ns, Some(1.1e5));
+        // The short window sees a 100%-bad stretch → burn = 1 / 0.01.
+        let short = &a.windows[0];
+        assert!((short.peak_error_rate - 1.0).abs() < 1e-12);
+        assert!((short.peak_burn_rate - 100.0).abs() < 1e-9);
+        assert_eq!(short.first_breach_ns, Some(1.1e5));
+        // The run-length window dilutes the burst to 5/15.
+        let long = &a.windows[1];
+        assert!((long.peak_error_rate - 5.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_good_run_never_breaches() {
+        use RequestOutcome::Good;
+        let events: Vec<(f64, RequestOutcome)> =
+            (0..20).map(|i| (1e4 * (i + 1) as f64, Good)).collect();
+        let a = SloAnalysis::from_trace(&synthetic_trace(&events), SloPolicy::default(), 3);
+        assert_eq!(a.violations, 0);
+        assert_eq!(a.availability, 1.0);
+        assert!(a.time_to_first_violation_ns.is_none());
+        for w in &a.windows {
+            assert_eq!(w.peak_burn_rate, 0.0);
+            assert!(w.first_breach_ns.is_none());
+        }
+        // Exemplars still list the slowest completions.
+        assert_eq!(a.exemplars.len(), 3);
+        assert!(a.exemplars[0].latency_ms >= a.exemplars[1].latency_ms);
+    }
+
+    #[test]
+    fn rejected_requests_burn_budget_but_are_not_exemplars() {
+        use RequestOutcome::{Good, Rejected};
+        let a = SloAnalysis::from_trace(
+            &synthetic_trace(&[(1e4, Good), (2e4, Rejected), (3e4, Good)]),
+            SloPolicy::default(),
+            10,
+        );
+        assert_eq!(a.violations, 1);
+        assert_eq!(a.time_to_first_violation_ns, Some(2e4));
+        // Only completed requests can be latency exemplars.
+        assert_eq!(a.exemplars.len(), 2);
+        let pc = &a.per_class[0];
+        assert_eq!((pc.arrivals, pc.completed, pc.rejected), (3, 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "availability target")]
+    fn out_of_range_target_rejected() {
+        let _ = SloPolicy::new(1.0, vec![1e6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one burn window")]
+    fn empty_windows_rejected() {
+        let _ = SloPolicy::new(0.99, vec![]);
     }
 }

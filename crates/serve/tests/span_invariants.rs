@@ -1,0 +1,153 @@
+//! Integration tests for the serving trace: span-tree structural
+//! invariants, request conservation, latency reconciliation, and
+//! byte-determinism of the serialized trace.
+
+use star_serve::{
+    simulate, simulate_traced, ArrivalProcess, BatchPolicy, ModelKind, RequestClass,
+    RequestOutcome, ServeConfig, ServiceModelConfig, SloAnalysis, SloPolicy, WorkloadMix,
+};
+use star_telemetry::SPAN_EPS_NS;
+
+/// A mixed, moderately loaded configuration that exercises every
+/// terminal outcome: completions (good and late), expirations, and
+/// rejections.
+fn stress_config() -> ServeConfig {
+    ServeConfig {
+        fleet: 1,
+        policy: BatchPolicy::new(4, 50_000.0),
+        arrival: ArrivalProcess::poisson(120_000.0),
+        mix: WorkloadMix::new(vec![
+            (RequestClass::new(ModelKind::Tiny, 16), 0.8),
+            (RequestClass::new(ModelKind::Tiny, 32), 0.2),
+        ]),
+        horizon_ns: 2e7,
+        seed: 99,
+        max_queue: 16,
+        deadline_ns: 1e6,
+        service: ServiceModelConfig::default(),
+    }
+}
+
+#[test]
+fn every_span_tree_is_valid() {
+    let outcome = simulate_traced(&stress_config());
+    let trace = outcome.trace.expect("trace requested");
+    trace.validate().expect("all request and batch span trees satisfy the invariants");
+}
+
+#[test]
+fn root_span_conservation() {
+    let outcome = simulate_traced(&stress_config());
+    let trace = outcome.trace.expect("trace requested");
+    let r = &outcome.report;
+    // Exactly one closed root span per arrival …
+    assert_eq!(trace.requests.len() as u64, r.arrivals);
+    // … partitioned by outcome exactly as the report counts them.
+    assert_eq!(trace.outcome_count(RequestOutcome::Good), r.good);
+    assert_eq!(trace.outcome_count(RequestOutcome::Late), r.late);
+    assert_eq!(trace.outcome_count(RequestOutcome::Expired), r.expired);
+    assert_eq!(trace.outcome_count(RequestOutcome::Rejected), r.rejected);
+    assert!(r.good > 0 && r.late + r.expired + r.rejected > 0, "config exercises failures");
+    // Request ids are unique (no double-closed span).
+    let mut ids: Vec<u64> = trace.requests.iter().map(|t| t.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), trace.requests.len());
+    // One invocation span per dispatched batch, members summing to the
+    // completed count.
+    assert_eq!(trace.batches.len() as u64, r.batches);
+    let batched: usize = trace.batches.iter().map(|b| b.size).sum();
+    assert_eq!(batched as u64, r.completed);
+}
+
+#[test]
+fn span_durations_reconcile_with_lifecycle_records() {
+    let outcome = simulate_traced(&stress_config());
+    let trace = outcome.trace.expect("trace requested");
+    for rec in &outcome.records {
+        let t = trace
+            .requests
+            .iter()
+            .find(|t| t.id == rec.id)
+            .expect("every completed record has a span tree");
+        assert!(t.outcome.is_completed());
+        // Root span == end-to-end latency, bit for bit (both are the
+        // same event-time subtraction).
+        assert_eq!(t.span.start_ns, rec.arrive_ns);
+        assert_eq!(t.span.dur_ns, rec.latency_ns());
+        // The lifecycle children tile the root: queue then invocation.
+        let queue = t.span.find("queue").expect("queue child");
+        let invoke = t.span.find("invocation").expect("invocation child");
+        assert_eq!(queue.dur_ns, rec.queue_ns());
+        assert!((invoke.start_ns - rec.dispatch_ns).abs() <= SPAN_EPS_NS);
+        assert!((invoke.end_ns() - rec.finish_ns).abs() <= SPAN_EPS_NS);
+        let child_sum: f64 = t.span.children.iter().map(|c| c.dur_ns).sum();
+        assert!((child_sum - t.span.dur_ns).abs() <= SPAN_EPS_NS);
+        // The five hardware phases tile the invocation.
+        assert_eq!(invoke.children.len(), 5);
+        let phase_sum: f64 = invoke.children.iter().map(|c| c.dur_ns).sum();
+        assert!((phase_sum - invoke.dur_ns).abs() <= SPAN_EPS_NS);
+    }
+}
+
+#[test]
+fn same_seed_trace_json_is_byte_identical() {
+    let cfg = stress_config();
+    let a = simulate_traced(&cfg).trace.expect("trace");
+    let b = simulate_traced(&cfg).trace.expect("trace");
+    let ja = serde_json::to_string(&a.to_object_json()).expect("serialize");
+    let jb = serde_json::to_string(&b.to_object_json()).expect("serialize");
+    assert_eq!(ja, jb, "same-seed traces must serialize to identical bytes");
+    // A different seed produces a different trace (the check is not
+    // vacuous).
+    let mut other = cfg;
+    other.seed ^= 1;
+    let jc = serde_json::to_string(&simulate_traced(&other).trace.expect("trace").to_object_json())
+        .expect("serialize");
+    assert_ne!(ja, jc);
+}
+
+#[test]
+fn tracing_never_perturbs_the_simulation() {
+    for seed in [1u64, 7, 42] {
+        let mut cfg = stress_config();
+        cfg.seed = seed;
+        assert_eq!(simulate(&cfg), simulate_traced(&cfg).report, "seed {seed}");
+    }
+}
+
+#[test]
+fn slo_analysis_agrees_with_report() {
+    let outcome = simulate_traced(&stress_config());
+    let trace = outcome.trace.expect("trace");
+    let r = &outcome.report;
+    let a = SloAnalysis::from_trace(&trace, SloPolicy::default(), 10);
+    assert_eq!(a.total, r.arrivals);
+    assert_eq!(a.violations, r.late + r.expired + r.rejected);
+    // The per-class breakdown recomputed from spans matches the event
+    // loop's own accounting exactly.
+    assert_eq!(a.per_class, r.per_class);
+    // Exemplars are the slowest completions, sorted.
+    for pair in a.exemplars.windows(2) {
+        assert!(pair[0].latency_ms >= pair[1].latency_ms);
+    }
+    let slowest = r.latency.max_ms;
+    assert!((a.exemplars[0].latency_ms - slowest).abs() < 1e-9);
+}
+
+#[test]
+fn queue_and_busy_samples_bound_by_config() {
+    let cfg = stress_config();
+    let trace = simulate_traced(&cfg).trace.expect("trace");
+    assert!(!trace.samples.is_empty());
+    for pair in trace.samples.windows(2) {
+        assert!(pair[0].t_ns < pair[1].t_ns, "one sample per distinct event time");
+    }
+    for s in &trace.samples {
+        assert!(s.queued <= cfg.max_queue as u64);
+        assert!(s.busy <= cfg.fleet as u64);
+    }
+    // The system was actually busy at some point.
+    assert!(trace.samples.iter().any(|s| s.busy > 0));
+    assert!(trace.samples.iter().any(|s| s.queued > 0));
+}

@@ -28,12 +28,27 @@ pub struct TraceEvent {
     pub args: Value,
 }
 
+/// One counter sample (`ph:"C"`): Perfetto renders a counter track per
+/// `(pid, name)` with one series per key in `args`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterEvent {
+    /// Counter-track name.
+    pub name: String,
+    /// Sample timestamp in microseconds.
+    pub ts_us: f64,
+    /// Process id lane.
+    pub pid: u64,
+    /// Series name → value at this timestamp.
+    pub series: Vec<(String, f64)>,
+}
+
 /// Builder for a Chrome trace: events plus lane-name metadata.
 #[derive(Debug, Default, Clone)]
 pub struct ChromeTrace {
     process_names: Vec<(u64, String)>,
     thread_names: Vec<(u64, u64, String)>,
     events: Vec<TraceEvent>,
+    counters: Vec<CounterEvent>,
 }
 
 impl ChromeTrace {
@@ -78,9 +93,29 @@ impl ChromeTrace {
         self
     }
 
-    /// Number of duration events recorded.
+    /// Append one counter sample (`ph:"C"`); `ts` in **nanoseconds**.
+    /// Each `(series, value)` pair becomes one stacked series on the
+    /// `(pid, name)` counter track.
+    pub fn counter_ns(
+        &mut self,
+        name: impl Into<String>,
+        ts_ns: f64,
+        pid: u64,
+        series: Vec<(String, f64)>,
+    ) -> &mut Self {
+        self.counters.push(CounterEvent { name: name.into(), ts_us: ts_ns / 1e3, pid, series });
+        self
+    }
+
+    /// Number of duration events recorded (counter samples not included;
+    /// see [`ChromeTrace::counter_len`]).
     pub fn len(&self) -> usize {
         self.events.len()
+    }
+
+    /// Number of counter samples recorded.
+    pub fn counter_len(&self) -> usize {
+        self.counters.len()
     }
 
     /// True when no duration event has been recorded.
@@ -121,7 +156,29 @@ impl ChromeTrace {
                 "args": e.args.clone(),
             }));
         }
+        for c in &self.counters {
+            let args = Value::Map(c.series.iter().map(|(k, v)| (k.clone(), json!(*v))).collect());
+            out.push(json!({
+                "name": c.name.clone(),
+                "ph": "C",
+                "ts": c.ts_us,
+                "pid": c.pid,
+                "tid": 0u64,
+                "args": args,
+            }));
+        }
         Value::Seq(out)
+    }
+
+    /// The trace in Chrome's *object* form: `{"traceEvents": [...], ...}`
+    /// with `extras` appended as additional top-level keys. Perfetto loads
+    /// the object form and ignores unknown keys, so callers can embed
+    /// machine-readable sidecar data (span records, SLO analyses) in the
+    /// same file the UI opens.
+    pub fn to_object_json(&self, extras: Vec<(String, Value)>) -> Value {
+        let mut map = vec![("traceEvents".to_string(), self.to_json())];
+        map.extend(extras);
+        Value::Map(map)
     }
 
     /// Compact JSON string of [`ChromeTrace::to_json`].
@@ -165,6 +222,35 @@ mod tests {
         assert_eq!(arr[0].get("ph").and_then(Value::as_str), Some("M"));
         assert_eq!(arr[1].get("name").and_then(Value::as_str), Some("thread_name"));
         assert_eq!(arr[2].get("ph").and_then(Value::as_str), Some("X"));
+    }
+
+    #[test]
+    fn counter_events_render_as_ph_c() {
+        let mut t = ChromeTrace::new();
+        t.counter_ns("queue depth", 2000.0, 9, vec![("queued".into(), 3.0), ("busy".into(), 1.0)]);
+        assert_eq!(t.counter_len(), 1);
+        assert_eq!(t.len(), 0, "counters are not duration events");
+        let arr = match t.to_json() {
+            Value::Seq(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr.len(), 1);
+        let e = &arr[0];
+        assert_eq!(e.get("ph").and_then(Value::as_str), Some("C"));
+        assert!((e.get("ts").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-12);
+        let args = e.get("args").expect("counter args");
+        assert_eq!(args.get("queued").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(args.get("busy").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn object_form_wraps_trace_events_and_extras() {
+        let mut t = ChromeTrace::new();
+        t.complete_ns("a", "c", 0.0, 1.0, 1, 1, json!({}));
+        let obj = t.to_object_json(vec![("star".to_string(), json!({"k": 1}))]);
+        let events = obj.get("traceEvents").expect("traceEvents key");
+        assert_eq!(events, &t.to_json());
+        assert_eq!(obj.get("star").and_then(|s| s.get("k")).and_then(Value::as_f64), Some(1.0));
     }
 
     #[test]

@@ -11,8 +11,13 @@
 //!    one is installed (see [`with_scoped`]), else to the [`global`]
 //!    registry. Disabled registries cost one relaxed atomic load per call.
 //! 3. [`ChromeTrace`] — Chrome trace-event JSON emission for Perfetto
-//!    ([`chrome`]). Pipeline-semantics-aware exporters live in
-//!    `star-core::trace`; this crate owns only the format.
+//!    ([`chrome`]): complete events, counter tracks, and the object form
+//!    that embeds machine-readable extras next to `traceEvents`.
+//!    Pipeline-semantics-aware exporters live in `star-core::trace`; this
+//!    crate owns only the format.
+//! 4. [`Span`] — request-lifecycle span trees ([`span`]): validated nested
+//!    intervals that lower onto [`ChromeTrace`] lanes. The serving layer
+//!    builds one tree per simulated request.
 //!
 //! # Naming convention
 //!
@@ -37,9 +42,13 @@
 
 pub mod chrome;
 pub mod registry;
+pub mod span;
 
-pub use chrome::{ChromeTrace, TraceEvent};
-pub use registry::{HistogramSnapshot, Registry, Snapshot, DEFAULT_BUCKET_BOUNDS};
+pub use chrome::{ChromeTrace, CounterEvent, TraceEvent};
+pub use registry::{
+    geometric_bounds, HistogramSnapshot, Registry, Snapshot, DEFAULT_BUCKET_BOUNDS,
+};
+pub use span::{Span, SPAN_EPS_NS};
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -14,7 +14,45 @@ use std::sync::Mutex;
 
 /// Default histogram bucket upper bounds (decade-spaced). Values above the
 /// last bound land in the overflow bucket.
+///
+/// Decade spacing gives a *coarse* quantile guarantee (relative error up
+/// to 9; see [`HistogramSnapshot::relative_error_bound`]). Metrics that
+/// need tight tail estimates should create their histograms with
+/// [`geometric_bounds`] instead.
 pub const DEFAULT_BUCKET_BOUNDS: [f64; 10] = [1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6];
+
+/// DDSketch-style geometric bucket bounds with a guaranteed quantile
+/// relative error.
+///
+/// Returns ascending upper bounds `min, min·γ, min·γ², …` with
+/// `γ = 1 + rel_err`, extended until the last bound reaches `max`. A
+/// histogram created with these bounds answers
+/// [`HistogramSnapshot::quantile`] with relative error at most `rel_err`
+/// for any sample set contained in `(min, last_bound]` — the bound proven
+/// in [`HistogramSnapshot::relative_error_bound`]. This is the bucket
+/// layout of DDSketch (Masson, Rim & Lee, *DDSketch: a fast and
+/// fully-mergeable quantile sketch with relative-error guarantees*,
+/// VLDB 2019), which uses the same geometric bucketing to bound relative
+/// error by a constant independent of the data.
+///
+/// The bucket count is `⌈log_γ(max/min)⌉ + 1` — e.g. `rel_err = 0.25`
+/// over `(1, 1e6]` needs 63 buckets.
+///
+/// # Panics
+///
+/// Panics unless `0 < rel_err`, `0 < min < max`, and all are finite.
+pub fn geometric_bounds(rel_err: f64, min: f64, max: f64) -> Vec<f64> {
+    assert!(rel_err.is_finite() && rel_err > 0.0, "relative error must be positive");
+    assert!(min.is_finite() && max.is_finite() && 0.0 < min && min < max, "need 0 < min < max");
+    let gamma = 1.0 + rel_err;
+    let mut bounds = vec![min];
+    let mut b = min;
+    while b < max {
+        b *= gamma;
+        bounds.push(b);
+    }
+    bounds
+}
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Histogram {
@@ -83,6 +121,26 @@ impl HistogramSnapshot {
     /// quantiles (e.g. the serving SLO tracker) should keep the raw
     /// samples.
     ///
+    /// # Accuracy guarantee
+    ///
+    /// The estimate carries a **documented relative-error bound** whenever
+    /// every observation lies strictly inside the finite bucket range
+    /// `(bounds[0], bounds[last]]`:
+    ///
+    /// > `|est − exact| / exact ≤ max_i (bounds[i] − bounds[i−1]) / bounds[i−1]`
+    ///
+    /// where `exact` is the order statistic of rank `max(1, ⌈q·n⌉)` (the
+    /// same rank convention this method targets). *Proof:* the cumulative
+    /// bucket counts put the rank-`r` sample in a unique bucket
+    /// `(lo, hi]`; both the true order statistic and the interpolated
+    /// estimate lie inside `[lo, hi]` of that bucket, so their difference
+    /// is at most `hi − lo` while the true value is at least `lo > 0`.
+    /// The bound is exposed programmatically by
+    /// [`HistogramSnapshot::relative_error_bound`]; choosing
+    /// [`geometric_bounds`]`(α, …)` buckets (the DDSketch layout, Masson
+    /// et al., VLDB 2019) makes it a uniform `α` across the whole range,
+    /// and a property test enforces it over seeded samples.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -117,6 +175,25 @@ impl HistogramSnapshot {
     /// The `(p50, p95, p99)` latency-style summary, or `None` when empty.
     pub fn quantile_summary(&self) -> Option<(f64, f64, f64)> {
         Some((self.quantile(0.50)?, self.quantile(0.95)?, self.quantile(0.99)?))
+    }
+
+    /// The guaranteed relative-error bound of [`HistogramSnapshot::quantile`]
+    /// for sample sets contained in `(bounds[0], bounds[last]]`:
+    /// `max_i (bounds[i] − bounds[i−1]) / bounds[i−1]` (see the proof in
+    /// the `quantile` docs). Returns `None` when fewer than two finite
+    /// bounds exist (no interior bucket, hence no finite guarantee).
+    ///
+    /// For [`geometric_bounds`]`(α, …)` layouts this is exactly `α` (up to
+    /// floating-point rounding); for the decade-spaced
+    /// [`DEFAULT_BUCKET_BOUNDS`] it is 9 — documented, but only useful for
+    /// order-of-magnitude dashboards.
+    pub fn relative_error_bound(&self) -> Option<f64> {
+        // Need a positive lower edge for "relative" to mean anything, and
+        // at least one interior bucket for the bound to cover.
+        if self.bounds.len() < 2 || self.bounds[0] <= 0.0 {
+            return None;
+        }
+        self.bounds.windows(2).map(|w| (w[1] - w[0]) / w[0]).max_by(f64::total_cmp)
     }
 }
 
@@ -719,6 +796,49 @@ mod tests {
         assert_eq!(h.quantile(0.99), Some(2.0));
         // The single in-range sample is still reachable at q = 0.
         assert_eq!(h.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn geometric_bounds_cover_range_with_uniform_ratio() {
+        let alpha = 0.25;
+        let bounds = geometric_bounds(alpha, 1.0, 1e6);
+        assert_eq!(bounds[0], 1.0);
+        assert!(*bounds.last().unwrap() >= 1e6);
+        for w in bounds.windows(2) {
+            let ratio = (w[1] - w[0]) / w[0];
+            assert!((ratio - alpha).abs() < 1e-9, "{ratio}");
+        }
+        // The snapshot-level bound matches the construction parameter.
+        let r = Registry::new();
+        r.observe_with("h", 10.0, &bounds);
+        let snap = r.snapshot();
+        let bound = snap.histograms["h"].relative_error_bound().expect("bounded layout");
+        assert!((bound - alpha).abs() < 1e-9, "{bound}");
+    }
+
+    #[test]
+    fn relative_error_bound_edge_cases() {
+        let decade = HistogramSnapshot {
+            bounds: DEFAULT_BUCKET_BOUNDS.to_vec(),
+            counts: vec![0; DEFAULT_BUCKET_BOUNDS.len() + 1],
+            total: 0,
+            sum: 0.0,
+        };
+        // Decade buckets: documented (coarse) bound of 9.
+        assert!((decade.relative_error_bound().unwrap() - 9.0).abs() < 1e-9);
+        // Single bound or a non-positive lower edge: no finite guarantee.
+        let single =
+            HistogramSnapshot { bounds: vec![5.0], counts: vec![0, 0], total: 0, sum: 0.0 };
+        assert_eq!(single.relative_error_bound(), None);
+        let zero_edge =
+            HistogramSnapshot { bounds: vec![0.0, 1.0], counts: vec![0, 0, 0], total: 0, sum: 0.0 };
+        assert_eq!(zero_edge.relative_error_bound(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < min < max")]
+    fn geometric_bounds_reject_inverted_range() {
+        let _ = geometric_bounds(0.1, 10.0, 1.0);
     }
 
     #[test]

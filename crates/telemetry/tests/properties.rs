@@ -1,8 +1,9 @@
 //! Property-based tests for the metric registry: snapshot/reset/diff
-//! algebra and serde round-trips.
+//! algebra, serde round-trips, and the histogram quantile accuracy
+//! guarantee.
 
 use proptest::prelude::*;
-use star_telemetry::{Registry, Snapshot};
+use star_telemetry::{geometric_bounds, Registry, Snapshot};
 
 /// A small closed name universe so draws collide and exercise merging.
 fn names() -> impl Strategy<Value = &'static str> {
@@ -142,6 +143,42 @@ proptest! {
         apply_counts(&serial, &a);
         apply_counts(&serial, &b);
         prop_assert_eq!(parent.snapshot(), serial.snapshot());
+    }
+
+    #[test]
+    fn quantile_estimate_honors_relative_error_bound(
+        // Log-uniform samples strictly inside the covered range
+        // (exp(0.1..13.8) ⊂ (1, 1e6)); mixed sizes exercise small-n ranks.
+        log_samples in prop::collection::vec(0.1f64..13.8, 1..400),
+        alpha in 0.05f64..0.5,
+        q in 0.0f64..1.0,
+    ) {
+        let samples: Vec<f64> = log_samples.iter().map(|l| l.exp()).collect();
+        let bounds = geometric_bounds(alpha, 1.0, 1e6);
+        let reg = Registry::new();
+        for &s in &samples {
+            reg.observe_with("h", s, &bounds);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.histograms["h"];
+        let bound = h.relative_error_bound().expect("geometric layout is bounded");
+        // The layout's guarantee is the construction parameter.
+        prop_assert!((bound - alpha).abs() < 1e-9, "bound {bound} vs alpha {alpha}");
+
+        // Exact order statistic under the same rank convention as
+        // `HistogramSnapshot::quantile`: rank = max(1, ceil(q*n)).
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = sorted[rank - 1];
+
+        let est = h.quantile(q).expect("non-empty histogram");
+        let rel = (est - exact).abs() / exact;
+        prop_assert!(
+            rel <= bound + 1e-9,
+            "q={q} est={est} exact={exact} rel={rel} > bound={bound}"
+        );
     }
 
     #[test]

@@ -34,12 +34,22 @@ COMMANDS:
                                    utilization summary goes to stderr
     metrics <format> [seq]         run a representative softmax workload and
                                    print the telemetry counter/gauge table
-    serve [rate] [fleet] [batch] [window_us]
+    serve [rate] [fleet] [batch] [window_us] [--trace[=PATH]]
                                    simulate a fleet of STAR instances serving
                                    Poisson BERT-base/128 traffic against a
                                    2 ms SLO and print the goodput/latency
                                    report (defaults: 16000 rps, 2 instances,
-                                   batch 8, 50 us window)
+                                   batch 8, 50 us window). With --trace,
+                                   also write per-request span trees plus
+                                   queue/utilization counter tracks as
+                                   Perfetto-loadable JSON (default path
+                                   serve_trace.json) and print the SLO
+                                   burn-rate analysis
+    trace-analyze <file> [k]       re-analyze a `serve --trace` file:
+                                   availability, burn-rate windows,
+                                   time-to-first-violation, per-class
+                                   goodput/p99, and the k slowest requests
+                                   with their span decomposition (default 5)
     help                           this message
 
 Paper formats: CNEWS = q5.2 (8 bits), MRPC = q5.3 (9 bits), CoLA = q4.2 (7 bits).";
@@ -55,6 +65,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "trace-analyze" => cmd_trace_analyze(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -253,16 +264,34 @@ fn parse_positive<T: std::str::FromStr + PartialOrd + Default>(
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use star::serve::{
-        simulate, ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig, ServiceModel,
-        ServiceModelConfig, WorkloadMix,
+        simulate, simulate_traced, ArrivalProcess, BatchPolicy, ModelKind, RequestClass,
+        ServeConfig, ServiceModel, ServiceModelConfig, SloAnalysis, SloPolicy, WorkloadMix,
     };
-    let rate: f64 = parse_positive(args.first(), 16_000.0, "arrival rate (rps)")?;
+    // Split flags from positionals so --trace composes with every
+    // positional combination.
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if a == "--trace" {
+            trace_path = Some(std::path::PathBuf::from("serve_trace.json"));
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            if p.is_empty() {
+                return Err("--trace= needs a path".into());
+            }
+            trace_path = Some(p.into());
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let rate: f64 = parse_positive(positional.first().copied(), 16_000.0, "arrival rate (rps)")?;
     if !rate.is_finite() {
         return Err("arrival rate must be finite".into());
     }
-    let fleet: usize = parse_positive(args.get(1), 2, "fleet size")?;
-    let batch: usize = parse_positive(args.get(2), 8, "batch size")?;
-    let window_us: f64 = match args.get(3) {
+    let fleet: usize = parse_positive(positional.get(1).copied(), 2, "fleet size")?;
+    let batch: usize = parse_positive(positional.get(2).copied(), 8, "batch size")?;
+    let window_us: f64 = match positional.get(3) {
         Some(a) => a.parse().map_err(|_| format!("`{a}` is not a window in us"))?,
         None => 50.0,
     };
@@ -283,7 +312,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         service: ServiceModelConfig::default(),
     };
     let service = ServiceModel::new(cfg.service.clone(), &[class]);
-    let r = simulate(&cfg);
+    let (r, trace) = if trace_path.is_some() {
+        let outcome = simulate_traced(&cfg);
+        (outcome.report, outcome.trace)
+    } else {
+        (simulate(&cfg), None)
+    };
 
     println!("serving {class} on {fleet} STAR instance(s), policy {}:", cfg.policy);
     println!(
@@ -315,6 +349,110 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         r.mean_utilization * 100.0,
         r.energy_per_request_nj
     );
+    if let (Some(path), Some(trace)) = (trace_path, trace) {
+        let json = serde_json::to_string(&trace.to_object_json()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "  trace: {} root spans, {} batch spans, {} samples -> {} (open in https://ui.perfetto.dev)",
+            trace.requests.len(),
+            trace.batches.len(),
+            trace.samples.len(),
+            path.display()
+        );
+        print_slo_analysis(&SloAnalysis::from_trace(&trace, SloPolicy::default(), 5));
+    }
+    Ok(())
+}
+
+/// Renders an [`star::serve::SloAnalysis`] as the burn-rate / per-class /
+/// exemplar table block shared by `serve --trace` and `trace-analyze`.
+fn print_slo_analysis(a: &star::serve::SloAnalysis) {
+    println!("SLO analysis (target {:.2}% of requests within deadline):", a.policy.target * 100.0);
+    println!(
+        "  availability {:.4}%   violations {}/{}",
+        a.availability * 100.0,
+        a.violations,
+        a.total
+    );
+    match a.time_to_first_violation_ns {
+        Some(t) => println!("  first violation at {:.3} ms", t / 1e6),
+        None => println!("  no violations"),
+    }
+    println!("  {:>10} {:>12} {:>12} {:>16}", "window", "peak err %", "peak burn", "first breach");
+    for w in &a.windows {
+        let breach = match w.first_breach_ns {
+            Some(t) => format!("{:.3} ms", t / 1e6),
+            None => "-".to_string(),
+        };
+        println!(
+            "  {:>8.1}ms {:>12.2} {:>12.1} {:>16}",
+            w.window_ns / 1e6,
+            w.peak_error_rate * 100.0,
+            w.peak_burn_rate,
+            breach
+        );
+    }
+    println!(
+        "  {:<20} {:>9} {:>7} {:>6} {:>8} {:>8} {:>12} {:>10}",
+        "class", "arrivals", "good", "late", "expired", "rejected", "goodput rps", "p99 ms"
+    );
+    for c in &a.per_class {
+        println!(
+            "  {:<20} {:>9} {:>7} {:>6} {:>8} {:>8} {:>12.0} {:>10.3}",
+            c.class.to_string(),
+            c.arrivals,
+            c.good,
+            c.late,
+            c.expired,
+            c.rejected,
+            c.goodput_rps,
+            c.latency.p99_ms
+        );
+    }
+    if !a.exemplars.is_empty() {
+        println!("  slowest {} requests:", a.exemplars.len());
+        println!(
+            "  {:>8} {:<20} {:>8} {:>11} {:>10} {:>10}",
+            "id", "class", "outcome", "latency ms", "queue ms", "invoke ms"
+        );
+        for e in &a.exemplars {
+            let get = |k: &str| e.breakdown_ms.get(k).copied().unwrap_or(0.0);
+            println!(
+                "  {:>8} {:<20} {:>8} {:>11.3} {:>10.3} {:>10.3}",
+                e.id,
+                e.class.to_string(),
+                e.outcome.as_str(),
+                e.latency_ms,
+                get("queue"),
+                get("invocation")
+            );
+        }
+    }
+}
+
+fn cmd_trace_analyze(args: &[String]) -> Result<(), String> {
+    use star::serve::{ServeTrace, SloAnalysis, SloPolicy};
+    let path = args
+        .first()
+        .ok_or("trace-analyze needs a trace file (produce one with `serve --trace`)")?;
+    let k: usize = match args.get(1) {
+        Some(a) => a.parse().map_err(|_| format!("`{a}` is not an exemplar count"))?,
+        None => 5,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let trace = ServeTrace::from_object_json(&value)?;
+    trace.validate().map_err(|e| format!("{path} violates span invariants: {e}"))?;
+    println!(
+        "{path}: fleet {}, deadline {:.3} ms, makespan {:.3} ms, {} requests, {} batches",
+        trace.fleet,
+        trace.deadline_ns / 1e6,
+        trace.makespan_ns / 1e6,
+        trace.requests.len(),
+        trace.batches.len()
+    );
+    print_slo_analysis(&SloAnalysis::from_trace(&trace, SloPolicy::default(), k));
     Ok(())
 }
 
@@ -381,6 +519,40 @@ mod tests {
         assert!(cmd_serve(&["8000".into(), "1".into(), "0".into()]).is_err());
         assert!(cmd_serve(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
         assert!(cmd_serve(&["inf".into()]).is_err());
+        assert!(cmd_serve(&["--trace=".into()]).is_err());
+        assert!(cmd_serve(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_trace_round_trips_through_trace_analyze() {
+        let path = std::env::temp_dir().join(format!("star_cli_trace_{}.json", std::process::id()));
+        let path_str = path.to_str().expect("utf8 temp path").to_string();
+        cmd_serve(&["8000".into(), "1".into(), format!("--trace={path_str}")])
+            .expect("serve --trace");
+        // The file is Perfetto's object form with our sidecar, and the
+        // analyzer accepts it.
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(value.get("traceEvents").is_some());
+        let trace = star::serve::ServeTrace::from_object_json(&value).expect("sidecar");
+        trace.validate().expect("span invariants hold");
+        cmd_trace_analyze(&[path_str.clone(), "3".into()]).expect("trace-analyze");
+        assert!(cmd_trace_analyze(&[path_str, "nope".into()]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_analyze_rejects_bad_inputs() {
+        assert!(cmd_trace_analyze(&[]).is_err());
+        assert!(cmd_trace_analyze(&["/definitely/not/here.json".into()]).is_err());
+        // A plain Chrome trace (no sidecar) is rejected with a pointer to
+        // the sidecar key.
+        let path = std::env::temp_dir().join(format!("star_cli_plain_{}.json", std::process::id()));
+        std::fs::write(&path, "[]").expect("write plain trace");
+        let err = cmd_trace_analyze(&[path.to_str().expect("utf8").to_string()])
+            .expect_err("plain array rejected");
+        assert!(err.contains("starServe"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -23,7 +23,7 @@ use star_exec::Executor;
 use std::path::Path;
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "e1_softmax_share",
     "e2_table1",
     "e3_fig3",
@@ -37,6 +37,7 @@ const EXPERIMENTS: [&str; 13] = [
     "a6_model_zoo",
     "a7_pareto",
     "a8_serving",
+    "a9_device_health",
 ];
 
 /// Outcome of one experiment child process.

@@ -138,6 +138,181 @@ pub fn a8_serving_cases() -> (star_serve::ServeConfig, Vec<star_serve::SweepCase
     (base, cases)
 }
 
+/// The A9 sustained-load points: light, moderate, and saturating Poisson
+/// load on the batched 2-instance BERT-base fleet, all monitored by the
+/// same default [`star_serve::HealthConfig`]. Returned as
+/// `(base, health, cases)`.
+///
+/// The rates reuse the A8 operating point (batch-8 capacity ≈ 35.2 krps
+/// on the fleet): 4 krps barely exercises the crossbars, 16 krps is a
+/// steady production load, 32 krps saturates — which is what separates
+/// the read-disturb wear rates the lifetime projection integrates.
+pub fn a9_device_health_cases(
+) -> (star_serve::ServeConfig, star_serve::HealthConfig, Vec<star_serve::SweepCase>) {
+    use star_serve::{
+        ArrivalProcess, BatchPolicy, HealthConfig, ModelKind, RequestClass, ServeConfig,
+        ServiceModelConfig, WorkloadMix,
+    };
+    let base = ServeConfig {
+        fleet: 2,
+        policy: BatchPolicy::new(8, 50_000.0),
+        arrival: ArrivalProcess::poisson(4_000.0),
+        mix: WorkloadMix::single(RequestClass::new(ModelKind::BertBase, 128)),
+        horizon_ns: 1e8, // 100 ms window: enough to reach steady wear rates
+        seed: 2023,
+        max_queue: 256,
+        deadline_ns: 2e6,
+        service: ServiceModelConfig::default(),
+    };
+    let cases = star_serve::grid(
+        &base,
+        &[4_000.0, 16_000.0, 32_000.0],
+        &[BatchPolicy::new(8, 50_000.0)],
+        &[2],
+    );
+    (base, HealthConfig::default(), cases)
+}
+
+/// The wall-clock horizons the A9 projection evaluates, seconds.
+pub const A9_HORIZONS: [(&str, f64); 5] = [
+    ("hour", 3.6e3),
+    ("day", 8.64e4),
+    ("month", 2.592e6),
+    ("year", 3.1536e7),
+    ("five_years", 1.5768e8),
+];
+
+/// The machine-readable A9 device-health result.
+///
+/// Each load point runs the monitored discrete-event simulation over a
+/// 100 ms window (observation-only: the [`star_serve::ServeReport`] is
+/// bitwise identical to the unmonitored run), extracts the steady-state
+/// [`star_serve::WearRates`] of the **hottest** instance (most rows
+/// streamed), and projects them analytically over hours-to-years of wall
+/// time — the [`star_serve::HealthModel::project`] closed form a DES run
+/// cannot reach. The headline reports time-to-first-degradation and
+/// lifetime inferences per load point, and a wear-leveling on/off
+/// comparison at the light load point shows the round-robin placement
+/// levelling the ledger skew without moving a single latency number.
+///
+/// Monitored runs fan out over `star_exec::Executor::from_env()`; each
+/// case's telemetry is recorded in a scoped registry and absorbed in
+/// case order, so the result and its telemetry sidecar are byte-identical
+/// for any `STAR_EXEC_THREADS`.
+pub fn a9_device_health_result() -> serde_json::Value {
+    use star_serve::{simulate_monitored, HealthConfig, HealthModel, WearRates};
+    let (base, health_cfg, cases) = a9_device_health_cases();
+    let exec = star_exec::Executor::from_env();
+    let outcomes = exec.par_map(&cases, |_, case| {
+        star_telemetry::with_scoped(|| simulate_monitored(&case.config, &health_cfg))
+    });
+    let outcomes: Vec<star_serve::SimOutcome> = outcomes
+        .into_iter()
+        .map(|(outcome, snap)| {
+            star_telemetry::absorb(&snap);
+            outcome
+        })
+        .collect();
+    let model = HealthModel::new(health_cfg.clone(), base.service.qformat());
+
+    let load_points: Vec<serde_json::Value> = cases
+        .iter()
+        .zip(&outcomes)
+        .map(|(case, outcome)| {
+            let health = outcome.health.as_ref().expect("monitored run reports fleet health");
+            let hottest =
+                health.instances.iter().max_by_key(|i| i.ledger.rows).expect("fleet is non-empty");
+            let rates = WearRates::from_ledger(&hottest.ledger, outcome.report.makespan_ns);
+            let ttfd_s = model.time_to_first_degradation_s(&rates);
+            let projections: Vec<serde_json::Value> = A9_HORIZONS
+                .iter()
+                .map(|(label, seconds)| {
+                    serde_json::json!({
+                        "horizon": label,
+                        "projection": model.project(&rates, *seconds),
+                    })
+                })
+                .collect();
+            serde_json::json!({
+                "label": case.label,
+                "offered_rps": outcome.report.offered_rps,
+                "goodput_rps": outcome.report.goodput_rps,
+                "mean_utilization": outcome.report.mean_utilization,
+                "energy_per_request_nj": outcome.report.energy_per_request_nj,
+                "hottest_instance": hottest.instance,
+                "rates": rates,
+                "fleet_health": health,
+                "projections": projections,
+                "time_to_first_degradation_s": ttfd_s,
+                "time_to_first_degradation_days": ttfd_s.map(|t| t / 8.64e4),
+                "lifetime_inferences": ttfd_s.map(|t| t * rates.inferences_per_s),
+            })
+        })
+        .collect();
+
+    // Wear-leveling on/off at the light load point, where the default
+    // lowest-index placement concentrates wear on instance 0. Leveling
+    // only permutes placement: the ServeReport must stay identical.
+    let light_cfg = cases[0].config.clone();
+    let off = &outcomes[0];
+    let on =
+        simulate_monitored(&light_cfg, &HealthConfig { wear_leveling: true, ..health_cfg.clone() });
+    let off_health = off.health.as_ref().expect("health");
+    let on_health = on.health.as_ref().expect("health");
+    // Leveling only permutes which instance runs a batch: every
+    // timing/counting number is bitwise unchanged; only the per-instance
+    // utilization vector redistributes.
+    assert_eq!(off.report.latency, on.report.latency, "leveling must not move latency");
+    assert_eq!(off.report.goodput_rps, on.report.goodput_rps, "leveling must not move goodput");
+    assert_eq!(off.report.batches, on.report.batches);
+    assert_eq!(off.report.total_energy_pj, on.report.total_energy_pj);
+    assert_eq!(
+        (off.report.arrivals, off.report.completed, off.report.rejected, off.report.expired),
+        (on.report.arrivals, on.report.completed, on.report.rejected, on.report.expired),
+    );
+    let leveling = serde_json::json!({
+        "note": "round-robin placement at the light load point: ledger skew \
+                 falls while latency, goodput, and energy stay bitwise \
+                 identical (only per-instance utilization redistributes)",
+        "label": cases[0].label,
+        "wear_skew_off": off_health.wear_skew,
+        "wear_skew_on": on_health.wear_skew,
+        "rows_per_instance_off":
+            off_health.instances.iter().map(|i| i.ledger.rows).collect::<Vec<_>>(),
+        "rows_per_instance_on":
+            on_health.instances.iter().map(|i| i.ledger.rows).collect::<Vec<_>>(),
+        "goodput_rps_identical": on.report.goodput_rps,
+    });
+
+    serde_json::json!({
+        "operating_point": {
+            "class": base.mix.classes()[0].to_string(),
+            "fleet": base.fleet,
+            "policy": base.policy.to_string(),
+            "horizon_ns": base.horizon_ns,
+            "seed": base.seed,
+            "service": base.service,
+            "health": health_cfg,
+        },
+        "horizons_s": A9_HORIZONS
+            .iter()
+            .map(|(label, s)| serde_json::json!({"horizon": label, "seconds": s}))
+            .collect::<Vec<_>>(),
+        "load_points": load_points,
+        "wear_leveling": leveling,
+        "paper": {
+            "note": "STAR's value-CAM / exp-LUT tables are programmed once and \
+                     only read (table_writes = 0), so lifetime is set by \
+                     read-disturb write-equivalents — unlike PipeLayer, which \
+                     reprograms crossbars every inference (see a4_endurance)",
+            "star_table_writes_per_inference": 0,
+            "pipelayer_hot_cell_writes_per_inference": RramAccelerator::pipelayer()
+                .hot_cell_writes_per_layer()
+                * AttentionConfig::bert_base(128).num_layers as u64,
+        },
+    })
+}
+
 /// The machine-readable A8 serving result: the full sweep plus a headline
 /// comparison of dynamic batching against the batch-1 baseline at the
 /// saturating operating point (32 krps on the 2-instance fleet), plus a

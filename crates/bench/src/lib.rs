@@ -13,8 +13,9 @@ use std::path::{Path, PathBuf};
 pub mod experiments;
 
 pub use experiments::{
-    a8_serving_cases, a8_serving_result, e2_table1_result, e3_fig3_result, fig3_reports,
-    finalize_experiment, table1_engines,
+    a8_serving_cases, a8_serving_result, a9_device_health_cases, a9_device_health_result,
+    e2_table1_result, e3_fig3_result, fig3_reports, finalize_experiment, table1_engines,
+    A9_HORIZONS,
 };
 
 /// Directory experiment results are written to: `$STAR_RESULTS_DIR` or

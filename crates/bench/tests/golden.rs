@@ -1,14 +1,15 @@
 //! Golden-file regression tests for the machine-readable experiment
 //! results.
 //!
-//! The `e2_table1`, `e3_fig3`, and `a8_serving` binaries write
-//! `results/*.json` through the shared builders in
+//! The `e2_table1`, `e3_fig3`, `a8_serving`, and `a9_device_health`
+//! binaries write `results/*.json` through the shared builders in
 //! `star_bench::experiments`; these tests call the *same* builders and
 //! compare against fixtures checked in under `tests/golden/`. The e2/e3
 //! builders are pure closed-form cost models (no RNG, no clock, no
-//! environment); the a8 builder drives a seeded discrete-event simulation
-//! whose event loop is totally ordered and whose sweep reduces in case
-//! order, so it is equally deterministic — including across
+//! environment); the a8/a9 builders drive seeded discrete-event
+//! simulations whose event loops are totally ordered and whose sweeps
+//! reduce in case order (a9's health monitor additionally consumes zero
+//! RNG draws), so they are equally deterministic — including across
 //! `STAR_EXEC_THREADS` worker counts. The vendored `serde_json`
 //! round-trips `f64` exactly, so the comparison is field-level *exact*
 //! equality — any drift in the cost model shows up as a named JSON path,
@@ -17,9 +18,10 @@
 //! When a deliberate model change moves the numbers, regenerate with:
 //!
 //! ```text
-//! cargo run --release -p star-bench --bin repro_all -- e2_table1 e3_fig3 a8_serving
+//! cargo run --release -p star-bench --bin repro_all -- \
+//!     e2_table1 e3_fig3 a8_serving a9_device_health
 //! cp results/e2_table1.json results/e3_fig3.json results/a8_serving.json \
-//!    crates/bench/tests/golden/
+//!    results/a9_device_health.json crates/bench/tests/golden/
 //! ```
 
 use serde_json::Value;
@@ -103,6 +105,64 @@ fn e3_fig3_matches_golden() {
 #[test]
 fn a8_serving_matches_golden() {
     assert_matches_golden("a8_serving", &star_bench::a8_serving_result());
+}
+
+#[test]
+fn a9_device_health_matches_golden() {
+    assert_matches_golden("a9_device_health", &star_bench::a9_device_health_result());
+}
+
+#[test]
+fn a9_golden_reports_lifetime_at_three_loads() {
+    // The fixture must encode the experiment's claim: at least three
+    // sustained load points, each with a finite time-to-first-degradation
+    // and a positive lifetime, degrading no later as load rises.
+    let a9 = fixture("a9_device_health");
+    let points = a9.get("load_points").and_then(|v| v.as_array()).expect("load_points array");
+    assert!(points.len() >= 3, "need >= 3 sustained load points, got {}", points.len());
+    let mut prev_rate = 0.0;
+    let mut prev_ttfd = f64::INFINITY;
+    for p in points {
+        let rate = number_at(p, "offered_rps");
+        let ttfd = number_at(p, "time_to_first_degradation_s");
+        let lifetime = number_at(p, "lifetime_inferences");
+        assert!(rate > prev_rate, "load points must be sorted by offered rate");
+        assert!(ttfd > 0.0 && ttfd.is_finite(), "ttfd must be positive finite, got {ttfd}");
+        assert!(ttfd <= prev_ttfd, "heavier load cannot degrade later: {ttfd} vs {prev_ttfd}");
+        assert!(lifetime > 0.0, "lifetime must be positive");
+        // Lifetime is read-disturb limited, so finite — unlike the
+        // infinite write-endurance lifetime a4 grants STAR's tables.
+        assert!(lifetime.is_finite());
+        prev_rate = rate;
+        prev_ttfd = ttfd;
+    }
+}
+
+#[test]
+fn a9_golden_projections_degrade_monotonically() {
+    let a9 = fixture("a9_device_health");
+    for p in a9.get("load_points").and_then(|v| v.as_array()).expect("load_points") {
+        let horizons = p.get("projections").and_then(|v| v.as_array()).expect("projections array");
+        assert_eq!(horizons.len(), 5, "hour/day/month/year/five_years");
+        let mut prev_margin = f64::INFINITY;
+        let mut prev_stuck = -1.0;
+        for h in horizons {
+            let margin = number_at(h, "projection/accuracy_margin");
+            let stuck = number_at(h, "projection/stuck_fraction");
+            assert!(margin <= prev_margin, "margin must fall with horizon");
+            assert!(stuck >= prev_stuck, "stuck fraction must rise with horizon");
+            prev_margin = margin;
+            prev_stuck = stuck;
+        }
+    }
+}
+
+#[test]
+fn a9_golden_wear_leveling_reduces_skew() {
+    let a9 = fixture("a9_device_health");
+    let off = number_at(&a9, "wear_leveling/wear_skew_off");
+    let on = number_at(&a9, "wear_leveling/wear_skew_on");
+    assert!(on < off, "round-robin placement must flatten ledger skew: on {on} vs off {off}");
 }
 
 #[test]

@@ -51,8 +51,21 @@ impl EnduranceModel {
 
     /// Probability that a cell has failed after `writes` program cycles.
     pub fn failure_probability(&self, writes: u64) -> f64 {
+        self.failure_probability_at(writes as f64)
+    }
+
+    /// [`EnduranceModel::failure_probability`] over a fractional cycle
+    /// count — the form the health layer needs, where read-disturb
+    /// write-*equivalents* accumulate continuously. Explicitly 0 at (or
+    /// below) zero writes: a never-written cell cannot have worn out,
+    /// and the Weibull expression must not be asked to evaluate
+    /// `0^shape` at extreme shape parameters.
+    pub fn failure_probability_at(&self, writes: f64) -> f64 {
         star_telemetry::count("device.endurance.queries", 1);
-        let x = writes as f64 / self.endurance_cycles;
+        if writes <= 0.0 {
+            return 0.0;
+        }
+        let x = writes / self.endurance_cycles;
         1.0 - (-(x.powf(self.weibull_shape))).exp()
     }
 
@@ -109,6 +122,11 @@ impl RetentionModel {
     /// Panics if `seconds` is negative.
     pub fn drift_factor(&self, seconds: f64) -> f64 {
         assert!(seconds >= 0.0, "retention time must be non-negative");
+        if seconds == 0.0 {
+            // Exactly 1 at t = 0: a freshly programmed cell has drifted
+            // by definition not at all, independent of ν or t₀ rounding.
+            return 1.0;
+        }
         (1.0 + seconds / self.reference_seconds).powf(-self.drift_nu)
     }
 
@@ -175,6 +193,52 @@ mod tests {
     #[should_panic(expected = "must be in (0, 1)")]
     fn bad_target_rejected() {
         let _ = EnduranceModel::typical().writes_at_failure_probability(1.0);
+    }
+
+    #[test]
+    fn zero_writes_boundary_is_exact() {
+        // The explicit guard: a never-written cell has exactly zero
+        // failure probability for *any* Weibull parameters, including
+        // shapes where 0^β would be numerically delicate.
+        for shape in [0.1, 0.5, 1.0, 2.0, 10.0] {
+            let m = EnduranceModel::new(1e9, shape);
+            assert_eq!(m.failure_probability(0), 0.0, "shape {shape}");
+            assert_eq!(m.failure_probability_at(0.0), 0.0, "shape {shape}");
+            // Fractional exposure below zero (a degenerate caller) is
+            // clamped, not NaN.
+            assert_eq!(m.failure_probability_at(-1.0), 0.0, "shape {shape}");
+        }
+    }
+
+    #[test]
+    fn fractional_and_integer_probabilities_agree() {
+        let m = EnduranceModel::typical();
+        for w in [1u64, 1_000, 1_000_000_000] {
+            assert_eq!(m.failure_probability(w), m.failure_probability_at(w as f64));
+        }
+        // The fractional form is monotone through sub-cycle exposures
+        // (on a small-scale model so the probabilities stay above f64
+        // rounding of `1 − exp(−x)`).
+        let weak = EnduranceModel::new(10.0, 2.0);
+        assert!(weak.failure_probability_at(0.5) > 0.0);
+        assert!(weak.failure_probability_at(0.5) < weak.failure_probability_at(1.5));
+    }
+
+    #[test]
+    fn zero_retention_time_boundary_is_exact() {
+        // drift_factor(0) == 1 exactly, for any ν and reference time.
+        for nu in [1e-6, 0.005, 0.5] {
+            for t0 in [1e-3, 1.0, 1e3] {
+                let r = RetentionModel { drift_nu: nu, reference_seconds: t0 };
+                assert_eq!(r.drift_factor(0.0), 1.0, "nu {nu} t0 {t0}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_retention_time_rejected() {
+        let _ = RetentionModel::typical().drift_factor(-1.0);
     }
 
     #[test]

@@ -48,9 +48,15 @@ impl TemperatureModel {
     ///
     /// # Panics
     ///
-    /// Panics if `kelvin` is not positive.
+    /// Panics if `kelvin` is not positive and finite (NaN and ±∞ would
+    /// otherwise propagate silently into every downstream margin).
     fn arrhenius(&self, activation_ev: f64, kelvin: f64) -> f64 {
-        assert!(kelvin > 0.0, "temperature must be positive kelvin");
+        assert!(kelvin > 0.0 && kelvin.is_finite(), "temperature must be positive finite kelvin");
+        if kelvin == self.reference_kelvin {
+            // Exactly 1 at the reference point: the factor is defined as
+            // a ratio to T₀, and callers compare against 1.0 exactly.
+            return 1.0;
+        }
         (-(activation_ev / K_B) * (1.0 / kelvin - 1.0 / self.reference_kelvin)).exp()
     }
 
@@ -131,8 +137,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive kelvin")]
+    #[should_panic(expected = "positive finite kelvin")]
     fn zero_kelvin_rejected() {
         let _ = TemperatureModel::typical().hrs_conductance_factor(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite kelvin")]
+    fn nan_kelvin_rejected() {
+        let _ = TemperatureModel::typical().on_off_factor(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite kelvin")]
+    fn infinite_kelvin_rejected() {
+        let _ = TemperatureModel::typical().lrs_conductance_factor(f64::INFINITY);
+    }
+
+    #[test]
+    fn reference_boundary_is_exactly_one() {
+        // The explicit guard: at exactly T₀ every factor is 1.0 — not
+        // merely within an epsilon — so gauges comparing against the
+        // pristine point see no spurious drift.
+        let m = TemperatureModel::typical();
+        assert_eq!(m.hrs_conductance_factor(300.0), 1.0);
+        assert_eq!(m.lrs_conductance_factor(300.0), 1.0);
+        assert_eq!(m.on_off_factor(300.0), 1.0);
+    }
+
+    #[test]
+    fn extreme_boundary_kelvins_stay_finite() {
+        let m = TemperatureModel::typical();
+        // Cryogenic floor (77 K, liquid nitrogen): HRS freezes out, the
+        // window opens enormously, and nothing underflows to NaN.
+        let cold = m.hrs_conductance_factor(77.0);
+        assert!(cold > 0.0 && cold < 1e-9, "{cold}");
+        let window = m.on_off_factor(77.0);
+        assert!(window.is_finite() && window > 1.0, "{window}");
+        // Extreme heat: the factor approaches exp(Ea/(k·T₀)) — finite
+        // and positive, never an overflow.
+        let hot = m.hrs_conductance_factor(1e6);
+        assert!(hot.is_finite() && hot > 1.0);
+        let limit = (0.2f64 / 8.617_333e-5 / 300.0).exp();
+        assert!(hot < limit * 1.001, "{hot} vs limit {limit}");
+        assert!(m.on_off_factor(1e6) > 0.0);
     }
 }

@@ -79,6 +79,56 @@ proptest! {
     }
 
     #[test]
+    fn endurance_round_trip_across_weibull_space(
+        e in 1e6f64..1e12,
+        shape in 0.5f64..5.0,
+        target in 1e-6f64..0.5,
+    ) {
+        // writes_at_failure_probability ∘ failure_probability is the
+        // identity (within float tolerance) across the whole Weibull
+        // parameter space — the two inverse forms cannot drift apart.
+        let m = EnduranceModel::new(e, shape);
+        let w = m.writes_at_failure_probability(target);
+        prop_assert!(w > 0.0 && w.is_finite());
+        let p = m.failure_probability_at(w);
+        prop_assert!(
+            (p - target).abs() <= 1e-9 * target.max(1e-12),
+            "p {} vs target {} at scale {} shape {}", p, target, e, shape
+        );
+        // And the other composition order: the probability of any write
+        // count inverts back to that count.
+        let writes = e * 0.37; // a point in the body of the distribution
+        let p2 = m.failure_probability_at(writes);
+        if p2 > 0.0 && p2 < 1.0 {
+            let back = m.writes_at_failure_probability(p2);
+            prop_assert!((back - writes).abs() <= 1e-6 * writes, "back {} vs {}", back, writes);
+        }
+    }
+
+    #[test]
+    fn lifetime_monotone_decreasing_in_writes(
+        e in 1e6f64..1e12,
+        shape in 0.5f64..5.0,
+        target in 1e-6f64..0.5,
+        w1 in 0u64..1_000_000,
+        w2 in 0u64..1_000_000,
+    ) {
+        // More writes per inference can only shorten the lifetime; zero
+        // writes per inference lives forever.
+        let m = EnduranceModel::new(e, shape);
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let l_lo = m.lifetime_inferences(lo, target);
+        let l_hi = m.lifetime_inferences(hi, target);
+        prop_assert!(l_lo >= l_hi, "lifetime({lo}) {} < lifetime({hi}) {}", l_lo, l_hi);
+        if lo == 0 {
+            prop_assert_eq!(l_lo, f64::INFINITY);
+        }
+        if lo > 0 && hi > lo {
+            prop_assert!(l_lo > l_hi, "strictly decreasing once writes are positive");
+        }
+    }
+
+    #[test]
     fn retention_drift_monotone(nu in 0.001f64..0.1, t1 in 0.0f64..1e9, t2 in 0.0f64..1e9) {
         let r = RetentionModel { drift_nu: nu, reference_seconds: 1.0 };
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };

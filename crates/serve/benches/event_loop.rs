@@ -1,20 +1,24 @@
-//! Event-loop throughput with and without span tracing.
+//! Event-loop throughput with and without span tracing or health
+//! monitoring.
 //!
 //! Reports the rate the discrete-event loop processes simulated requests
-//! and what the full span-tree/trace machinery costs on top:
+//! and what the optional instrumentation layers cost on top:
 //!
 //! - `untraced` — `simulate`: the production sweep path (reports only).
 //! - `traced` — `simulate_traced`: span tree per request, invocation
 //!   spans per batch, system-state samples per event.
+//! - `health` — `simulate_monitored`: per-instance wear ledgers plus
+//!   grid-sampled thermal/drift/margin gauges (no span trees).
 //!
 //! The measured traced/untraced ratio is recorded in DESIGN.md
 //! ("Observability") — re-run with `STAR_BENCH_BUDGET_MS=2000` for
-//! steadier numbers before updating it.
+//! steadier numbers before updating it. CI parses this bench's stdout
+//! into `BENCH_serve.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use star_serve::{
-    simulate, simulate_traced, ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig,
-    ServiceModelConfig, WorkloadMix,
+    simulate, simulate_monitored, simulate_traced, ArrivalProcess, BatchPolicy, HealthConfig,
+    ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
 };
 
 /// A Tiny-class workload sized so one simulation handles a few thousand
@@ -35,17 +39,22 @@ fn bench_config(rate_rps: f64) -> ServeConfig {
 
 fn bench_event_loop(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_event_loop");
+    let health_cfg = HealthConfig::default();
     for rate in [20_000.0, 80_000.0] {
         let cfg = bench_config(rate);
-        // Sanity: both paths agree before we time them.
+        // Sanity: all paths agree before we time them.
         let plain = simulate(&cfg);
         assert_eq!(plain, simulate_traced(&cfg).report);
+        assert_eq!(plain, simulate_monitored(&cfg, &health_cfg).report);
         assert!(plain.arrivals > 0);
         group.bench_with_input(BenchmarkId::new("untraced", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate(cfg))
         });
         group.bench_with_input(BenchmarkId::new("traced", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate_traced(cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("health", rate as u64), &cfg, |b, cfg| {
+            b.iter(|| simulate_monitored(cfg, &health_cfg))
         });
     }
     group.finish();

@@ -1,0 +1,985 @@
+//! Device-health observability: wear ledgers, drift/thermal monitors,
+//! and fleet degradation reporting.
+//!
+//! The paper's headline numbers assume pristine RRAM, but `star-device`
+//! already models the three ways a real crossbar decays — Weibull
+//! cycling endurance ([`EnduranceModel`]), power-law conductance drift
+//! ([`RetentionModel`]), and the Arrhenius on/off-window collapse with
+//! temperature ([`TemperatureModel`]). This module makes those models
+//! *observable* under serving load:
+//!
+//! - [`WearLedger`] — deterministic per-instance crossbar operation
+//!   counts (CAM searches, CAM/SUB subtractions, exp-CAM searches, LUT
+//!   reads, table writes) accrued from **every costed invocation**. The
+//!   counts derive from the same vector-grained row accounting the
+//!   service model's energy terms use, so the accounting identity
+//!   `ledger ops == Σ batches (batch × rows/request × ops/row)` holds
+//!   exactly (a unit test pins it).
+//! - [`HealthModel`] — maps cumulative ledger state plus sustained power
+//!   onto a temperature estimate (a one-pole thermal RC on top of
+//!   [`TemperatureModel`]), the retention drift factor, the expected
+//!   stuck-cell fraction (read-disturb write-equivalents through the
+//!   Weibull endurance curve), and a derived **accuracy-margin gauge**:
+//!   the fraction of the quantized-softmax error budget still unspent
+//!   once drift and the thermal window collapse inflate the per-element
+//!   bound the differential suite calibrated (one output ulp,
+//!   [`star_fixed::QFormat::resolution`], at the pristine operating
+//!   point).
+//! - [`HealthMonitor`] — the event-loop resident: accrues wear at
+//!   dispatch, samples fleet health on a fixed deterministic grid
+//!   (**zero RNG draws** — monitored and unmonitored runs produce
+//!   bitwise-identical [`crate::ServeReport`]s), raises threshold
+//!   [`HealthAlarm`]s (time-to-first-degradation, per-instance wear
+//!   skew), and optionally drives a round-robin **wear-leveling**
+//!   placement policy whose effect is visible as reduced ledger skew.
+//! - [`WearRates`] / [`HealthProjection`] — steady-state rates extracted
+//!   from a short simulated window, projected analytically over
+//!   hours-to-years of wall time (the `a9_device_health` experiment).
+//!
+//! Everything here is closed-form and integer/f64 arithmetic over the
+//! deterministic event stream: health output is a pure function of the
+//! [`crate::ServeConfig`] and [`HealthConfig`], byte-stable across reruns
+//! and worker counts.
+
+use crate::model::BatchCost;
+use crate::request::RequestClass;
+use serde::{Deserialize, Serialize};
+use star_device::{EnduranceModel, RetentionModel, TemperatureModel};
+use star_fixed::QFormat;
+use std::collections::BTreeSet;
+
+/// Crossbar operations performed by one costed invocation.
+///
+/// Derived from the class geometry exactly as the service model derives
+/// its energy terms: a batch of `B` requests streams
+/// `B × num_heads × seq_len` score rows through the engine, and a row of
+/// `n = seq_len` elements costs `n` value-CAM max searches, `n` CAM/SUB
+/// subtractions, `n` exp-CAM searches, and `n` exponent-LUT (VMM) reads.
+/// STAR's tables are programmed once at manufacture and only ever read,
+/// so `table_writes` is zero here — wear accrues through read disturb
+/// (see [`HealthConfig::read_disturb_per_read`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearCounts {
+    /// Value-CAM max-search operations.
+    pub cam_searches: u64,
+    /// CAM/SUB subtraction operations.
+    pub sub_ops: u64,
+    /// Exponential-CAM search operations.
+    pub exp_searches: u64,
+    /// Exponent-LUT / VMM read operations.
+    pub lut_reads: u64,
+    /// Crossbar program (SET/RESET) cycles — zero for STAR's read-only
+    /// tables.
+    pub table_writes: u64,
+}
+
+/// The crossbar operations of one invocation of `batch` same-class
+/// requests (see [`WearCounts`]).
+pub fn invocation_wear(class: RequestClass, batch: usize) -> WearCounts {
+    let cfg = class.config();
+    let rows = (batch * cfg.num_heads * cfg.seq_len) as u64;
+    let per_row = cfg.seq_len as u64;
+    let ops = rows * per_row;
+    WearCounts {
+        cam_searches: ops,
+        sub_ops: ops,
+        exp_searches: ops,
+        lut_reads: ops,
+        table_writes: 0,
+    }
+}
+
+/// Deterministic per-instance wear ledger: cumulative crossbar operation
+/// counts plus the busy time and energy they cost. Pure integer/f64
+/// accumulation — no RNG, no clock.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WearLedger {
+    /// Costed invocations executed.
+    pub invocations: u64,
+    /// Requests served across those invocations.
+    pub requests: u64,
+    /// Score rows streamed through the engine.
+    pub rows: u64,
+    /// Value-CAM max-search operations.
+    pub cam_searches: u64,
+    /// CAM/SUB subtraction operations.
+    pub sub_ops: u64,
+    /// Exponential-CAM search operations.
+    pub exp_searches: u64,
+    /// Exponent-LUT / VMM read operations.
+    pub lut_reads: u64,
+    /// Crossbar program cycles (zero for STAR's one-time-programmed
+    /// tables).
+    pub table_writes: u64,
+    /// Busy time across invocations, ns.
+    pub busy_ns: f64,
+    /// Energy across invocations (dynamic + background), pJ.
+    pub energy_pj: f64,
+}
+
+impl WearLedger {
+    /// Accrues one costed invocation of `batch` `class` requests.
+    pub fn accrue(&mut self, class: RequestClass, batch: usize, cost: &BatchCost) {
+        let w = invocation_wear(class, batch);
+        let cfg = class.config();
+        self.invocations += 1;
+        self.requests += batch as u64;
+        self.rows += (batch * cfg.num_heads * cfg.seq_len) as u64;
+        self.cam_searches += w.cam_searches;
+        self.sub_ops += w.sub_ops;
+        self.exp_searches += w.exp_searches;
+        self.lut_reads += w.lut_reads;
+        self.table_writes += w.table_writes;
+        self.busy_ns += cost.latency_ns;
+        self.energy_pj += cost.energy_pj;
+    }
+
+    /// Total crossbar read-class operations (searches + subtractions +
+    /// LUT reads) — the read-disturb exposure.
+    pub fn reads(&self) -> u64 {
+        self.cam_searches + self.sub_ops + self.exp_searches + self.lut_reads
+    }
+
+    /// Effective program-cycle count: real writes plus read-disturb
+    /// write-equivalents at `disturb_per_read`.
+    pub fn effective_writes(&self, disturb_per_read: f64) -> f64 {
+        self.table_writes as f64 + self.reads() as f64 * disturb_per_read
+    }
+}
+
+/// Configuration of the device-health model and monitor.
+///
+/// Health monitoring is **observation-only by default**: with
+/// `wear_leveling` off the monitor never changes a scheduling decision,
+/// consumes no RNG, and the [`crate::ServeReport`] stays bitwise
+/// identical to an unmonitored run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Cycling-endurance model of the crossbar cells.
+    pub endurance: EnduranceModel,
+    /// Conductance-retention (drift) model.
+    pub retention: RetentionModel,
+    /// Arrhenius temperature model of the on/off window.
+    pub temperature: TemperatureModel,
+    /// Ambient (and initial die) temperature, K.
+    pub ambient_kelvin: f64,
+    /// Junction-to-ambient thermal resistance, K per mW of sustained
+    /// power.
+    pub thermal_resistance_k_per_mw: f64,
+    /// Thermal RC time constant, ns.
+    pub thermal_tau_ns: f64,
+    /// Write-equivalent program-cycle disturb per crossbar read
+    /// operation (read-disturb wear of the one-time-programmed tables).
+    pub read_disturb_per_read: f64,
+    /// Per-cell reliability target used for lifetime statements.
+    pub reliability_target: f64,
+    /// Health sampling grid, ns (samples land on the first event at or
+    /// after each grid point — fully deterministic).
+    pub sample_interval_ns: f64,
+    /// Temperature alarm threshold, K.
+    pub max_temperature_kelvin: f64,
+    /// Accuracy-margin alarm threshold (fraction of error budget left).
+    pub min_accuracy_margin: f64,
+    /// Expected stuck-cell-fraction alarm threshold.
+    pub max_stuck_fraction: f64,
+    /// Retention drift-factor alarm threshold.
+    pub min_drift_factor: f64,
+    /// Round-robin wear-leveling placement (off by default: observation
+    /// only).
+    pub wear_leveling: bool,
+}
+
+impl Default for HealthConfig {
+    /// Mature-HfO₂ device models, a heatsinked 1 K/W package (the STAR
+    /// fleet instances sustain watts of draw, so 0.001 K/mW keeps the
+    /// die in the 300–320 K band across the serving load range), a 1 ms
+    /// thermal time constant (scaled so short simulated windows reach
+    /// thermal steady state), 10⁻¹⁰ write-equivalents per read,
+    /// commercial 85 °C / 10 % margin alarm thresholds, wear-leveling
+    /// off.
+    fn default() -> Self {
+        HealthConfig {
+            endurance: EnduranceModel::typical(),
+            retention: RetentionModel::typical(),
+            temperature: TemperatureModel::typical(),
+            ambient_kelvin: 300.0,
+            thermal_resistance_k_per_mw: 0.001,
+            thermal_tau_ns: 1e6,
+            read_disturb_per_read: 1e-10,
+            reliability_target: 1e-4,
+            sample_interval_ns: 1e6,
+            max_temperature_kelvin: 358.15,
+            min_accuracy_margin: 0.1,
+            max_stuck_fraction: 1e-4,
+            min_drift_factor: 0.9,
+            wear_leveling: false,
+        }
+    }
+}
+
+impl HealthConfig {
+    fn validate(&self) {
+        assert!(
+            self.ambient_kelvin > 0.0 && self.ambient_kelvin.is_finite(),
+            "ambient temperature must be positive kelvin"
+        );
+        assert!(
+            self.thermal_resistance_k_per_mw >= 0.0 && self.thermal_resistance_k_per_mw.is_finite(),
+            "thermal resistance must be non-negative"
+        );
+        assert!(
+            self.thermal_tau_ns > 0.0 && self.thermal_tau_ns.is_finite(),
+            "thermal time constant must be positive"
+        );
+        assert!(self.read_disturb_per_read >= 0.0, "read disturb must be non-negative");
+        assert!(
+            self.sample_interval_ns > 0.0 && self.sample_interval_ns.is_finite(),
+            "sample interval must be positive"
+        );
+    }
+}
+
+/// The degradation dimension that tripped an alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AlarmKind {
+    /// Die temperature crossed [`HealthConfig::max_temperature_kelvin`].
+    Temperature,
+    /// Accuracy margin fell below [`HealthConfig::min_accuracy_margin`].
+    AccuracyMargin,
+    /// Expected stuck-cell fraction crossed
+    /// [`HealthConfig::max_stuck_fraction`].
+    StuckCells,
+    /// Retention drift factor fell below
+    /// [`HealthConfig::min_drift_factor`].
+    Drift,
+}
+
+impl AlarmKind {
+    /// Stable lower-case label for tables and traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlarmKind::Temperature => "temperature",
+            AlarmKind::AccuracyMargin => "accuracy_margin",
+            AlarmKind::StuckCells => "stuck_cells",
+            AlarmKind::Drift => "drift",
+        }
+    }
+}
+
+/// One threshold crossing observed by the monitor (first crossing per
+/// instance and kind; alarms do not repeat).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthAlarm {
+    /// Sample time of the crossing, ns.
+    pub t_ns: f64,
+    /// Instance that crossed.
+    pub instance: usize,
+    /// Degradation dimension.
+    pub kind: AlarmKind,
+    /// Observed value at the crossing.
+    pub value: f64,
+    /// The configured threshold.
+    pub threshold: f64,
+}
+
+/// One instance's health at a sample instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceHealthSample {
+    /// Estimated die temperature, K.
+    pub temperature_kelvin: f64,
+    /// Retention drift factor (1.0 pristine, falls over time).
+    pub drift_factor: f64,
+    /// Expected stuck-cell fraction from effective program cycles.
+    pub stuck_fraction: f64,
+    /// Fraction of the quantized-softmax error budget still unspent.
+    pub accuracy_margin: f64,
+    /// Cumulative crossbar read-class operations.
+    pub reads: u64,
+}
+
+/// Fleet health at one sample instant (one entry per instance, index
+/// order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealthSample {
+    /// Sample time, ns.
+    pub t_ns: f64,
+    /// Per-instance health, instance order.
+    pub instances: Vec<InstanceHealthSample>,
+}
+
+/// The closed-form health mapping: ledger state + sustained power →
+/// temperature, drift, stuck cells, accuracy margin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthModel {
+    cfg: HealthConfig,
+    /// Pristine per-element softmax error bound: one output ulp
+    /// ([`QFormat::resolution`]), the bound the differential suite
+    /// calibrates for the STAR engine.
+    base_bound: f64,
+    /// Acceptable per-element error: twice the pristine bound, so the
+    /// pristine margin is 0.5 (half the budget is headroom).
+    allowed_error: f64,
+}
+
+impl HealthModel {
+    /// Builds the model for the fleet's softmax operating format.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-physical configuration (non-positive ambient
+    /// temperature, time constant, or sample interval).
+    pub fn new(cfg: HealthConfig, format: QFormat) -> Self {
+        cfg.validate();
+        let base_bound = format.resolution();
+        HealthModel { cfg, base_bound, allowed_error: 2.0 * base_bound }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Steady-state die temperature under `power_mw` sustained power, K.
+    pub fn steady_temperature(&self, power_mw: f64) -> f64 {
+        self.cfg.ambient_kelvin + self.cfg.thermal_resistance_k_per_mw * power_mw
+    }
+
+    /// One-pole RC update: the temperature after holding `power_mw` for
+    /// `dt_ns` starting from `kelvin`.
+    pub fn advance_temperature(&self, kelvin: f64, power_mw: f64, dt_ns: f64) -> f64 {
+        let t_ss = self.steady_temperature(power_mw);
+        t_ss + (kelvin - t_ss) * (-dt_ns / self.cfg.thermal_tau_ns).exp()
+    }
+
+    /// Retention drift factor after `t_ns` of simulated wall time.
+    pub fn drift_factor(&self, t_ns: f64) -> f64 {
+        self.cfg.retention.drift_factor(t_ns.max(0.0) * 1e-9)
+    }
+
+    /// Expected stuck-cell fraction for a ledger (effective program
+    /// cycles through the Weibull endurance curve).
+    pub fn stuck_fraction(&self, ledger: &WearLedger) -> f64 {
+        self.cfg
+            .endurance
+            .failure_probability_at(ledger.effective_writes(self.cfg.read_disturb_per_read))
+    }
+
+    /// The accuracy-margin gauge: the fraction of the error budget still
+    /// unspent once drift (`drift_factor`) and the thermal on/off-window
+    /// collapse at `kelvin` inflate the pristine per-element bound.
+    /// 0.5 when pristine, 0 when the inflated bound consumes the whole
+    /// budget, negative past it (clamped at −1).
+    pub fn accuracy_margin(&self, drift_factor: f64, kelvin: f64) -> f64 {
+        let window = (drift_factor * self.cfg.temperature.on_off_factor(kelvin).min(1.0))
+            .clamp(f64::MIN_POSITIVE, 1.0);
+        let bound = self.base_bound / window;
+        ((self.allowed_error - bound) / self.allowed_error).max(-1.0)
+    }
+
+    /// One instance's health at `t_ns` given its ledger and temperature
+    /// state.
+    pub fn instance_sample(
+        &self,
+        t_ns: f64,
+        kelvin: f64,
+        ledger: &WearLedger,
+    ) -> InstanceHealthSample {
+        let drift_factor = self.drift_factor(t_ns);
+        InstanceHealthSample {
+            temperature_kelvin: kelvin,
+            drift_factor,
+            stuck_fraction: self.stuck_fraction(ledger),
+            accuracy_margin: self.accuracy_margin(drift_factor, kelvin),
+            reads: ledger.reads(),
+        }
+    }
+
+    /// Threshold checks for one sample, in a fixed kind order.
+    pub fn check(&self, s: &InstanceHealthSample) -> Vec<(AlarmKind, f64, f64)> {
+        let mut out = Vec::new();
+        if s.temperature_kelvin > self.cfg.max_temperature_kelvin {
+            out.push((
+                AlarmKind::Temperature,
+                s.temperature_kelvin,
+                self.cfg.max_temperature_kelvin,
+            ));
+        }
+        if s.accuracy_margin < self.cfg.min_accuracy_margin {
+            out.push((AlarmKind::AccuracyMargin, s.accuracy_margin, self.cfg.min_accuracy_margin));
+        }
+        if s.stuck_fraction > self.cfg.max_stuck_fraction {
+            out.push((AlarmKind::StuckCells, s.stuck_fraction, self.cfg.max_stuck_fraction));
+        }
+        if s.drift_factor < self.cfg.min_drift_factor {
+            out.push((AlarmKind::Drift, s.drift_factor, self.cfg.min_drift_factor));
+        }
+        out
+    }
+
+    /// Projects sustained-load health analytically over `seconds` of
+    /// wall time at the steady-state rates in `rates` — the
+    /// hours-to-years extrapolation a discrete-event run cannot reach.
+    pub fn project(&self, rates: &WearRates, seconds: f64) -> HealthProjection {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "projection horizon must be finite");
+        let kelvin = self.steady_temperature(rates.power_mw);
+        let drift_factor = self.cfg.retention.drift_factor(seconds);
+        let effective_writes = rates.reads_per_s * seconds * self.cfg.read_disturb_per_read;
+        let stuck_fraction = self.cfg.endurance.failure_probability_at(effective_writes);
+        let accuracy_margin = self.accuracy_margin(drift_factor, kelvin);
+        HealthProjection {
+            seconds,
+            temperature_kelvin: kelvin,
+            drift_factor,
+            effective_writes,
+            stuck_fraction,
+            accuracy_margin,
+            inferences: rates.inferences_per_s * seconds,
+        }
+    }
+
+    /// The first wall-clock instant (seconds) at which **any** alarm
+    /// threshold is crossed under sustained `rates`, solved in closed
+    /// form per dimension; `None` when the load never degrades the
+    /// device past the thresholds.
+    pub fn time_to_first_degradation_s(&self, rates: &WearRates) -> Option<f64> {
+        let mut first: Option<f64> = None;
+        let mut consider = |t: Option<f64>| {
+            if let Some(t) = t {
+                first = Some(first.map_or(t, |f| f.min(t)));
+            }
+        };
+        consider(self.temperature_crossing_s(rates.power_mw));
+        consider(self.drift_crossing_s());
+        consider(self.margin_crossing_s(rates.power_mw));
+        consider(self.stuck_crossing_s(rates.reads_per_s));
+        first
+    }
+
+    /// RC crossing time of the temperature alarm (seconds), `Some(0)` if
+    /// already hot, `None` if the steady state never reaches it.
+    fn temperature_crossing_s(&self, power_mw: f64) -> Option<f64> {
+        let t_max = self.cfg.max_temperature_kelvin;
+        if self.cfg.ambient_kelvin > t_max {
+            return Some(0.0);
+        }
+        let t_ss = self.steady_temperature(power_mw);
+        if t_ss <= t_max {
+            return None;
+        }
+        // ambient + (t_ss − ambient)(1 − e^{−t/τ}) = t_max
+        let ratio = (t_ss - self.cfg.ambient_kelvin) / (t_ss - t_max);
+        Some(self.cfg.thermal_tau_ns * 1e-9 * ratio.ln())
+    }
+
+    /// Closed-form crossing of the drift-factor alarm (seconds).
+    fn drift_crossing_s(&self) -> Option<f64> {
+        let min_drift = self.cfg.min_drift_factor;
+        if min_drift <= 0.0 || min_drift >= 1.0 {
+            return (min_drift >= 1.0).then_some(0.0);
+        }
+        Some(self.cfg.retention.seconds_to_margin(min_drift))
+    }
+
+    /// Closed-form crossing of the accuracy-margin alarm (seconds): the
+    /// drift factor at which the inflated bound eats past the margin
+    /// threshold, at the steady-state temperature's window factor.
+    fn margin_crossing_s(&self, power_mw: f64) -> Option<f64> {
+        let kelvin = self.steady_temperature(power_mw);
+        let thermal_window = self.cfg.temperature.on_off_factor(kelvin).min(1.0);
+        // margin(d) = 1 − base/(allowed·d·w); margin < m ⇔ d < d_req.
+        let d_req = self.base_bound
+            / (self.allowed_error * thermal_window * (1.0 - self.cfg.min_accuracy_margin));
+        if d_req >= 1.0 {
+            return Some(0.0); // the thermal collapse alone trips it
+        }
+        if d_req <= 0.0 {
+            return None;
+        }
+        Some(self.cfg.retention.seconds_to_margin(d_req))
+    }
+
+    /// Closed-form crossing of the stuck-cell alarm (seconds) under a
+    /// sustained read rate.
+    fn stuck_crossing_s(&self, reads_per_s: f64) -> Option<f64> {
+        let write_rate = reads_per_s * self.cfg.read_disturb_per_read;
+        if write_rate <= 0.0 {
+            return None;
+        }
+        let writes = self.cfg.endurance.writes_at_failure_probability(self.cfg.max_stuck_fraction);
+        Some(writes / write_rate)
+    }
+}
+
+/// Steady-state wear rates of one instance (or a fleet mean), extracted
+/// from a short simulated window and fed to [`HealthModel::project`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearRates {
+    /// Crossbar read-class operations per second.
+    pub reads_per_s: f64,
+    /// Requests served per second.
+    pub inferences_per_s: f64,
+    /// Sustained power (energy over makespan), mW.
+    pub power_mw: f64,
+}
+
+impl WearRates {
+    /// Rates from a ledger observed over `makespan_ns` of simulated
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `makespan_ns` is not positive.
+    pub fn from_ledger(ledger: &WearLedger, makespan_ns: f64) -> Self {
+        assert!(makespan_ns > 0.0, "makespan must be positive");
+        let seconds = makespan_ns * 1e-9;
+        WearRates {
+            reads_per_s: ledger.reads() as f64 / seconds,
+            inferences_per_s: ledger.requests as f64 / seconds,
+            // pJ / ns ≡ mW.
+            power_mw: ledger.energy_pj / makespan_ns,
+        }
+    }
+}
+
+/// One analytic long-horizon projection point (see
+/// [`HealthModel::project`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthProjection {
+    /// Projection horizon, seconds of wall time.
+    pub seconds: f64,
+    /// Steady-state die temperature, K.
+    pub temperature_kelvin: f64,
+    /// Retention drift factor at the horizon.
+    pub drift_factor: f64,
+    /// Effective program cycles accumulated by read disturb.
+    pub effective_writes: f64,
+    /// Expected stuck-cell fraction.
+    pub stuck_fraction: f64,
+    /// Accuracy-margin gauge at the horizon.
+    pub accuracy_margin: f64,
+    /// Inferences served by the horizon at the sustained rate.
+    pub inferences: f64,
+}
+
+/// Per-instance summary in the end-of-run [`FleetHealthReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceHealthReport {
+    /// Instance index.
+    pub instance: usize,
+    /// The cumulative wear ledger.
+    pub ledger: WearLedger,
+    /// Final health sample (end of run).
+    pub health: InstanceHealthSample,
+    /// Peak estimated die temperature over the run, K.
+    pub peak_temperature_kelvin: f64,
+}
+
+/// End-of-run fleet health: per-instance ledgers and gauges, the alarm
+/// log, and the wear-skew / time-to-first-degradation summary the SLO
+/// reporting layer surfaces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealthReport {
+    /// Per-instance summaries, instance order.
+    pub instances: Vec<InstanceHealthReport>,
+    /// Every threshold crossing, in sample order (first crossing per
+    /// instance and kind).
+    pub alarms: Vec<HealthAlarm>,
+    /// Simulated time of the first alarm, ns (`None`: no degradation
+    /// observed inside the simulated window).
+    pub time_to_first_degradation_ns: Option<f64>,
+    /// Wear skew across the fleet: `(max − min) / mean` of per-instance
+    /// row counts (0 = perfectly level, 0 for a fleet of one).
+    pub wear_skew: f64,
+    /// Whether the round-robin wear-leveling placement was active.
+    pub wear_leveling: bool,
+}
+
+impl FleetHealthReport {
+    /// Wear skew of a set of per-instance row counts:
+    /// `(max − min) / mean`, 0 when the fleet is empty or unworn.
+    pub fn skew_of(rows: &[u64]) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let max = *rows.iter().max().expect("non-empty") as f64;
+        let min = *rows.iter().min().expect("non-empty") as f64;
+        let mean = rows.iter().sum::<u64>() as f64 / rows.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            (max - min) / mean
+        }
+    }
+}
+
+/// The event-loop resident: accrues wear at dispatch, samples health on
+/// a deterministic grid, raises alarms, and (optionally) picks
+/// round-robin wear-leveled placements. Consumes **zero RNG draws**.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    model: HealthModel,
+    ledgers: Vec<WearLedger>,
+    temps: Vec<f64>,
+    peak_temps: Vec<f64>,
+    /// Energy already folded into the thermal state, per instance.
+    settled_energy_pj: Vec<f64>,
+    last_sample_ns: f64,
+    next_sample_ns: f64,
+    samples: Vec<FleetHealthSample>,
+    alarms: Vec<HealthAlarm>,
+    /// (instance, kind) pairs already alarmed — alarms fire once.
+    raised: BTreeSet<(usize, AlarmKind)>,
+    rr_cursor: usize,
+}
+
+impl HealthMonitor {
+    /// A monitor for a `fleet`-instance run at the `format` softmax
+    /// operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet` is zero or the configuration is non-physical.
+    pub fn new(cfg: HealthConfig, fleet: usize, format: QFormat) -> Self {
+        assert!(fleet > 0, "monitor needs at least one instance");
+        let model = HealthModel::new(cfg, format);
+        let ambient = model.cfg.ambient_kelvin;
+        let interval = model.cfg.sample_interval_ns;
+        HealthMonitor {
+            model,
+            ledgers: vec![WearLedger::default(); fleet],
+            temps: vec![ambient; fleet],
+            peak_temps: vec![ambient; fleet],
+            settled_energy_pj: vec![0.0; fleet],
+            last_sample_ns: 0.0,
+            next_sample_ns: interval,
+            samples: Vec::new(),
+            alarms: Vec::new(),
+            raised: BTreeSet::new(),
+            rr_cursor: 0,
+        }
+    }
+
+    /// Whether round-robin wear-leveling placement is active.
+    pub fn wear_leveling(&self) -> bool {
+        self.model.cfg.wear_leveling
+    }
+
+    /// The per-instance ledgers, instance order.
+    pub fn ledgers(&self) -> &[WearLedger] {
+        &self.ledgers
+    }
+
+    /// Round-robin placement over the idle set: the first idle instance
+    /// at or after the cursor, wrapping — deterministic, stateful, and
+    /// independent of wear magnitudes (so placement never feeds back
+    /// through float arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle` is empty.
+    pub fn pick_instance(&mut self, idle: &BTreeSet<usize>) -> usize {
+        assert!(!idle.is_empty(), "placement needs an idle instance");
+        let pick = idle
+            .range(self.rr_cursor..)
+            .next()
+            .or_else(|| idle.iter().next())
+            .copied()
+            .expect("idle set non-empty");
+        self.rr_cursor = pick + 1;
+        pick
+    }
+
+    /// Accrues one costed invocation on `instance`.
+    pub fn on_dispatch(
+        &mut self,
+        instance: usize,
+        class: RequestClass,
+        batch: usize,
+        cost: &BatchCost,
+    ) {
+        self.ledgers[instance].accrue(class, batch, cost);
+    }
+
+    /// Samples fleet health if `now` has reached the next grid point;
+    /// advances the thermal RC state, appends the sample, and raises
+    /// first-crossing alarms.
+    pub fn maybe_sample(&mut self, now: f64) {
+        if now < self.next_sample_ns {
+            return;
+        }
+        self.sample(now);
+        // Next grid point strictly after `now`.
+        let interval = self.model.cfg.sample_interval_ns;
+        self.next_sample_ns = ((now / interval).floor() + 1.0) * interval;
+    }
+
+    /// Takes one sample at `now` unconditionally (also used for the
+    /// end-of-run snapshot).
+    fn sample(&mut self, now: f64) {
+        let dt = now - self.last_sample_ns;
+        let mut instances = Vec::with_capacity(self.ledgers.len());
+        for i in 0..self.ledgers.len() {
+            if dt > 0.0 {
+                // Mean power over the window: energy newly accrued
+                // (dispatch-lumped) divided by the window. pJ/ns ≡ mW.
+                let delta = self.ledgers[i].energy_pj - self.settled_energy_pj[i];
+                let power_mw = delta / dt;
+                self.temps[i] = self.model.advance_temperature(self.temps[i], power_mw, dt);
+                self.settled_energy_pj[i] = self.ledgers[i].energy_pj;
+                self.peak_temps[i] = self.peak_temps[i].max(self.temps[i]);
+            }
+            let s = self.model.instance_sample(now, self.temps[i], &self.ledgers[i]);
+            for (kind, value, threshold) in self.model.check(&s) {
+                if self.raised.insert((i, kind)) {
+                    self.alarms.push(HealthAlarm {
+                        t_ns: now,
+                        instance: i,
+                        kind,
+                        value,
+                        threshold,
+                    });
+                }
+            }
+            instances.push(s);
+        }
+        self.last_sample_ns = now;
+        self.samples.push(FleetHealthSample { t_ns: now, instances });
+    }
+
+    /// Closes the monitor at `makespan_ns`: takes the final sample,
+    /// publishes per-instance telemetry gauges, and returns the fleet
+    /// report plus the sample timeseries (for the trace counter tracks).
+    pub fn finalize(mut self, makespan_ns: f64) -> (FleetHealthReport, Vec<FleetHealthSample>) {
+        if self.samples.last().map(|s| s.t_ns) != Some(makespan_ns) {
+            self.sample(makespan_ns);
+        }
+        let last = self.samples.last().expect("finalize always samples").clone();
+        let mut instances = Vec::with_capacity(self.ledgers.len());
+        for (i, (ledger, health)) in self.ledgers.iter().zip(&last.instances).enumerate() {
+            star_telemetry::set(&format!("serve.health.i{i}.reads"), ledger.reads() as f64);
+            star_telemetry::set(
+                &format!("serve.health.i{i}.effective_writes"),
+                ledger.effective_writes(self.model.cfg.read_disturb_per_read),
+            );
+            star_telemetry::set(
+                &format!("serve.health.i{i}.temperature_k"),
+                health.temperature_kelvin,
+            );
+            star_telemetry::set(
+                &format!("serve.health.i{i}.accuracy_margin"),
+                health.accuracy_margin,
+            );
+            instances.push(InstanceHealthReport {
+                instance: i,
+                ledger: ledger.clone(),
+                health: *health,
+                peak_temperature_kelvin: self.peak_temps[i],
+            });
+        }
+        let rows: Vec<u64> = self.ledgers.iter().map(|l| l.rows).collect();
+        let wear_skew = FleetHealthReport::skew_of(&rows);
+        star_telemetry::set("serve.health.wear_skew", wear_skew);
+        star_telemetry::count("serve.health.alarms", self.alarms.len() as u64);
+        let report = FleetHealthReport {
+            instances,
+            alarms: self.alarms.clone(),
+            time_to_first_degradation_ns: self.alarms.first().map(|a| a.t_ns),
+            wear_skew,
+            wear_leveling: self.model.cfg.wear_leveling,
+        };
+        (report, self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ServiceModel, ServiceModelConfig};
+    use crate::request::ModelKind;
+
+    fn tiny() -> RequestClass {
+        RequestClass::new(ModelKind::Tiny, 16)
+    }
+
+    fn model() -> HealthModel {
+        HealthModel::new(HealthConfig::default(), QFormat::new(5, 3).unwrap())
+    }
+
+    #[test]
+    fn invocation_wear_matches_row_accounting() {
+        let class = tiny();
+        let cfg = class.config();
+        for batch in [1usize, 2, 8] {
+            let w = invocation_wear(class, batch);
+            let rows = (batch * cfg.num_heads * cfg.seq_len) as u64;
+            let ops = rows * cfg.seq_len as u64;
+            assert_eq!(w.cam_searches, ops);
+            assert_eq!(w.sub_ops, ops);
+            assert_eq!(w.exp_searches, ops);
+            assert_eq!(w.lut_reads, ops);
+            assert_eq!(w.table_writes, 0, "STAR tables are one-time programmed");
+        }
+    }
+
+    #[test]
+    fn ledger_accrual_identity() {
+        // Ledger ops == costed invocations × ops/invocation, exactly.
+        let class = tiny();
+        let m = ServiceModel::new(ServiceModelConfig::default(), &[class]);
+        let mut ledger = WearLedger::default();
+        let batches = [1usize, 4, 8, 2];
+        for &b in &batches {
+            ledger.accrue(class, b, &m.batch_cost(class, b));
+        }
+        let per_req_ops = (class.config().num_heads * class.seq_len * class.seq_len) as u64;
+        let requests: u64 = batches.iter().map(|&b| b as u64).sum();
+        assert_eq!(ledger.invocations, batches.len() as u64);
+        assert_eq!(ledger.requests, requests);
+        assert_eq!(ledger.cam_searches, requests * per_req_ops);
+        assert_eq!(ledger.reads(), 4 * requests * per_req_ops);
+        assert_eq!(ledger.table_writes, 0);
+        assert!(ledger.energy_pj > 0.0 && ledger.busy_ns > 0.0);
+    }
+
+    #[test]
+    fn thermal_rc_converges_to_steady_state() {
+        let m = model();
+        let power = 500.0; // mW
+        let t_ss = m.steady_temperature(power);
+        assert!(t_ss > 300.0);
+        let mut t = 300.0;
+        for _ in 0..100 {
+            t = m.advance_temperature(t, power, m.config().thermal_tau_ns);
+        }
+        assert!((t - t_ss).abs() < 1e-6, "RC settles to {t_ss}, got {t}");
+        // Cooling works too: power off decays back toward ambient.
+        let cooled = m.advance_temperature(t, 0.0, 100.0 * m.config().thermal_tau_ns);
+        assert!((cooled - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_margin_pristine_is_half_and_degrades() {
+        let m = model();
+        let pristine = m.accuracy_margin(1.0, 300.0);
+        assert!((pristine - 0.5).abs() < 1e-12, "{pristine}");
+        // Hotter or more drifted ⇒ smaller margin.
+        assert!(m.accuracy_margin(1.0, 358.15) < pristine);
+        assert!(m.accuracy_margin(0.9, 300.0) < pristine);
+        assert!(m.accuracy_margin(0.9, 358.15) < m.accuracy_margin(0.9, 300.0));
+        // Cold never inflates the margin past pristine (window clamped).
+        assert!(m.accuracy_margin(1.0, 233.15) <= pristine + 1e-12);
+        // Fully collapsed window clamps at −1.
+        assert_eq!(m.accuracy_margin(f64::MIN_POSITIVE, 300.0), -1.0);
+    }
+
+    #[test]
+    fn projection_degrades_monotonically() {
+        let m = model();
+        let rates = WearRates { reads_per_s: 1e12, inferences_per_s: 1e4, power_mw: 400.0 };
+        let hour = m.project(&rates, 3600.0);
+        let year = m.project(&rates, 3.154e7);
+        assert!(year.drift_factor < hour.drift_factor);
+        assert!(year.stuck_fraction >= hour.stuck_fraction);
+        assert!(year.accuracy_margin < hour.accuracy_margin);
+        assert!(year.inferences > hour.inferences);
+        assert_eq!(hour.temperature_kelvin, year.temperature_kelvin, "steady state");
+    }
+
+    #[test]
+    fn time_to_first_degradation_orders_with_load() {
+        let m = model();
+        let light = WearRates { reads_per_s: 1e10, inferences_per_s: 1e3, power_mw: 100.0 };
+        let heavy = WearRates { reads_per_s: 1e13, inferences_per_s: 1e5, power_mw: 2000.0 };
+        let t_light = m.time_to_first_degradation_s(&light);
+        let t_heavy = m.time_to_first_degradation_s(&heavy);
+        // Drift alone eventually trips the margin/drift alarms, so both
+        // loads degrade; the heavy load can only degrade sooner.
+        let (tl, th) = (t_light.expect("drift degrades"), t_heavy.expect("drift degrades"));
+        assert!(th <= tl, "heavy {th} vs light {tl}");
+        assert!(tl > 0.0);
+    }
+
+    #[test]
+    fn idle_fleet_never_trips_thermal_alarm() {
+        let m = model();
+        let idle = WearRates { reads_per_s: 0.0, inferences_per_s: 0.0, power_mw: 0.0 };
+        // No reads ⇒ no stuck-cell crossing; ambient ⇒ no thermal
+        // crossing. Only retention drift remains.
+        let t = m.time_to_first_degradation_s(&idle).expect("drift still ages the tables");
+        assert!((t - m.config().retention.seconds_to_margin(0.9)).abs() < 1e-6 * t);
+    }
+
+    #[test]
+    fn round_robin_cycles_the_idle_set() {
+        let mut mon = HealthMonitor::new(HealthConfig::default(), 3, QFormat::new(5, 3).unwrap());
+        let idle: BTreeSet<usize> = [0, 1, 2].into_iter().collect();
+        let picks: Vec<usize> = (0..6).map(|_| mon.pick_instance(&idle)).collect();
+        assert_eq!(picks, [0, 1, 2, 0, 1, 2]);
+        // A hole in the idle set is skipped, wrapping correctly.
+        let partial: BTreeSet<usize> = [0, 2].into_iter().collect();
+        let picks: Vec<usize> = (0..4).map(|_| mon.pick_instance(&partial)).collect();
+        assert_eq!(picks, [0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn monitor_samples_on_grid_and_finalizes() {
+        let class = tiny();
+        let m = ServiceModel::new(ServiceModelConfig::default(), &[class]);
+        let mut mon = HealthMonitor::new(
+            HealthConfig { sample_interval_ns: 1000.0, ..HealthConfig::default() },
+            2,
+            QFormat::new(5, 3).unwrap(),
+        );
+        mon.on_dispatch(0, class, 2, &m.batch_cost(class, 2));
+        mon.maybe_sample(500.0); // before the grid: no sample
+        mon.maybe_sample(1500.0); // first grid point passed
+        mon.maybe_sample(1600.0); // same grid cell: no sample
+        mon.on_dispatch(1, class, 1, &m.batch_cost(class, 1));
+        mon.maybe_sample(2000.0); // exactly on the next grid point
+        let (report, samples) = mon.finalize(2500.0);
+        let times: Vec<f64> = samples.iter().map(|s| s.t_ns).collect();
+        assert_eq!(times, [1500.0, 2000.0, 2500.0]);
+        assert_eq!(report.instances.len(), 2);
+        assert_eq!(report.instances[0].ledger.invocations, 1);
+        assert_eq!(report.instances[1].ledger.invocations, 1);
+        // The busy instance heated above ambient, below steady state.
+        assert!(report.instances[0].peak_temperature_kelvin > 300.0);
+        assert!(!report.wear_leveling);
+    }
+
+    #[test]
+    fn skew_definition() {
+        assert_eq!(FleetHealthReport::skew_of(&[]), 0.0);
+        assert_eq!(FleetHealthReport::skew_of(&[5, 5, 5]), 0.0);
+        assert_eq!(FleetHealthReport::skew_of(&[0, 0]), 0.0);
+        // (30 − 10) / 20 = 1.0
+        assert_eq!(FleetHealthReport::skew_of(&[10, 30]), 1.0);
+    }
+
+    #[test]
+    fn alarms_fire_once_per_instance_and_kind() {
+        let cfg = HealthConfig {
+            // Alarm immediately: ambient is already past the threshold.
+            max_temperature_kelvin: 299.0,
+            sample_interval_ns: 100.0,
+            ..HealthConfig::default()
+        };
+        let mut mon = HealthMonitor::new(cfg, 1, QFormat::new(5, 3).unwrap());
+        mon.maybe_sample(100.0);
+        mon.maybe_sample(200.0);
+        mon.maybe_sample(300.0);
+        let (report, _) = mon.finalize(400.0);
+        let temp_alarms: Vec<&HealthAlarm> =
+            report.alarms.iter().filter(|a| a.kind == AlarmKind::Temperature).collect();
+        assert_eq!(temp_alarms.len(), 1, "first crossing only");
+        assert_eq!(temp_alarms[0].t_ns, 100.0);
+        assert_eq!(report.time_to_first_degradation_ns, Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_sample_interval_rejected() {
+        let cfg = HealthConfig { sample_interval_ns: 0.0, ..HealthConfig::default() };
+        let _ = HealthModel::new(cfg, QFormat::new(5, 3).unwrap());
+    }
+}

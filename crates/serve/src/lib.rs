@@ -19,6 +19,7 @@
 //! | [`sim`] | The single-threaded, seeded discrete-event loop |
 //! | [`slo`] | Exact latency quantiles, goodput, per-class breakdowns, burn-rate monitor |
 //! | [`trace`] | Per-request span trees, batch invocation spans, Perfetto export |
+//! | [`health`] | Wear ledgers, thermal/drift monitors, fleet degradation reporting |
 //! | [`sweep`] | Parameter sweeps fanned out over `star-exec` |
 //!
 //! # Determinism
@@ -48,6 +49,7 @@
 
 pub mod arrival;
 pub mod batch;
+pub mod health;
 pub mod model;
 pub mod request;
 pub mod sim;
@@ -57,9 +59,17 @@ pub mod trace;
 
 pub use arrival::{generate_open_loop, ArrivalProcess, WorkloadMix};
 pub use batch::BatchPolicy;
+pub use health::{
+    invocation_wear, AlarmKind, FleetHealthReport, FleetHealthSample, HealthAlarm, HealthConfig,
+    HealthModel, HealthMonitor, HealthProjection, InstanceHealthReport, InstanceHealthSample,
+    WearCounts, WearLedger, WearRates,
+};
 pub use model::{BatchCost, ClassService, InvocationPhases, ServiceModel, ServiceModelConfig};
 pub use request::{ModelKind, Request, RequestClass, RequestRecord};
-pub use sim::{simulate, simulate_traced, ServeConfig, SimOutcome};
+pub use sim::{
+    simulate, simulate_monitored, simulate_traced, simulate_traced_monitored, ServeConfig,
+    SimOutcome,
+};
 pub use slo::{
     BurnWindow, ClassSloReport, Exemplar, LatencyStats, ServeReport, SloAnalysis, SloPolicy,
 };

@@ -27,6 +27,7 @@
 
 use crate::arrival::{exp_sample, generate_open_loop, ArrivalProcess, WorkloadMix};
 use crate::batch::BatchPolicy;
+use crate::health::{FleetHealthReport, HealthConfig, HealthMonitor};
 use crate::model::{ServiceModel, ServiceModelConfig};
 use crate::request::{Request, RequestClass, RequestRecord};
 use crate::slo::{ClassSloReport, LatencyStats, ServeReport};
@@ -180,10 +181,13 @@ struct Sim<'a> {
     makespan_ns: f64,
     per_class: BTreeMap<RequestClass, ClassAccum>,
     trace: Option<ServeTrace>,
+    /// Device-health monitor (observation-only unless its wear-leveling
+    /// policy is enabled; consumes zero RNG draws either way).
+    health: Option<HealthMonitor>,
 }
 
 impl<'a> Sim<'a> {
-    fn new(cfg: &'a ServeConfig, traced: bool) -> Self {
+    fn new(cfg: &'a ServeConfig, traced: bool, health: Option<&HealthConfig>) -> Self {
         cfg.validate();
         let classes = cfg.mix.classes();
         let service = ServiceModel::new(cfg.service.clone(), &classes);
@@ -194,6 +198,8 @@ impl<'a> Sim<'a> {
             per_class.insert(class, ClassAccum::default());
         }
         let trace = traced.then(|| ServeTrace::new(cfg.fleet, cfg.deadline_ns));
+        let health =
+            health.map(|hc| HealthMonitor::new(hc.clone(), cfg.fleet, cfg.service.qformat()));
         Sim {
             cfg,
             service,
@@ -223,6 +229,7 @@ impl<'a> Sim<'a> {
             makespan_ns: 0.0,
             per_class,
             trace,
+            health,
         }
     }
 
@@ -433,7 +440,7 @@ impl<'a> Sim<'a> {
 
     /// Greedily matches idle instances with ready class queues.
     fn try_dispatch(&mut self, now: f64) {
-        while let Some(&instance) = self.idle.first() {
+        while !self.idle.is_empty() {
             // The ready class whose head has waited longest (ties broken
             // by request id, then by class order via the BTreeMap scan).
             let mut best: Option<(f64, u64, RequestClass)> = None;
@@ -469,6 +476,19 @@ impl<'a> Sim<'a> {
             }
             let size = members.len();
             let cost = self.service.batch_cost(class, size);
+            // Placement: the lowest idle index by default. With the
+            // health monitor's wear-leveling policy on, a deterministic
+            // round-robin cursor spreads invocations across the fleet
+            // instead (zero RNG draws either way — the placement choice
+            // is the *only* behavioural difference, and it exists only
+            // when the operator opts in).
+            let instance = match self.health.as_mut() {
+                Some(h) if h.wear_leveling() => h.pick_instance(&self.idle),
+                _ => *self.idle.first().expect("loop guard: idle set non-empty"),
+            };
+            if let Some(h) = self.health.as_mut() {
+                h.on_dispatch(instance, class, size, &cost);
+            }
             self.idle.remove(&instance);
             self.busy_ns[instance] += cost.latency_ns;
             self.energy_pj += cost.energy_pj;
@@ -555,6 +575,9 @@ impl<'a> Sim<'a> {
                 }
             }
             self.record_sample(event.time);
+            if let Some(h) = self.health.as_mut() {
+                h.maybe_sample(event.time);
+            }
         }
         debug_assert_eq!(self.queued_total, 0, "drain leaves no queued request");
         debug_assert_eq!(self.in_system, 0, "every admitted request completes or expires");
@@ -610,7 +633,15 @@ impl<'a> Sim<'a> {
             max_in_system: self.max_in_system,
             per_class,
         };
-        SimOutcome { report, records: self.records, trace: self.trace }
+        let mut trace = self.trace;
+        let health = self.health.map(|monitor| {
+            let (health_report, samples) = monitor.finalize(report.makespan_ns);
+            if let Some(t) = trace.as_mut() {
+                t.health = samples;
+            }
+            health_report
+        });
+        SimOutcome { report, records: self.records, trace, health }
     }
 }
 
@@ -624,6 +655,9 @@ pub struct SimOutcome {
     /// Span trees, batch invocations, and the system-state timeseries
     /// (present when requested; see [`crate::trace`]).
     pub trace: Option<ServeTrace>,
+    /// Fleet device-health report (present when the run was monitored;
+    /// see [`crate::health`]).
+    pub health: Option<FleetHealthReport>,
 }
 
 /// Runs the serving simulation and returns its report.
@@ -633,7 +667,7 @@ pub struct SimOutcome {
 /// Panics on invalid configuration (zero fleet, non-positive deadline,
 /// horizon, or queue bound; unknown classes).
 pub fn simulate(cfg: &ServeConfig) -> ServeReport {
-    Sim::new(cfg, false).run().report
+    Sim::new(cfg, false, None).run().report
 }
 
 /// Like [`simulate`], but also collects per-request records and the full
@@ -642,7 +676,26 @@ pub fn simulate(cfg: &ServeConfig) -> ServeReport {
 /// untraced run: tracing consumes no RNG draws and perturbs no event
 /// arithmetic.
 pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
-    Sim::new(cfg, true).run()
+    Sim::new(cfg, true, None).run()
+}
+
+/// Like [`simulate`], with the device-health monitor attached: wear
+/// ledgers accrue from every costed invocation and fleet health is
+/// sampled on the monitor's deterministic grid. With
+/// [`HealthConfig::wear_leveling`] off (the default) monitoring is
+/// **observation-only**: the returned [`ServeReport`] is bitwise
+/// identical to the unmonitored run (the monitor consumes no RNG draws
+/// and perturbs no event arithmetic — a test pins this).
+pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
+    Sim::new(cfg, false, Some(health)).run()
+}
+
+/// [`simulate_traced`] plus the device-health monitor: the trace also
+/// carries the fleet-health timeseries (rendered as per-instance
+/// temperature / accuracy-margin / wear counter tracks in the Perfetto
+/// export).
+pub fn simulate_traced_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
+    Sim::new(cfg, true, Some(health)).run()
 }
 
 #[cfg(test)]
@@ -797,5 +850,99 @@ mod tests {
         let mut cfg = ServeConfig::example();
         cfg.fleet = 0;
         let _ = simulate(&cfg);
+    }
+
+    #[test]
+    fn health_monitoring_is_observation_only() {
+        let cfg = ServeConfig::example();
+        let plain = simulate(&cfg);
+        let monitored = simulate_monitored(&cfg, &HealthConfig::default());
+        // The acceptance invariant: with wear-leveling off the monitor
+        // never perturbs the simulation — bitwise-equal reports.
+        assert_eq!(plain, monitored.report);
+        let health = monitored.health.expect("health requested");
+        assert_eq!(health.instances.len(), cfg.fleet);
+        assert!(!health.wear_leveling);
+
+        // Ledger accounting identities against the event loop's own
+        // counters: ledger invocations/requests == dispatched batches /
+        // completed requests, and busy time reconciles with the
+        // utilization vector.
+        let inv: u64 = health.instances.iter().map(|i| i.ledger.invocations).sum();
+        let req: u64 = health.instances.iter().map(|i| i.ledger.requests).sum();
+        assert_eq!(inv, plain.batches);
+        assert_eq!(req, plain.completed);
+        for (i, u) in plain.utilization.iter().enumerate() {
+            let ledger_busy = health.instances[i].ledger.busy_ns;
+            assert!(
+                (ledger_busy - u * plain.makespan_ns).abs() <= 1e-6 * ledger_busy.max(1.0),
+                "instance {i}"
+            );
+        }
+        let energy: f64 = health.instances.iter().map(|i| i.ledger.energy_pj).sum();
+        assert!((energy - plain.total_energy_pj).abs() <= 1e-9 * energy.max(1.0));
+
+        // The per-op accounting identity: ledger ops equal costed
+        // invocations × ops/invocation, summed over the trace's batches.
+        let traced = simulate_traced_monitored(&cfg, &HealthConfig::default());
+        let trace = traced.trace.expect("trace requested");
+        let health = traced.health.expect("health requested");
+        let mut expected = 0u64;
+        for b in &trace.batches {
+            expected += crate::health::invocation_wear(b.class, b.size).cam_searches;
+        }
+        let cam: u64 = health.instances.iter().map(|i| i.ledger.cam_searches).sum();
+        assert_eq!(cam, expected, "ledger writes == costed invocations x writes/invocation");
+        assert!(!trace.health.is_empty(), "trace carries the health timeseries");
+        assert_eq!(traced.report, plain, "traced + monitored still bitwise equal");
+    }
+
+    #[test]
+    fn monitored_runs_replay_bitwise() {
+        let cfg = ServeConfig::example();
+        let hc = HealthConfig::default();
+        let a = simulate_monitored(&cfg, &hc);
+        let b = simulate_monitored(&cfg, &hc);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.health, b.health);
+    }
+
+    #[test]
+    fn wear_leveling_reduces_ledger_skew() {
+        // Light load on a wide fleet: lowest-index placement starves the
+        // high instances, round-robin spreads the work.
+        let mut cfg = ServeConfig::example();
+        cfg.fleet = 4;
+        cfg.arrival = ArrivalProcess::poisson(5_000.0);
+        let off = simulate_monitored(&cfg, &HealthConfig::default());
+        let on_cfg = HealthConfig { wear_leveling: true, ..HealthConfig::default() };
+        let on = simulate_monitored(&cfg, &on_cfg);
+        let (off_h, on_h) = (off.health.expect("health"), on.health.expect("health"));
+        assert!(off_h.wear_skew > on_h.wear_skew, "{} vs {}", off_h.wear_skew, on_h.wear_skew);
+        assert!(on_h.wear_leveling);
+        // Placement changes *which* instance runs a batch, never the
+        // batching or timing decisions: identical totals and latency.
+        let rows = |h: &crate::health::FleetHealthReport| -> u64 {
+            h.instances.iter().map(|i| i.ledger.rows).sum()
+        };
+        assert_eq!(rows(&off_h), rows(&on_h));
+        assert_eq!(off.report.completed, on.report.completed);
+        assert_eq!(off.report.latency, on.report.latency);
+        assert_eq!(off.report.goodput_rps, on.report.goodput_rps);
+    }
+
+    #[test]
+    fn monitored_telemetry_publishes_health_gauges() {
+        let cfg = ServeConfig::example();
+        let (outcome, snap) =
+            star_telemetry::with_scoped(|| simulate_monitored(&cfg, &HealthConfig::default()));
+        let health = outcome.health.expect("health");
+        for i in 0..cfg.fleet {
+            let reads = snap.gauges[&format!("serve.health.i{i}.reads")];
+            assert_eq!(reads, health.instances[i].ledger.reads() as f64);
+            assert!(snap.gauges.contains_key(&format!("serve.health.i{i}.temperature_k")));
+            assert!(snap.gauges.contains_key(&format!("serve.health.i{i}.accuracy_margin")));
+        }
+        assert_eq!(snap.gauges["serve.health.wear_skew"], health.wear_skew);
     }
 }

@@ -33,13 +33,16 @@
 //!
 //! [`ServeTrace::to_chrome`] lowers the trace onto three process lanes:
 //! pid 0 `"system"` carries the queue-depth and busy-instance counter
-//! tracks, pid 1 `"requests"` carries one thread lane per request id,
+//! tracks (plus per-instance device-health counter tracks — temperature,
+//! accuracy margin, wear reads — when the run was health-monitored),
+//! pid 1 `"requests"` carries one thread lane per request id,
 //! and pids `100 + i` carry the per-instance batch invocation spans.
 //! [`ServeTrace::to_object_json`] wraps those events in Chrome's object
 //! form and embeds the machine-readable trace itself under
 //! [`TRACE_SIDECAR_KEY`] — Perfetto ignores unknown top-level keys, so
 //! one file serves both the UI and `star_cli trace-analyze`.
 
+use crate::health::FleetHealthSample;
 use crate::model::InvocationPhases;
 use crate::request::RequestClass;
 use serde::{Deserialize, Serialize};
@@ -155,6 +158,12 @@ pub struct ServeTrace {
     /// Queue-depth / busy-instance timeseries (one sample per distinct
     /// event time, post-event state).
     pub samples: Vec<SystemSample>,
+    /// Device-health timeseries (empty unless the run was health-
+    /// monitored; see [`crate::health::HealthMonitor`]). Sampled on the
+    /// monitor's deterministic grid, rendered as per-instance
+    /// temperature / accuracy-margin / wear counter tracks in the
+    /// Perfetto export.
+    pub health: Vec<FleetHealthSample>,
 }
 
 /// Builds an `"invocation"` span covering `[start_ns, start_ns + dur_ns)`
@@ -190,6 +199,7 @@ impl ServeTrace {
             requests: Vec::new(),
             batches: Vec::new(),
             samples: Vec::new(),
+            health: Vec::new(),
         }
     }
 
@@ -245,6 +255,18 @@ impl ServeTrace {
         for s in &self.samples {
             t.counter_ns("queue depth", s.t_ns, 0, vec![("queued".to_string(), s.queued as f64)]);
             t.counter_ns("busy instances", s.t_ns, 0, vec![("busy".to_string(), s.busy as f64)]);
+        }
+        for h in &self.health {
+            let series = |f: fn(&crate::health::InstanceHealthSample) -> f64| {
+                h.instances
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (format!("i{i}"), f(s)))
+                    .collect::<Vec<_>>()
+            };
+            t.counter_ns("health: temperature K", h.t_ns, 0, series(|s| s.temperature_kelvin));
+            t.counter_ns("health: accuracy margin", h.t_ns, 0, series(|s| s.accuracy_margin));
+            t.counter_ns("health: wear reads", h.t_ns, 0, series(|s| s.reads as f64));
         }
         t
     }

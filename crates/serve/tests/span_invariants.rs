@@ -3,8 +3,9 @@
 //! byte-determinism of the serialized trace.
 
 use star_serve::{
-    simulate, simulate_traced, ArrivalProcess, BatchPolicy, ModelKind, RequestClass,
-    RequestOutcome, ServeConfig, ServiceModelConfig, SloAnalysis, SloPolicy, WorkloadMix,
+    simulate, simulate_traced, simulate_traced_monitored, ArrivalProcess, BatchPolicy,
+    HealthConfig, ModelKind, RequestClass, RequestOutcome, ServeConfig, ServeTrace,
+    ServiceModelConfig, SloAnalysis, SloPolicy, WorkloadMix,
 };
 use star_telemetry::SPAN_EPS_NS;
 
@@ -133,6 +134,48 @@ fn slo_analysis_agrees_with_report() {
     }
     let slowest = r.latency.max_ms;
     assert!((a.exemplars[0].latency_ms - slowest).abs() < 1e-9);
+}
+
+#[test]
+fn health_trace_round_trips_byte_identical() {
+    // With the health monitor enabled, the serialized trace (now
+    // carrying the fleet-health timeseries) must parse back and re-emit
+    // to the *same bytes* — the invariant the CI legs additionally diff
+    // across STAR_EXEC_THREADS={1,8} processes.
+    let cfg = stress_config();
+    let outcome = simulate_traced_monitored(&cfg, &HealthConfig::default());
+    let trace = outcome.trace.expect("trace requested");
+    assert!(!trace.health.is_empty(), "monitored run samples fleet health");
+    for h in &trace.health {
+        assert_eq!(h.instances.len(), cfg.fleet);
+    }
+    // Health samples are grid-ordered and strictly increasing in time.
+    for pair in trace.health.windows(2) {
+        assert!(pair[0].t_ns < pair[1].t_ns);
+    }
+    let obj = trace.to_object_json();
+    let bytes = serde_json::to_string(&obj).expect("serialize");
+    let back = ServeTrace::from_object_json(&obj).expect("parse");
+    assert_eq!(back, trace, "parse is lossless");
+    let re_emitted = serde_json::to_string(&back.to_object_json()).expect("serialize");
+    assert_eq!(bytes, re_emitted, "emit ∘ parse ∘ emit is byte-identical");
+    // Monitoring never perturbed the traced simulation either.
+    assert_eq!(outcome.report, simulate(&cfg), "monitored trace run bitwise equals plain run");
+    // Same-seed monitored traces are byte-stable across reruns.
+    let again = simulate_traced_monitored(&cfg, &HealthConfig::default());
+    let again_bytes =
+        serde_json::to_string(&again.trace.expect("trace").to_object_json()).expect("serialize");
+    assert_eq!(bytes, again_bytes);
+}
+
+#[test]
+fn health_report_consistent_between_traced_and_untraced() {
+    let cfg = stress_config();
+    let hc = HealthConfig::default();
+    let untraced = star_serve::simulate_monitored(&cfg, &hc);
+    let traced = simulate_traced_monitored(&cfg, &hc);
+    assert_eq!(untraced.report, traced.report);
+    assert_eq!(untraced.health, traced.health, "health report independent of tracing");
 }
 
 #[test]

@@ -50,6 +50,14 @@ COMMANDS:
                                    time-to-first-violation, per-class
                                    goodput/p99, and the k slowest requests
                                    with their span decomposition (default 5)
+    health [rate] [fleet] [batch] [window_us] [--level]
+                                   run the serve simulation with the device
+                                   health monitor: per-instance wear ledgers,
+                                   temperature/drift/accuracy-margin gauges,
+                                   wear skew, alarms, and the sustained-load
+                                   projection (time to first degradation,
+                                   lifetime inferences). --level enables
+                                   round-robin wear-leveling placement
     help                           this message
 
 Paper formats: CNEWS = q5.2 (8 bits), MRPC = q5.3 (9 bits), CoLA = q4.2 (7 bits).";
@@ -66,6 +74,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "trace-analyze" => cmd_trace_analyze(&args[1..]),
+        "health" => cmd_health(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -364,6 +373,125 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    use star::serve::{
+        simulate_monitored, ArrivalProcess, BatchPolicy, HealthConfig, HealthModel, ModelKind,
+        RequestClass, ServeConfig, ServiceModelConfig, WearRates, WorkloadMix,
+    };
+    let mut wear_leveling = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if a == "--level" {
+            wear_leveling = true;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let rate: f64 = parse_positive(positional.first().copied(), 16_000.0, "arrival rate (rps)")?;
+    if !rate.is_finite() {
+        return Err("arrival rate must be finite".into());
+    }
+    let fleet: usize = parse_positive(positional.get(1).copied(), 2, "fleet size")?;
+    let batch: usize = parse_positive(positional.get(2).copied(), 8, "batch size")?;
+    let window_us: f64 = match positional.get(3) {
+        Some(a) => a.parse().map_err(|_| format!("`{a}` is not a window in us"))?,
+        None => 50.0,
+    };
+    if !(window_us.is_finite() && window_us >= 0.0) {
+        return Err("window must be finite and non-negative".into());
+    }
+
+    let class = RequestClass::new(ModelKind::BertBase, 128);
+    let cfg = ServeConfig {
+        fleet,
+        policy: BatchPolicy::new(batch, window_us * 1e3),
+        arrival: ArrivalProcess::poisson(rate),
+        mix: WorkloadMix::single(class),
+        horizon_ns: 1e8,
+        seed: 2023,
+        max_queue: 256,
+        deadline_ns: 2e6,
+        service: ServiceModelConfig::default(),
+    };
+    let health_cfg = HealthConfig { wear_leveling, ..HealthConfig::default() };
+    let outcome = simulate_monitored(&cfg, &health_cfg);
+    let r = &outcome.report;
+    let health = outcome.health.as_ref().expect("monitored run reports fleet health");
+
+    println!(
+        "fleet health: {class} at {rate:.0} rps on {fleet} instance(s), policy {}, \
+         wear leveling {}:",
+        cfg.policy,
+        if wear_leveling { "on" } else { "off" }
+    );
+    println!(
+        "  completed {}/{}   goodput {:.0} rps   p99 {:.3} ms   window {:.1} ms",
+        r.completed,
+        r.arrivals,
+        r.goodput_rps,
+        r.latency.p99_ms,
+        r.makespan_ns / 1e6
+    );
+    println!(
+        "  {:>4} {:>12} {:>14} {:>14} {:>9} {:>9} {:>12} {:>9}",
+        "inst", "rows", "reads", "eff writes", "temp K", "peak K", "stuck frac", "margin"
+    );
+    for i in &health.instances {
+        println!(
+            "  {:>4} {:>12} {:>14} {:>14.4} {:>9.2} {:>9.2} {:>12.3e} {:>9.4}",
+            i.instance,
+            i.ledger.rows,
+            i.ledger.reads(),
+            i.ledger.effective_writes(health_cfg.read_disturb_per_read),
+            i.health.temperature_kelvin,
+            i.peak_temperature_kelvin,
+            i.health.stuck_fraction,
+            i.health.accuracy_margin,
+        );
+    }
+    println!("  wear skew {:.4} (max-min over mean of per-instance rows)", health.wear_skew);
+    if health.alarms.is_empty() {
+        println!("  alarms: none inside the simulated window");
+    } else {
+        for a in &health.alarms {
+            println!(
+                "  alarm: instance {} {} at {:.3} ms (value {:.4}, threshold {:.4})",
+                a.instance,
+                a.kind.as_str(),
+                a.t_ns / 1e6,
+                a.value,
+                a.threshold
+            );
+        }
+    }
+
+    // Sustained-load projection from the hottest instance's wear rates.
+    let hottest =
+        health.instances.iter().max_by_key(|i| i.ledger.rows).expect("fleet is non-empty");
+    let rates = WearRates::from_ledger(&hottest.ledger, r.makespan_ns);
+    let model = HealthModel::new(health_cfg.clone(), cfg.service.qformat());
+    println!(
+        "  sustained (instance {}): {:.3e} reads/s, {:.0} inferences/s, {:.0} mW \
+         -> steady {:.2} K",
+        hottest.instance,
+        rates.reads_per_s,
+        rates.inferences_per_s,
+        rates.power_mw,
+        model.steady_temperature(rates.power_mw)
+    );
+    match model.time_to_first_degradation_s(&rates) {
+        Some(t) => println!(
+            "  first degradation after {:.1} days  ({:.3e} inferences served)",
+            t / 8.64e4,
+            t * rates.inferences_per_s
+        ),
+        None => println!("  no degradation threshold is ever crossed at this load"),
+    }
+    Ok(())
+}
+
 /// Renders an [`star::serve::SloAnalysis`] as the burn-rate / per-class /
 /// exemplar table block shared by `serve --trace` and `trace-analyze`.
 fn print_slo_analysis(a: &star::serve::SloAnalysis) {
@@ -521,6 +649,24 @@ mod tests {
         assert!(cmd_serve(&["inf".into()]).is_err());
         assert!(cmd_serve(&["--trace=".into()]).is_err());
         assert!(cmd_serve(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn health_command_runs() {
+        cmd_health(&[]).expect("health defaults");
+        cmd_health(&["4000".into(), "2".into(), "8".into(), "50".into()]).expect("health explicit");
+        cmd_health(&["4000".into(), "2".into(), "--level".into()]).expect("health leveled");
+    }
+
+    #[test]
+    fn health_command_rejects_bad_arguments() {
+        assert!(cmd_health(&["abc".into()]).is_err());
+        assert!(cmd_health(&["0".into()]).is_err());
+        assert!(cmd_health(&["8000".into(), "0".into()]).is_err());
+        assert!(cmd_health(&["8000".into(), "1".into(), "0".into()]).is_err());
+        assert!(cmd_health(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
+        assert!(cmd_health(&["--bogus".into()]).is_err());
+        assert!(cmd_health(&["inf".into()]).is_err());
     }
 
     #[test]

@@ -428,3 +428,61 @@ pub fn a8_serving_result() -> serde_json::Value {
         },
     })
 }
+
+/// The fixed operating point pinned by the `profile_work` golden: the A8
+/// base configuration at the moderate batched point (16 krps offered to
+/// the 2-instance BERT-base fleet, batch-8 / 50 µs window).
+///
+/// One point is enough for the golden — the work counters are a pure
+/// function of the configuration, so any silent change to event-loop
+/// behaviour (an extra heap push, a changed dispatch order, a new
+/// telemetry call) shows up as a byte diff here.
+pub fn profile_fixture_config() -> star_serve::ServeConfig {
+    use star_serve::{ArrivalProcess, BatchPolicy};
+    let (base, _) = a8_serving_cases();
+    star_serve::ServeConfig {
+        policy: BatchPolicy::new(8, 50_000.0),
+        arrival: ArrivalProcess::poisson(16_000.0),
+        ..base
+    }
+}
+
+/// The machine-readable `profile_work` result: the deterministic half of
+/// the self-profile ([`star_serve::WorkCounters`] + histograms) for the
+/// fixed configuration from [`profile_fixture_config`], alongside the
+/// report totals the counters must reconcile with.
+///
+/// Wall-clock phase numbers are deliberately **absent** — they never
+/// reproduce across machines, so only the work track is golden-pinnable.
+///
+/// # Panics
+///
+/// Panics if the profiled run returns no profile (a programming error).
+pub fn profile_work_result() -> serde_json::Value {
+    let cfg = profile_fixture_config();
+    let outcome = star_serve::simulate_profiled(&cfg);
+    let profile = outcome.profile.expect("profiled run carries a profile");
+    let r = &outcome.report;
+    serde_json::json!({
+        "experiment": "profile_work",
+        "config": {
+            "class": cfg.mix.classes()[0].to_string(),
+            "rate_rps": 16_000.0,
+            "fleet": cfg.fleet,
+            "policy": cfg.policy.to_string(),
+            "horizon_ns": cfg.horizon_ns,
+            "seed": cfg.seed,
+            "max_queue": cfg.max_queue,
+            "deadline_ns": cfg.deadline_ns,
+        },
+        "report": {
+            "arrivals": r.arrivals,
+            "completed": r.completed,
+            "batches": r.batches,
+            "rejected": r.rejected,
+            "expired": r.expired,
+        },
+        "work": profile.work_json(),
+        "events_per_request": profile.work.events_per_request(),
+    })
+}

@@ -11,11 +11,16 @@ use serde::Serialize;
 use std::path::{Path, PathBuf};
 
 pub mod experiments;
+pub mod trajectory;
 
 pub use experiments::{
     a8_serving_cases, a8_serving_result, a9_device_health_cases, a9_device_health_result,
-    e2_table1_result, e3_fig3_result, fig3_reports, finalize_experiment, table1_engines,
-    A9_HORIZONS,
+    e2_table1_result, e3_fig3_result, fig3_reports, finalize_experiment, profile_fixture_config,
+    profile_work_result, table1_engines, A9_HORIZONS,
+};
+pub use trajectory::{
+    matrix_config, matrix_points, trajectory_file_path, TrajectoryEntry, TrajectoryFile,
+    BENCH_FILE, MATRIX_FLEETS, MATRIX_RATES, WORK_BUDGET_TOLERANCE_PCT,
 };
 
 /// Directory experiment results are written to: `$STAR_RESULTS_DIR` or

@@ -113,6 +113,35 @@ fn a9_device_health_matches_golden() {
 }
 
 #[test]
+fn profile_work_matches_golden() {
+    // The self-profiler's deterministic work counters for the fixed A8
+    // operating point. Any silent change to event-loop behaviour — an
+    // extra heap push, a reordered dispatch, a new telemetry call —
+    // shows up as a byte diff here. Regenerate deliberately with
+    // `bench_trajectory golden` and copy from `results/`.
+    assert_matches_golden("profile_work", &star_bench::profile_work_result());
+}
+
+#[test]
+fn profile_work_golden_reconciles_with_itself() {
+    // The fixture must satisfy the same accounting identities the serve
+    // crate's property tests enforce — a regenerated fixture that broke
+    // conservation would be accepted byte-for-byte otherwise.
+    let p = fixture("profile_work");
+    assert_eq!(number_at(&p, "work/events_arrive"), number_at(&p, "report/arrivals"));
+    assert_eq!(number_at(&p, "work/batches_formed"), number_at(&p, "report/batches"));
+    assert_eq!(number_at(&p, "work/batch_members"), number_at(&p, "report/completed"));
+    assert_eq!(number_at(&p, "work/heap_pushes"), number_at(&p, "work/heap_pops"));
+    assert_eq!(
+        number_at(&p, "work/events_total"),
+        number_at(&p, "work/events_arrive")
+            + number_at(&p, "work/events_window_expire")
+            + number_at(&p, "work/events_instance_free")
+    );
+    assert!(number_at(&p, "events_per_request") > 0.0);
+}
+
+#[test]
 fn a9_golden_reports_lifetime_at_three_loads() {
     // The fixture must encode the experiment's claim: at least three
     // sustained load points, each with a finite time-to-first-degradation

@@ -9,16 +9,20 @@
 //!   spans per batch, system-state samples per event.
 //! - `health` — `simulate_monitored`: per-instance wear ledgers plus
 //!   grid-sampled thermal/drift/margin gauges (no span trees).
+//! - `profiled` — `simulate_profiled`: the self-profiler's work counters
+//!   and wall-clock phase timers (the observer observing itself).
 //!
 //! The measured traced/untraced ratio is recorded in DESIGN.md
 //! ("Observability") — re-run with `STAR_BENCH_BUDGET_MS=2000` for
 //! steadier numbers before updating it. CI parses this bench's stdout
-//! into `BENCH_serve.json`.
+//! for sanity ratios; the tracked trajectory at the repo root is
+//! maintained by `bench_trajectory` (star-bench), whose matrix extends
+//! this config with an 8-instance fleet.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use star_serve::{
-    simulate, simulate_monitored, simulate_traced, ArrivalProcess, BatchPolicy, HealthConfig,
-    ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
+    simulate, simulate_monitored, simulate_profiled, simulate_traced, ArrivalProcess, BatchPolicy,
+    HealthConfig, ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
 };
 
 /// A Tiny-class workload sized so one simulation handles a few thousand
@@ -46,6 +50,7 @@ fn bench_event_loop(c: &mut Criterion) {
         let plain = simulate(&cfg);
         assert_eq!(plain, simulate_traced(&cfg).report);
         assert_eq!(plain, simulate_monitored(&cfg, &health_cfg).report);
+        assert_eq!(plain, simulate_profiled(&cfg).report);
         assert!(plain.arrivals > 0);
         group.bench_with_input(BenchmarkId::new("untraced", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate(cfg))
@@ -55,6 +60,9 @@ fn bench_event_loop(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("health", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate_monitored(cfg, &health_cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("profiled", rate as u64), &cfg, |b, cfg| {
+            b.iter(|| simulate_profiled(cfg))
         });
     }
     group.finish();

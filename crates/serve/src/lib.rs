@@ -20,6 +20,7 @@
 //! | [`slo`] | Exact latency quantiles, goodput, per-class breakdowns, burn-rate monitor |
 //! | [`trace`] | Per-request span trees, batch invocation spans, Perfetto export |
 //! | [`health`] | Wear ledgers, thermal/drift monitors, fleet degradation reporting |
+//! | [`profile`] | Simulator self-profiling: deterministic work counters, wall-clock phases |
 //! | [`sweep`] | Parameter sweeps fanned out over `star-exec` |
 //!
 //! # Determinism
@@ -51,6 +52,7 @@ pub mod arrival;
 pub mod batch;
 pub mod health;
 pub mod model;
+pub mod profile;
 pub mod request;
 pub mod sim;
 pub mod slo;
@@ -65,10 +67,11 @@ pub use health::{
     WearCounts, WearLedger, WearRates,
 };
 pub use model::{BatchCost, ClassService, InvocationPhases, ServiceModel, ServiceModelConfig};
+pub use profile::{Pow2Hist, SimProfile, WorkCounters, HIST_BUCKETS, PROFILE_SIDECAR_KEY};
 pub use request::{ModelKind, Request, RequestClass, RequestRecord};
 pub use sim::{
-    simulate, simulate_monitored, simulate_traced, simulate_traced_monitored, ServeConfig,
-    SimOutcome,
+    simulate, simulate_monitored, simulate_profiled, simulate_profiled_with, simulate_traced,
+    simulate_traced_monitored, ServeConfig, SimOutcome,
 };
 pub use slo::{
     BurnWindow, ClassSloReport, Exemplar, LatencyStats, ServeReport, SloAnalysis, SloPolicy,

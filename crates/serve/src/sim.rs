@@ -29,6 +29,7 @@ use crate::arrival::{exp_sample, generate_open_loop, ArrivalProcess, WorkloadMix
 use crate::batch::BatchPolicy;
 use crate::health::{FleetHealthReport, HealthConfig, HealthMonitor};
 use crate::model::{ServiceModel, ServiceModelConfig};
+use crate::profile::{phase, SimProfile};
 use crate::request::{Request, RequestClass, RequestRecord};
 use crate::slo::{ClassSloReport, LatencyStats, ServeReport};
 use crate::trace::{
@@ -40,6 +41,7 @@ use serde::{Deserialize, Serialize};
 use star_telemetry::Span;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::time::Instant;
 
 /// Complete description of one serving experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -184,10 +186,21 @@ struct Sim<'a> {
     /// Device-health monitor (observation-only unless its wear-leveling
     /// policy is enabled; consumes zero RNG draws either way).
     health: Option<HealthMonitor>,
+    /// Self-profile: deterministic work counters + wall-clock phase
+    /// attribution. Like tracing and health, profiling consumes zero RNG
+    /// draws and perturbs no event arithmetic — reports stay bitwise
+    /// identical (boxed: only the hot loop's `is_some` check stays in
+    /// the state's cache footprint).
+    profile: Option<Box<SimProfile>>,
 }
 
 impl<'a> Sim<'a> {
-    fn new(cfg: &'a ServeConfig, traced: bool, health: Option<&HealthConfig>) -> Self {
+    fn new(
+        cfg: &'a ServeConfig,
+        traced: bool,
+        health: Option<&HealthConfig>,
+        profiled: bool,
+    ) -> Self {
         cfg.validate();
         let classes = cfg.mix.classes();
         let service = ServiceModel::new(cfg.service.clone(), &classes);
@@ -230,7 +243,71 @@ impl<'a> Sim<'a> {
             per_class,
             trace,
             health,
+            profile: profiled.then(|| Box::new(SimProfile::new())),
         }
+    }
+
+    /// Starts a wall-clock interval iff profiling is on. Pair with
+    /// [`Sim::tock`]; when profiling is off this is one branch and no
+    /// clock read.
+    #[inline]
+    fn tick(&self) -> Option<Instant> {
+        self.profile.is_some().then(Instant::now)
+    }
+
+    /// [`Sim::tick`] gated on a second condition (e.g. "only time the
+    /// trace-emit block when a trace is actually attached"), so optional
+    /// subsystems that are off don't pollute phase call counts.
+    #[inline]
+    fn tick_if(&self, active: bool) -> Option<Instant> {
+        if active {
+            self.tick()
+        } else {
+            None
+        }
+    }
+
+    /// Ends a wall-clock interval started by [`Sim::tick`], attributing
+    /// it to `phase_idx`.
+    #[inline]
+    fn tock(&mut self, phase_idx: usize, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.wall.record(phase_idx, t0.elapsed());
+            }
+        }
+    }
+
+    // Telemetry facade wrappers: identical registry effects to calling
+    // `star_telemetry` directly, plus one deterministic op-count bump
+    // when profiling — so the profile can report how much telemetry
+    // traffic the event loop generates per run.
+    fn tel_count(&mut self, name: &str, n: u64) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.work.telemetry_ops += 1;
+        }
+        star_telemetry::count(name, n);
+    }
+
+    fn tel_add(&mut self, name: &str, v: f64) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.work.telemetry_ops += 1;
+        }
+        star_telemetry::add(name, v);
+    }
+
+    fn tel_observe(&mut self, name: &str, v: f64) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.work.telemetry_ops += 1;
+        }
+        star_telemetry::observe(name, v);
+    }
+
+    fn tel_observe_with(&mut self, name: &str, v: f64, bounds: &[f64]) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.work.telemetry_ops += 1;
+        }
+        star_telemetry::observe_with(name, v, bounds);
     }
 
     /// Samples post-event system state onto the trace timeseries (one
@@ -255,6 +332,10 @@ impl<'a> Sim<'a> {
         let seq = self.event_seq;
         self.event_seq += 1;
         self.heap.push(Reverse(Event { time, seq, kind }));
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.work.heap_pushes += 1;
+            p.work.heap_peak = p.work.heap_peak.max(self.heap.len() as u64);
+        }
     }
 
     /// Seeds the heap with the entire open-loop trace, or the first
@@ -311,11 +392,12 @@ impl<'a> Sim<'a> {
     fn on_arrive(&mut self, now: f64, req: Request) {
         self.arrivals += 1;
         self.per_class.get_mut(&req.class).expect("mix classes pre-registered").arrivals += 1;
-        star_telemetry::count("serve.requests.arrived", 1);
+        self.tel_count("serve.requests.arrived", 1);
         if self.queued_total >= self.cfg.max_queue {
             self.rejected += 1;
             self.per_class.get_mut(&req.class).expect("class registered").rejected += 1;
-            star_telemetry::count("serve.requests.rejected", 1);
+            self.tel_count("serve.requests.rejected", 1);
+            let tt = self.tick_if(self.trace.is_some());
             if let Some(t) = self.trace.as_mut() {
                 // A rejected request's whole lifecycle is one instant.
                 t.requests.push(RequestTrace {
@@ -327,10 +409,11 @@ impl<'a> Sim<'a> {
                     span: Span::leaf(format!("req{} {}", req.id, req.class), "request", now, 0.0),
                 });
             }
+            self.tock(phase::TRACE_EMIT, tt);
             self.client_think_and_reissue(req.client, now);
             return;
         }
-        star_telemetry::count("serve.requests.admitted", 1);
+        self.tel_count("serve.requests.admitted", 1);
         self.in_system += 1;
         self.max_in_system = self.max_in_system.max(self.in_system);
         self.queued_total += 1;
@@ -356,6 +439,7 @@ impl<'a> Sim<'a> {
         // `"invocation"` sub-tree. Tracing consumes no RNG draws and
         // changes no event arithmetic — the traced and untraced runs
         // stay bitwise identical.
+        let tt = self.tick_if(self.trace.is_some());
         let phases =
             self.trace.is_some().then(|| self.service.invocation_phases(batch.class, size));
         if let (Some(t), Some(p)) = (self.trace.as_mut(), phases.as_ref()) {
@@ -371,6 +455,7 @@ impl<'a> Sim<'a> {
                 ),
             });
         }
+        self.tock(phase::TRACE_EMIT, tt);
         for req in batch.members {
             let latency = now - req.arrive_ns;
             let queue_ns = batch.dispatch_ns - req.arrive_ns;
@@ -386,18 +471,16 @@ impl<'a> Sim<'a> {
             } else {
                 self.late += 1;
                 acc.late += 1;
-                star_telemetry::count("serve.requests.late", 1);
+                self.tel_count("serve.requests.late", 1);
             }
-            star_telemetry::count("serve.requests.completed", 1);
-            star_telemetry::observe("serve.latency_us", latency / 1e3);
-            star_telemetry::observe("serve.queue_us", queue_ns / 1e3);
+            self.tel_count("serve.requests.completed", 1);
+            self.tel_observe("serve.latency_us", latency / 1e3);
+            self.tel_observe("serve.queue_us", queue_ns / 1e3);
             // Per-class span-duration histograms: the dashboard view of
             // the per-request span tree's two lifecycle children.
-            star_telemetry::observe(
-                &format!("serve.class.{}.latency_us", req.class),
-                latency / 1e3,
-            );
-            star_telemetry::observe(&format!("serve.class.{}.queue_us", req.class), queue_ns / 1e3);
+            self.tel_observe(&format!("serve.class.{}.latency_us", req.class), latency / 1e3);
+            self.tel_observe(&format!("serve.class.{}.queue_us", req.class), queue_ns / 1e3);
+            let tt = self.tick_if(self.trace.is_some());
             if let (Some(t), Some(p)) = (self.trace.as_mut(), phases.as_ref()) {
                 let span = Span::leaf(
                     format!("req{} {}", req.id, req.class),
@@ -421,6 +504,7 @@ impl<'a> Sim<'a> {
                     span,
                 });
             }
+            self.tock(phase::TRACE_EMIT, tt);
             self.latencies_ns.push(latency);
             self.queue_delays_ns.push(queue_ns);
             self.records.push(RequestRecord {
@@ -440,7 +524,19 @@ impl<'a> Sim<'a> {
 
     /// Greedily matches idle instances with ready class queues.
     fn try_dispatch(&mut self, now: f64) {
+        let td = self.tick();
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.work.dispatch_rounds += 1;
+        }
+        self.dispatch_loop(now);
+        self.tock(phase::DISPATCH, td);
+    }
+
+    fn dispatch_loop(&mut self, now: f64) {
         while !self.idle.is_empty() {
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.work.dispatch_scans += 1;
+            }
             // The ready class whose head has waited longest (ties broken
             // by request id, then by class order via the BTreeMap scan).
             let mut best: Option<(f64, u64, RequestClass)> = None;
@@ -475,7 +571,9 @@ impl<'a> Sim<'a> {
                 continue; // everything at the head had expired
             }
             let size = members.len();
+            let tc = self.tick();
             let cost = self.service.batch_cost(class, size);
+            self.tock(phase::BATCH_COST, tc);
             // Placement: the lowest idle index by default. With the
             // health monitor's wear-leveling policy on, a deterministic
             // round-robin cursor spreads invocations across the fleet
@@ -486,21 +584,27 @@ impl<'a> Sim<'a> {
                 Some(h) if h.wear_leveling() => h.pick_instance(&self.idle),
                 _ => *self.idle.first().expect("loop guard: idle set non-empty"),
             };
+            let th = self.tick_if(self.health.is_some());
             if let Some(h) = self.health.as_mut() {
                 h.on_dispatch(instance, class, size, &cost);
             }
+            self.tock(phase::HEALTH_DISPATCH, th);
             self.idle.remove(&instance);
             self.busy_ns[instance] += cost.latency_ns;
             self.energy_pj += cost.energy_pj;
             self.batches += 1;
             self.batched_requests += size as u64;
-            star_telemetry::count("serve.batches.dispatched", 1);
-            star_telemetry::observe_with(
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.work.batches_formed += 1;
+                p.work.batch_members += size as u64;
+            }
+            self.tel_count("serve.batches.dispatched", 1);
+            self.tel_observe_with(
                 "serve.batch.size",
                 size as f64,
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
             );
-            star_telemetry::add("serve.energy.total_pj", cost.energy_pj);
+            self.tel_add("serve.energy.total_pj", cost.energy_pj);
             let finish = now + cost.latency_ns;
             self.push_event(
                 finish,
@@ -526,15 +630,23 @@ impl<'a> Sim<'a> {
                     self.queued_total -= 1;
                     self.in_system -= 1;
                     self.expired += 1;
-                    star_telemetry::count("serve.requests.expired", 1);
                     continue;
                 }
                 members.push(q.pop_front().expect("head exists"));
                 self.queued_total -= 1;
             }
         }
+        if !dead.is_empty() {
+            // One facade call for the whole sweep: `count(name, n)` folds
+            // identically to n unit counts in every registry snapshot.
+            self.tel_count("serve.requests.expired", dead.len() as u64);
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.work.expired_drops += dead.len() as u64;
+            }
+        }
         for req in dead {
             self.per_class.get_mut(&req.class).expect("class registered").expired += 1;
+            let tt = self.tick_if(self.trace.is_some());
             if let Some(t) = self.trace.as_mut() {
                 // The whole (futile) lifetime was spent queued.
                 let wait = now - req.arrive_ns;
@@ -558,29 +670,57 @@ impl<'a> Sim<'a> {
                     )),
                 });
             }
+            self.tock(phase::TRACE_EMIT, tt);
             self.client_think_and_reissue(req.client, now);
         }
         members
     }
 
     fn run(mut self) -> SimOutcome {
+        let run_start = self.tick();
         self.seed_arrivals();
         while let Some(Reverse(event)) = self.heap.pop() {
             self.makespan_ns = self.makespan_ns.max(event.time);
-            match event.kind {
-                EventKind::Arrive(req) => self.on_arrive(event.time, req),
-                EventKind::WindowExpire(class) => self.on_window_expire(event.time, class),
-                EventKind::InstanceFree { instance, batch } => {
-                    self.on_instance_free(event.time, instance, batch)
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.work.events_total += 1;
+                p.work.heap_pops += 1;
+                match &event.kind {
+                    EventKind::Arrive(_) => p.work.events_arrive += 1,
+                    EventKind::WindowExpire(_) => p.work.events_window_expire += 1,
+                    EventKind::InstanceFree { .. } => p.work.events_instance_free += 1,
                 }
             }
+            let t0 = self.tick();
+            match event.kind {
+                EventKind::Arrive(req) => {
+                    self.on_arrive(event.time, req);
+                    self.tock(phase::ARRIVE, t0);
+                }
+                EventKind::WindowExpire(class) => {
+                    self.on_window_expire(event.time, class);
+                    self.tock(phase::WINDOW_EXPIRE, t0);
+                }
+                EventKind::InstanceFree { instance, batch } => {
+                    self.on_instance_free(event.time, instance, batch);
+                    self.tock(phase::INSTANCE_FREE, t0);
+                }
+            }
+            if let Some(p) = self.profile.as_deref_mut() {
+                // Post-event settled state, same convention as the trace
+                // timeseries sample below.
+                p.work.queue_depth_hist.record(self.queued_total as u64);
+                p.work.backlog_hist.record(self.heap.len() as u64);
+            }
+            let ts = self.tick();
             self.record_sample(event.time);
             if let Some(h) = self.health.as_mut() {
                 h.maybe_sample(event.time);
             }
+            self.tock(phase::SAMPLE_HOOKS, ts);
         }
         debug_assert_eq!(self.queued_total, 0, "drain leaves no queued request");
         debug_assert_eq!(self.in_system, 0, "every admitted request completes or expires");
+        let tf = self.tick();
         let makespan_s = (self.makespan_ns * 1e-9).max(f64::MIN_POSITIVE);
         if let Some(t) = self.trace.as_mut() {
             t.makespan_ns = self.makespan_ns;
@@ -641,7 +781,16 @@ impl<'a> Sim<'a> {
             }
             health_report
         });
-        SimOutcome { report, records: self.records, trace, health }
+        let profile = self.profile.take().map(|mut p| {
+            if let Some(tf) = tf {
+                p.wall.record(phase::FINALIZE, tf.elapsed());
+            }
+            if let Some(start) = run_start {
+                p.wall_total_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            }
+            *p
+        });
+        SimOutcome { report, records: self.records, trace, health, profile }
     }
 }
 
@@ -658,6 +807,9 @@ pub struct SimOutcome {
     /// Fleet device-health report (present when the run was monitored;
     /// see [`crate::health`]).
     pub health: Option<FleetHealthReport>,
+    /// Simulator self-profile: deterministic work counters + wall-clock
+    /// phase attribution (present when requested; see [`crate::profile`]).
+    pub profile: Option<SimProfile>,
 }
 
 /// Runs the serving simulation and returns its report.
@@ -667,7 +819,7 @@ pub struct SimOutcome {
 /// Panics on invalid configuration (zero fleet, non-positive deadline,
 /// horizon, or queue bound; unknown classes).
 pub fn simulate(cfg: &ServeConfig) -> ServeReport {
-    Sim::new(cfg, false, None).run().report
+    Sim::new(cfg, false, None, false).run().report
 }
 
 /// Like [`simulate`], but also collects per-request records and the full
@@ -676,7 +828,7 @@ pub fn simulate(cfg: &ServeConfig) -> ServeReport {
 /// untraced run: tracing consumes no RNG draws and perturbs no event
 /// arithmetic.
 pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
-    Sim::new(cfg, true, None).run()
+    Sim::new(cfg, true, None, false).run()
 }
 
 /// Like [`simulate`], with the device-health monitor attached: wear
@@ -687,7 +839,7 @@ pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
 /// identical to the unmonitored run (the monitor consumes no RNG draws
 /// and perturbs no event arithmetic — a test pins this).
 pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
-    Sim::new(cfg, false, Some(health)).run()
+    Sim::new(cfg, false, Some(health), false).run()
 }
 
 /// [`simulate_traced`] plus the device-health monitor: the trace also
@@ -695,7 +847,29 @@ pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcom
 /// temperature / accuracy-margin / wear counter tracks in the Perfetto
 /// export).
 pub fn simulate_traced_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
-    Sim::new(cfg, true, Some(health)).run()
+    Sim::new(cfg, true, Some(health), false).run()
+}
+
+/// Like [`simulate`], with the simulator's self-profiler attached: the
+/// outcome carries a [`SimProfile`] of deterministic work counters and
+/// wall-clock phase attribution. Profiling is observation-only — it
+/// consumes zero RNG draws and perturbs no event arithmetic, so the
+/// returned [`ServeReport`] is bitwise identical to the unprofiled run
+/// (a test pins this).
+pub fn simulate_profiled(cfg: &ServeConfig) -> SimOutcome {
+    Sim::new(cfg, false, None, true).run()
+}
+
+/// The fully general entry point: any combination of tracing, health
+/// monitoring, and self-profiling. Every optional subsystem preserves
+/// the no-perturbation invariant (wear-leveling, when explicitly enabled
+/// in `health`, is the single documented exception).
+pub fn simulate_profiled_with(
+    cfg: &ServeConfig,
+    traced: bool,
+    health: Option<&HealthConfig>,
+) -> SimOutcome {
+    Sim::new(cfg, traced, health, true).run()
 }
 
 #[cfg(test)]
@@ -895,6 +1069,73 @@ mod tests {
         assert_eq!(cam, expected, "ledger writes == costed invocations x writes/invocation");
         assert!(!trace.health.is_empty(), "trace carries the health timeseries");
         assert_eq!(traced.report, plain, "traced + monitored still bitwise equal");
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_report() {
+        let cfg = ServeConfig::example();
+        let plain = simulate(&cfg);
+        let profiled = simulate_profiled(&cfg);
+        assert_eq!(plain, profiled.report, "profiling never perturbs the simulation");
+        let p = profiled.profile.expect("profile requested");
+
+        // Work-counter accounting identities against the report.
+        let w = &p.work;
+        assert_eq!(w.events_arrive, plain.arrivals);
+        assert_eq!(w.batches_formed, plain.batches);
+        assert_eq!(w.batch_members, plain.completed);
+        assert_eq!(w.expired_drops, plain.expired);
+        assert_eq!(
+            w.events_total,
+            w.events_arrive + w.events_window_expire + w.events_instance_free
+        );
+        assert_eq!(w.events_instance_free, plain.batches, "one free event per invocation");
+        assert_eq!(w.heap_pushes, w.heap_pops, "the heap drains completely");
+        assert_eq!(w.queue_depth_hist.total(), w.events_total);
+        assert_eq!(w.backlog_hist.total(), w.events_total);
+        assert!(w.heap_peak > 0);
+        assert!(w.dispatch_rounds > 0);
+        assert!(w.dispatch_scans >= w.batches_formed);
+        assert!(w.telemetry_ops > 0);
+
+        // Wall-clock attribution: machine-dependent values, but the call
+        // counts are deterministic consequences of the event counts.
+        assert_eq!(p.wall.stats(phase::ARRIVE).calls, w.events_arrive);
+        assert_eq!(p.wall.stats(phase::INSTANCE_FREE).calls, w.events_instance_free);
+        assert_eq!(p.wall.stats(phase::SAMPLE_HOOKS).calls, w.events_total);
+        assert_eq!(p.wall.stats(phase::DISPATCH).calls, w.dispatch_rounds);
+        assert_eq!(p.wall.stats(phase::BATCH_COST).calls, w.batches_formed);
+        assert_eq!(p.wall.stats(phase::FINALIZE).calls, 1);
+        assert_eq!(p.wall.stats(phase::TRACE_EMIT).calls, 0, "no trace attached");
+        assert_eq!(p.wall.stats(phase::HEALTH_DISPATCH).calls, 0, "no monitor attached");
+        assert!(p.wall_total_ns > 0);
+        assert!(p.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn profiled_work_counters_replay_bitwise() {
+        let cfg = ServeConfig::example();
+        let a = simulate_profiled(&cfg);
+        let b = simulate_profiled(&cfg);
+        let (wa, wb) = (a.profile.expect("profile").work, b.profile.expect("profile").work);
+        assert_eq!(wa, wb, "work counters are deterministic");
+    }
+
+    #[test]
+    fn profiled_with_composes_with_trace_and_health() {
+        let cfg = ServeConfig::example();
+        let plain = simulate(&cfg);
+        let hc = HealthConfig::default();
+        let full = simulate_profiled_with(&cfg, true, Some(&hc));
+        assert_eq!(plain, full.report, "all three observers attached, still bitwise equal");
+        let p = full.profile.expect("profile requested");
+        assert!(p.wall.stats(phase::TRACE_EMIT).calls > 0);
+        assert_eq!(p.wall.stats(phase::HEALTH_DISPATCH).calls, p.work.batches_formed);
+        // The work counters do not depend on which observers ride along.
+        let solo = simulate_profiled(&cfg).profile.expect("profile");
+        assert_eq!(p.work, solo.work);
+        assert!(full.trace.is_some());
+        assert!(full.health.is_some());
     }
 
     #[test]

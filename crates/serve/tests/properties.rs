@@ -9,8 +9,8 @@
 use proptest::prelude::*;
 use star_exec::Executor;
 use star_serve::{
-    generate_open_loop, simulate, ArrivalProcess, BatchPolicy, ModelKind, RequestClass,
-    ServeConfig, SweepCase, WorkloadMix,
+    generate_open_loop, simulate, simulate_profiled, ArrivalProcess, BatchPolicy, ModelKind,
+    RequestClass, ServeConfig, SweepCase, WorkloadMix,
 };
 
 fn tiny_class() -> RequestClass {
@@ -92,6 +92,43 @@ proptest! {
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.arrivals, a.completed + a.rejected + a.expired);
         prop_assert_eq!(a.completed, a.good + a.late);
+    }
+
+    #[test]
+    fn profiled_work_accounting_identities_hold(
+        seed in any::<u64>(),
+        rate in 1_000.0f64..80_000.0,
+        fleet in 1usize..4,
+        max_batch in 1usize..9,
+    ) {
+        let mut cfg = base_config(seed);
+        cfg.arrival = ArrivalProcess::poisson(rate);
+        cfg.fleet = fleet;
+        cfg.policy = BatchPolicy::new(max_batch, 50_000.0);
+        let plain = simulate(&cfg);
+        let outcome = simulate_profiled(&cfg);
+        // No perturbation for any sampled configuration.
+        prop_assert_eq!(&plain, &outcome.report);
+        let w = outcome.profile.expect("profile requested").work;
+        // Work counters reconcile with the report's own accounting.
+        prop_assert_eq!(w.events_arrive, plain.arrivals);
+        prop_assert_eq!(w.events_instance_free, plain.batches);
+        prop_assert_eq!(w.batches_formed, plain.batches);
+        prop_assert_eq!(w.batch_members, plain.completed);
+        prop_assert_eq!(w.expired_drops, plain.expired);
+        // Conservation: every pushed event pops, the type counts tile the
+        // total, and each event contributes one sample to each histogram.
+        prop_assert_eq!(w.heap_pushes, w.heap_pops);
+        prop_assert_eq!(
+            w.events_total,
+            w.events_arrive + w.events_window_expire + w.events_instance_free
+        );
+        prop_assert_eq!(w.queue_depth_hist.total(), w.events_total);
+        prop_assert_eq!(w.backlog_hist.total(), w.events_total);
+        // Every event attempts dispatch at most a few times; scans only
+        // happen inside rounds and every batch needs at least one scan.
+        prop_assert!(w.dispatch_scans >= w.batches_formed);
+        prop_assert!(w.heap_peak >= 1);
     }
 
     #[test]

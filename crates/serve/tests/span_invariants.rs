@@ -3,9 +3,10 @@
 //! byte-determinism of the serialized trace.
 
 use star_serve::{
-    simulate, simulate_traced, simulate_traced_monitored, ArrivalProcess, BatchPolicy,
-    HealthConfig, ModelKind, RequestClass, RequestOutcome, ServeConfig, ServeTrace,
-    ServiceModelConfig, SloAnalysis, SloPolicy, WorkloadMix,
+    simulate, simulate_profiled, simulate_profiled_with, simulate_traced,
+    simulate_traced_monitored, ArrivalProcess, BatchPolicy, HealthConfig, ModelKind, RequestClass,
+    RequestOutcome, ServeConfig, ServeTrace, ServiceModelConfig, SloAnalysis, SloPolicy,
+    WorkloadMix,
 };
 use star_telemetry::SPAN_EPS_NS;
 
@@ -176,6 +177,52 @@ fn health_report_consistent_between_traced_and_untraced() {
     let traced = simulate_traced_monitored(&cfg, &hc);
     assert_eq!(untraced.report, traced.report);
     assert_eq!(untraced.health, traced.health, "health report independent of tracing");
+}
+
+#[test]
+fn profiling_never_perturbs_report_or_trace_bytes() {
+    // The self-profiler's no-perturbation invariant, across seeds: a
+    // profiled run's report is bitwise equal to the unprofiled run, and a
+    // profiled *traced* run serializes its trace to the exact bytes the
+    // plain traced run produces. (CI additionally diffs the golden
+    // fixtures across STAR_EXEC_THREADS={1,8} processes.)
+    for seed in [1u64, 7, 42, 99] {
+        let mut cfg = stress_config();
+        cfg.seed = seed;
+        let plain = simulate(&cfg);
+        let profiled = simulate_profiled(&cfg);
+        assert_eq!(plain, profiled.report, "seed {seed}: profiled report diverged");
+        assert!(profiled.profile.is_some());
+
+        let traced = simulate_traced(&cfg);
+        let traced_profiled = simulate_profiled_with(&cfg, true, None);
+        assert_eq!(traced.report, traced_profiled.report, "seed {seed}");
+        let ja = serde_json::to_string(&traced.trace.expect("trace").to_object_json())
+            .expect("serialize");
+        let jb = serde_json::to_string(&traced_profiled.trace.expect("trace").to_object_json())
+            .expect("serialize");
+        assert_eq!(ja, jb, "seed {seed}: profiling changed trace bytes");
+    }
+}
+
+#[test]
+fn profiled_work_counters_are_seed_stable_and_trace_independent() {
+    // Deterministic work accounting: identical counters on replay, and
+    // identical whether or not tracing / health monitoring ride along —
+    // the counters measure the simulation, not its observers.
+    let cfg = stress_config();
+    let solo = simulate_profiled(&cfg).profile.expect("profile");
+    let replay = simulate_profiled(&cfg).profile.expect("profile");
+    assert_eq!(solo.work, replay.work, "replay must reproduce counters exactly");
+    let observed = simulate_profiled_with(&cfg, true, Some(&HealthConfig::default()))
+        .profile
+        .expect("profile");
+    assert_eq!(solo.work, observed.work, "observers must not change work counters");
+    // JSON round-trip of the deterministic half is byte-stable (the
+    // property the golden fixture in star-bench pins).
+    let a = serde_json::to_string(&solo.work).expect("serialize");
+    let b = serde_json::to_string(&replay.work).expect("serialize");
+    assert_eq!(a, b);
 }
 
 #[test]

@@ -18,6 +18,11 @@
 //! 4. [`Span`] — request-lifecycle span trees ([`span`]): validated nested
 //!    intervals that lower onto [`ChromeTrace`] lanes. The serving layer
 //!    builds one tree per simulated request.
+//! 5. [`PhaseProfiler`] — wall-clock self-profiling primitives
+//!    ([`profile`]): scoped-timer accumulators that attribute the
+//!    *simulator's own* execution time to named phases. Unlike everything
+//!    above, these measure real machine time, so their numbers belong only
+//!    in report-only sidecars — never in deterministic outputs.
 //!
 //! # Naming convention
 //!
@@ -41,10 +46,12 @@
 #![forbid(unsafe_code)]
 
 pub mod chrome;
+pub mod profile;
 pub mod registry;
 pub mod span;
 
 pub use chrome::{ChromeTrace, CounterEvent, TraceEvent};
+pub use profile::{PhaseProfiler, PhaseStats};
 pub use registry::{
     geometric_bounds, HistogramSnapshot, Registry, Snapshot, DEFAULT_BUCKET_BOUNDS,
 };

@@ -58,6 +58,15 @@ COMMANDS:
                                    projection (time to first degradation,
                                    lifetime inferences). --level enables
                                    round-robin wear-leveling placement
+    profile [rate] [fleet] [batch] [window_us] [--trace[=PATH]]
+                                   run the serve simulation with the
+                                   simulator self-profiler: deterministic
+                                   work counters (events, heap traffic,
+                                   dispatch scans — machine-independent)
+                                   plus the wall-clock top-phases table.
+                                   With --trace, also write a Chrome
+                                   meta-trace of the simulator's own time
+                                   (default path profile_trace.json)
     help                           this message
 
 Paper formats: CNEWS = q5.2 (8 bits), MRPC = q5.3 (9 bits), CoLA = q4.2 (7 bits).";
@@ -75,6 +84,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args[1..]),
         "trace-analyze" => cmd_trace_analyze(&args[1..]),
         "health" => cmd_health(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -492,6 +502,84 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    use star::serve::{
+        simulate_profiled, ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig,
+        ServiceModelConfig, WorkloadMix,
+    };
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if a == "--trace" {
+            trace_path = Some(std::path::PathBuf::from("profile_trace.json"));
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            if p.is_empty() {
+                return Err("--trace= needs a path".into());
+            }
+            trace_path = Some(p.into());
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let rate: f64 = parse_positive(positional.first().copied(), 16_000.0, "arrival rate (rps)")?;
+    if !rate.is_finite() {
+        return Err("arrival rate must be finite".into());
+    }
+    let fleet: usize = parse_positive(positional.get(1).copied(), 2, "fleet size")?;
+    let batch: usize = parse_positive(positional.get(2).copied(), 8, "batch size")?;
+    let window_us: f64 = match positional.get(3) {
+        Some(a) => a.parse().map_err(|_| format!("`{a}` is not a window in us"))?,
+        None => 50.0,
+    };
+    if !(window_us.is_finite() && window_us >= 0.0) {
+        return Err("window must be finite and non-negative".into());
+    }
+
+    let class = RequestClass::new(ModelKind::BertBase, 128);
+    let cfg = ServeConfig {
+        fleet,
+        policy: BatchPolicy::new(batch, window_us * 1e3),
+        arrival: ArrivalProcess::poisson(rate),
+        mix: WorkloadMix::single(class),
+        horizon_ns: 1e8,
+        seed: 2023,
+        max_queue: 256,
+        deadline_ns: 2e6,
+        service: ServiceModelConfig::default(),
+    };
+    let outcome = simulate_profiled(&cfg);
+    let r = &outcome.report;
+    let profile = outcome.profile.as_ref().expect("profiled run carries a profile");
+
+    println!(
+        "simulator self-profile: {class} at {rate:.0} rps on {fleet} instance(s), policy {}:",
+        cfg.policy
+    );
+    println!(
+        "  simulated: arrivals {}   completed {}   goodput {:.0} rps   window {:.1} ms",
+        r.arrivals,
+        r.completed,
+        r.goodput_rps,
+        r.makespan_ns / 1e6
+    );
+    println!("  (the report above is bitwise identical to an unprofiled run)\n");
+    print!("{}", profile.render());
+    if let Some(path) = trace_path {
+        let json = serde_json::to_string(&profile.to_object_json()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "  meta-trace: {} phases -> {} (open in https://ui.perfetto.dev; \
+             work counters ride in the `{}` sidecar)",
+            profile.wall.entries().filter(|(_, s)| s.calls > 0).count(),
+            path.display(),
+            star::serve::PROFILE_SIDECAR_KEY
+        );
+    }
+    Ok(())
+}
+
 /// Renders an [`star::serve::SloAnalysis`] as the burn-rate / per-class /
 /// exemplar table block shared by `serve --trace` and `trace-analyze`.
 fn print_slo_analysis(a: &star::serve::SloAnalysis) {
@@ -667,6 +755,47 @@ mod tests {
         assert!(cmd_health(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
         assert!(cmd_health(&["--bogus".into()]).is_err());
         assert!(cmd_health(&["inf".into()]).is_err());
+    }
+
+    #[test]
+    fn profile_command_runs() {
+        cmd_profile(&[]).expect("profile defaults");
+        cmd_profile(&["8000".into(), "1".into(), "1".into(), "0".into()])
+            .expect("profile explicit");
+    }
+
+    #[test]
+    fn profile_command_rejects_bad_arguments() {
+        assert!(cmd_profile(&["abc".into()]).is_err());
+        assert!(cmd_profile(&["0".into()]).is_err());
+        assert!(cmd_profile(&["8000".into(), "0".into()]).is_err());
+        assert!(cmd_profile(&["8000".into(), "1".into(), "0".into()]).is_err());
+        assert!(cmd_profile(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
+        assert!(cmd_profile(&["inf".into()]).is_err());
+        assert!(cmd_profile(&["--trace=".into()]).is_err());
+        assert!(cmd_profile(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn profile_trace_is_valid_chrome_object_with_sidecar() {
+        let path =
+            std::env::temp_dir().join(format!("star_cli_profile_{}.json", std::process::id()));
+        let path_str = path.to_str().expect("utf8 temp path").to_string();
+        cmd_profile(&["8000".into(), "1".into(), format!("--trace={path_str}")])
+            .expect("profile --trace");
+        let text = std::fs::read_to_string(&path).expect("meta-trace written");
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(value.get("traceEvents").is_some());
+        let sidecar =
+            value.get(star::serve::PROFILE_SIDECAR_KEY).expect("work/wall sidecar present");
+        let work = sidecar.get("work").expect("work counters");
+        assert!(
+            work.get("events_total").and_then(serde_json::Value::as_u64).unwrap_or(0) > 0,
+            "profiled run saw events"
+        );
+        assert!(sidecar.get("wall").is_some());
+        assert!(sidecar.get("eventsPerSec").is_some());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

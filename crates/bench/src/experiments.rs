@@ -450,7 +450,11 @@ pub fn profile_fixture_config() -> star_serve::ServeConfig {
 /// The machine-readable `profile_work` result: the deterministic half of
 /// the self-profile ([`star_serve::WorkCounters`] + histograms) for the
 /// fixed configuration from [`profile_fixture_config`], alongside the
-/// report totals the counters must reconcile with.
+/// report totals the counters must reconcile with — once for the serial
+/// event-queue layout and once at 8 shards (`work_sharded8`). The two
+/// work sections must pin **identical** counters: sharding partitions
+/// event storage behind a deterministic merge and changes no processing
+/// step, so any divergence between them is a determinism bug.
 ///
 /// Wall-clock phase numbers are deliberately **absent** — they never
 /// reproduce across machines, so only the work track is golden-pinnable.
@@ -460,8 +464,11 @@ pub fn profile_fixture_config() -> star_serve::ServeConfig {
 /// Panics if the profiled run returns no profile (a programming error).
 pub fn profile_work_result() -> serde_json::Value {
     let cfg = profile_fixture_config();
-    let outcome = star_serve::simulate_profiled(&cfg);
+    let outcome = star_serve::simulate_sharded_with(&cfg, 1, false, None, true);
     let profile = outcome.profile.expect("profiled run carries a profile");
+    let sharded = star_serve::simulate_sharded_with(&cfg, 8, false, None, true)
+        .profile
+        .expect("profiled run carries a profile");
     let r = &outcome.report;
     serde_json::json!({
         "experiment": "profile_work",
@@ -483,6 +490,7 @@ pub fn profile_work_result() -> serde_json::Value {
             "expired": r.expired,
         },
         "work": profile.work_json(),
+        "work_sharded8": sharded.work_json(),
         "events_per_request": profile.work.events_per_request(),
     })
 }

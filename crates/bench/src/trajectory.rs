@@ -44,8 +44,14 @@ pub const MATRIX_FLEETS: [usize; 2] = [2, 8];
 pub const WORK_BUDGET_TOLERANCE_PCT: f64 = 5.0;
 
 /// Simulation variants measured for the wall-clock trajectory, in the
-/// order they appear in reports.
-pub const VARIANTS: [&str; 4] = ["untraced", "traced", "health", "profiled"];
+/// order they appear in reports. `sharded` runs the same untraced
+/// simulation with the event queue split across 8 shards — bitwise
+/// identical output by construction, timed so the trajectory shows what
+/// the sharded layout costs or saves.
+pub const VARIANTS: [&str; 5] = ["untraced", "traced", "health", "profiled", "sharded"];
+
+/// Shard count used by the `sharded` trajectory variant.
+pub const SHARDED_VARIANT_SHARDS: usize = 8;
 
 /// Absolute path of the tracked file: `$STAR_BENCH_FILE` if set, else
 /// `BENCH_serve.json` at the repository root (resolved relative to this
@@ -215,6 +221,12 @@ pub fn measure_trajectory(label: &str, iters: usize) -> TrajectoryEntry {
                     }
                     "health" => {
                         std::hint::black_box(star_serve::simulate_monitored(&cfg, &health));
+                    }
+                    "sharded" => {
+                        std::hint::black_box(star_serve::simulate_sharded(
+                            &cfg,
+                            SHARDED_VARIANT_SHARDS,
+                        ));
                     }
                     _ => {
                         std::hint::black_box(star_serve::simulate_profiled(&cfg));

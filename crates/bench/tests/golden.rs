@@ -142,6 +142,82 @@ fn profile_work_golden_reconciles_with_itself() {
 }
 
 #[test]
+fn profile_work_sharded_section_matches_serial() {
+    // The fixture carries the same profiled run twice: once on the
+    // single-heap event queue (`work`) and once with the queue sharded
+    // eight ways (`work_sharded8`). Sharding is storage, not order — the
+    // min-of-heads merge replays the single-heap pop sequence exactly —
+    // so every counter must agree field-for-field. A regenerated fixture
+    // in which the sections drift means the cross-shard merge changed
+    // the event stream, which the equivalence suite forbids.
+    let p = fixture("profile_work");
+    let work = p.get("work").expect("work section");
+    let sharded = p.get("work_sharded8").expect("work_sharded8 section");
+    let mut mismatches = Vec::new();
+    diff("/work_sharded8", sharded, work, &mut mismatches);
+    assert!(
+        mismatches.is_empty(),
+        "sharded counters drifted from the serial section:\n  {}",
+        mismatches.join("\n  ")
+    );
+}
+
+#[test]
+fn indexed_dispatcher_beats_prior_scan_budgets() {
+    // Before the ready-queue index, `dispatch_scans` counted linear
+    // per-class queue sweeps: 3171 at the profile fixture point and
+    // 2520 / 2524 / 6486 at the tracked r20000_f2 / r20000_f8 /
+    // r80000_f8 budget points (the ceilings recorded in BENCH_serve.json
+    // before the index landed). The indexed dispatcher pops ready
+    // classes directly, so it must do strictly fewer — this pins the
+    // order of the win, not a ±5% tolerance band.
+    let p = fixture("profile_work");
+    let fixture_scans = number_at(&p, "work/dispatch_scans");
+    assert!(
+        fixture_scans < 3171.0,
+        "fixture dispatch_scans {fixture_scans} is not below the pre-index 3171"
+    );
+    for (rate, fleet, prior) in
+        [(20_000.0, 2usize, 2520u64), (20_000.0, 8, 2524), (80_000.0, 8, 6486)]
+    {
+        let cfg = star_bench::matrix_config(rate, fleet);
+        let scans = star_serve::simulate_profiled(&cfg)
+            .profile
+            .expect("profiled run carries a profile")
+            .work
+            .dispatch_scans;
+        assert!(
+            scans < prior,
+            "r{rate}_f{fleet}: {scans} dispatch scans, not below the pre-index budget {prior}"
+        );
+    }
+}
+
+#[test]
+fn dispatch_scans_is_a_pure_function_of_workload() {
+    // Same offered load, same policy, same seed — only the fleet size
+    // differs. The linear dispatcher leaked fleet size into the scan
+    // count (2520 vs 2524 at 20 krps: spare idle instances kept the
+    // dispatch loop sweeping classes that had nothing to send). The
+    // indexed dispatcher charges one scan per ready-class pop, which the
+    // workload's batch sequence alone determines.
+    let scans_per_fleet: Vec<u64> = [2usize, 8]
+        .iter()
+        .map(|&fleet| {
+            star_serve::simulate_profiled(&star_bench::matrix_config(20_000.0, fleet))
+                .profile
+                .expect("profiled run carries a profile")
+                .work
+                .dispatch_scans
+        })
+        .collect();
+    assert_eq!(
+        scans_per_fleet[0], scans_per_fleet[1],
+        "fleet size must not change dispatch_scans at a sub-saturation operating point"
+    );
+}
+
+#[test]
 fn a9_golden_reports_lifetime_at_three_loads() {
     // The fixture must encode the experiment's claim: at least three
     // sustained load points, each with a finite time-to-first-degradation

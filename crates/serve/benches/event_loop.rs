@@ -11,6 +11,9 @@
 //!   grid-sampled thermal/drift/margin gauges (no span trees).
 //! - `profiled` — `simulate_profiled`: the self-profiler's work counters
 //!   and wall-clock phase timers (the observer observing itself).
+//! - `sharded` — `simulate_sharded` at 8 shards: the same untraced run
+//!   on the sharded event queue (bitwise-identical output; this times
+//!   what the per-shard heaps and min-of-heads merge cost or save).
 //!
 //! The measured traced/untraced ratio is recorded in DESIGN.md
 //! ("Observability") — re-run with `STAR_BENCH_BUDGET_MS=2000` for
@@ -21,9 +24,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use star_serve::{
-    simulate, simulate_monitored, simulate_profiled, simulate_traced, ArrivalProcess, BatchPolicy,
-    HealthConfig, ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
+    simulate, simulate_monitored, simulate_profiled, simulate_sharded, simulate_traced,
+    ArrivalProcess, BatchPolicy, HealthConfig, ModelKind, RequestClass, ServeConfig,
+    ServiceModelConfig, WorkloadMix,
 };
+
+/// Shard count for the `sharded` variant — mirrors
+/// `star_bench::trajectory::SHARDED_VARIANT_SHARDS`.
+const SHARDS: usize = 8;
 
 /// A Tiny-class workload sized so one simulation handles a few thousand
 /// requests — large enough to amortize setup, small enough to iterate.
@@ -51,6 +59,7 @@ fn bench_event_loop(c: &mut Criterion) {
         assert_eq!(plain, simulate_traced(&cfg).report);
         assert_eq!(plain, simulate_monitored(&cfg, &health_cfg).report);
         assert_eq!(plain, simulate_profiled(&cfg).report);
+        assert_eq!(plain, simulate_sharded(&cfg, SHARDS));
         assert!(plain.arrivals > 0);
         group.bench_with_input(BenchmarkId::new("untraced", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate(cfg))
@@ -63,6 +72,9 @@ fn bench_event_loop(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("profiled", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate_profiled(cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", rate as u64), &cfg, |b, cfg| {
+            b.iter(|| simulate_sharded(cfg, SHARDS))
         });
     }
     group.finish();

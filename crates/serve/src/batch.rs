@@ -41,6 +41,22 @@ impl BatchPolicy {
     pub fn is_baseline(&self) -> bool {
         self.max_batch == 1
     }
+
+    /// The instant a queue head arriving at `head_arrive_ns` stops
+    /// waiting for its batch to fill, ns.
+    pub fn expiry_ns(&self, head_arrive_ns: f64) -> f64 {
+        head_arrive_ns + self.window_ns
+    }
+
+    /// The size-or-timeout readiness predicate: a class queue of
+    /// `queue_len` requests whose head arrived at `head_arrive_ns` is
+    /// dispatchable at `now_ns` when it fills a batch or its window has
+    /// elapsed. This is the single definition both the dispatcher's
+    /// ready-queue index and its window-arming sweep evaluate, so the
+    /// two can never disagree.
+    pub fn head_ready(&self, queue_len: usize, now_ns: f64, head_arrive_ns: f64) -> bool {
+        queue_len >= self.max_batch || now_ns >= self.expiry_ns(head_arrive_ns)
+    }
 }
 
 impl fmt::Display for BatchPolicy {
@@ -63,6 +79,23 @@ mod tests {
         assert_eq!(BatchPolicy::new(8, 50_000.0).to_string(), "batch8@50us");
         assert!(BatchPolicy::no_batching().is_baseline());
         assert!(!BatchPolicy::new(8, 0.0).is_baseline());
+    }
+
+    #[test]
+    fn readiness_predicate() {
+        let p = BatchPolicy::new(4, 50_000.0);
+        assert_eq!(p.expiry_ns(10_000.0), 60_000.0);
+        // Full batch is ready regardless of time.
+        assert!(p.head_ready(4, 0.0, 10_000.0));
+        assert!(p.head_ready(5, 0.0, 10_000.0));
+        // Partial batch waits for the window …
+        assert!(!p.head_ready(3, 59_999.9, 10_000.0));
+        // … and becomes ready exactly at expiry (inclusive boundary).
+        assert!(p.head_ready(3, 60_000.0, 10_000.0));
+        assert!(p.head_ready(1, 60_000.1, 10_000.0));
+        // Greedy window: ready the moment anything is queued.
+        let greedy = BatchPolicy::new(8, 0.0);
+        assert!(greedy.head_ready(1, 5.0, 5.0));
     }
 
     #[test]

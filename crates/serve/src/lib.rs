@@ -16,7 +16,8 @@
 //! | [`arrival`] | Seeded Poisson / bursty MMPP / closed-loop arrival processes |
 //! | [`batch`] | The size-or-timeout dynamic batching policy |
 //! | [`model`] | Service costs per batched invocation, grounded in `star-arch` |
-//! | [`sim`] | The single-threaded, seeded discrete-event loop |
+//! | [`sim`] | The seeded, totally ordered discrete-event loop |
+//! | [`shard`] | Sharded event storage: per-shard heaps, deterministic cross-shard merge |
 //! | [`slo`] | Exact latency quantiles, goodput, per-class breakdowns, burn-rate monitor |
 //! | [`trace`] | Per-request span trees, batch invocation spans, Perfetto export |
 //! | [`health`] | Wear ledgers, thermal/drift monitors, fleet degradation reporting |
@@ -28,11 +29,17 @@
 //! One simulation is **bitwise replayable**: all randomness flows from a
 //! single `ChaCha8Rng` seeded by [`ServeConfig::seed`] and consumed in
 //! event order, events are totally ordered by `(time, sequence)`, and
-//! every collection iterates deterministically. Parallelism never enters
-//! the event loop — sweeps parallelize *across* simulations via
-//! [`star_exec::Executor`], whose index-ordered reduction (plus the
-//! scoped-telemetry absorb protocol) keeps the full sweep output
-//! byte-identical for any worker count.
+//! every collection iterates deterministically. Event *storage* shards
+//! across per-shard heaps (`STAR_SERVE_SHARDS`, or [`simulate_sharded`])
+//! behind a deterministic min-of-heads merge that reproduces the
+//! single-heap pop order exactly, so the shard count changes no output
+//! byte — the `shard_equivalence` differential suite pins reports,
+//! traces, health ledgers, and work counters across shard × thread
+//! grids. Execution parallelism stays at the boundaries: open-loop
+//! seeding builds per-shard heaps on `star-exec` workers, and sweeps
+//! parallelize *across* simulations via [`star_exec::Executor`], whose
+//! index-ordered reduction (plus the scoped-telemetry absorb protocol)
+//! keeps the full sweep output byte-identical for any worker count.
 //!
 //! # Example
 //!
@@ -54,6 +61,7 @@ pub mod health;
 pub mod model;
 pub mod profile;
 pub mod request;
+pub mod shard;
 pub mod sim;
 pub mod slo;
 pub mod sweep;
@@ -69,9 +77,11 @@ pub use health::{
 pub use model::{BatchCost, ClassService, InvocationPhases, ServiceModel, ServiceModelConfig};
 pub use profile::{Pow2Hist, SimProfile, WorkCounters, HIST_BUCKETS, PROFILE_SIDECAR_KEY};
 pub use request::{ModelKind, Request, RequestClass, RequestRecord};
+pub use shard::{shards_from_env, ShardLayout, ShardedQueue, MAX_SHARDS, SHARDS_ENV};
 pub use sim::{
-    simulate, simulate_monitored, simulate_profiled, simulate_profiled_with, simulate_traced,
-    simulate_traced_monitored, ServeConfig, SimOutcome,
+    simulate, simulate_monitored, simulate_profiled, simulate_profiled_with, simulate_sharded,
+    simulate_sharded_on, simulate_sharded_with, simulate_traced, simulate_traced_monitored,
+    ServeConfig, SimOutcome,
 };
 pub use slo::{
     BurnWindow, ClassSloReport, Exemplar, LatencyStats, ServeReport, SloAnalysis, SloPolicy,

@@ -1,0 +1,462 @@
+//! Sharded event storage for the serving event loop.
+//!
+//! The discrete-event loop in [`crate::sim`] is defined by one property:
+//! events are processed in global `(time, sequence)` order, so a run is
+//! bitwise replayable. This module shards the **storage** of that event
+//! set without touching the *order*: a [`ShardedQueue`] keeps one binary
+//! heap per shard (instances, request ids, and request classes are
+//! partitioned across shards by a [`ShardLayout`]), and every pop is a
+//! deterministic k-way merge — the minimum of the shard heads under the
+//! same total order the serial loop uses. Because sequence numbers are
+//! globally unique, the merge never has to break a tie arbitrarily: the
+//! pop sequence of a sharded queue is *identical* to a single heap's for
+//! any shard count, which is what keeps reports, traces, and goldens
+//! byte-identical at any `STAR_SERVE_SHARDS` (the differential suite in
+//! `tests/shard_equivalence.rs` pins this).
+//!
+//! # Epochs and barriers
+//!
+//! Each pop is a lockstep barrier: all shards synchronize on the global
+//! minimum before the next event executes. A coarser epoch (letting a
+//! shard run ahead between arrival boundaries) cannot preserve bitwise
+//! replay here, because shards couple through shared serving state on
+//! *every* event — the idle set (an `InstanceFree` on one shard can
+//! dispatch work queued by another), the admission bound (`queued_total`
+//! gates rejects globally), and the single event-sequence counter. The
+//! determinism argument in DESIGN.md spells this out; the payoff of the
+//! sharded layout is smaller per-heap sift cost and a seeding phase that
+//! fans out across `star-exec` workers (each shard's initial heap is a
+//! pure function of the arrival trace and the layout, so the build
+//! parallelizes without affecting a single output byte).
+//!
+//! The module also houses [`ReadyIndex`], the dispatcher's ready-queue
+//! index that replaces the per-class linear scan the self-profiler
+//! flagged in `dispatch_scans` (PR 6): class readiness is maintained
+//! incrementally at the points where it can change, so each dispatch
+//! iteration is an `O(log c)` indexed pop instead of an `O(c)` sweep.
+
+use crate::request::RequestClass;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::ops::Bound::{Excluded, Unbounded};
+
+/// Environment variable selecting the event-queue shard count for the
+/// `simulate*` entry points (`1` = the serial single-heap layout).
+/// Explicit shard counts passed to [`crate::sim::simulate_sharded`]
+/// override it.
+pub const SHARDS_ENV: &str = "STAR_SERVE_SHARDS";
+
+/// Upper bound on the shard count (more shards than live events is pure
+/// merge overhead; 64 covers fleet-of-hundreds sweeps comfortably).
+pub const MAX_SHARDS: usize = 64;
+
+/// The shard count requested via [`SHARDS_ENV`], clamped to
+/// `1..=MAX_SHARDS`. Unset, empty, or unparseable values mean 1 — the
+/// serial layout — so existing workflows are untouched by default.
+pub fn shards_from_env() -> usize {
+    match std::env::var(SHARDS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_SHARDS),
+            _ => 1,
+        },
+        Err(_) => 1,
+    }
+}
+
+/// Deterministic partition of the simulation's entities across shards.
+///
+/// Instances, request ids, and request classes each map to a shard by
+/// residue, so an event's shard is a pure function of the event itself —
+/// independent of processing history, which is what lets the seeding
+/// phase build per-shard heaps in parallel.
+#[derive(Debug, Clone)]
+pub struct ShardLayout {
+    shards: usize,
+    class_shards: BTreeMap<RequestClass, usize>,
+}
+
+impl ShardLayout {
+    /// A layout over `shards` shards (clamped to `1..=MAX_SHARDS`) for
+    /// the given registered classes. Classes map to shards by their rank
+    /// in class order, so the mapping is stable across runs.
+    pub fn new(shards: usize, classes: &[RequestClass]) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        let mut sorted: Vec<RequestClass> = classes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let class_shards =
+            sorted.iter().enumerate().map(|(i, &c)| (c, i % shards)).collect::<BTreeMap<_, _>>();
+        ShardLayout { shards, class_shards }
+    }
+
+    /// Number of shards in the layout.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard owning instance `instance` (and its `InstanceFree` events).
+    pub fn instance_shard(&self, instance: usize) -> usize {
+        instance % self.shards
+    }
+
+    /// Shard owning request `id` (and its `Arrive` event).
+    pub fn request_shard(&self, id: u64) -> usize {
+        (id % self.shards as u64) as usize
+    }
+
+    /// Shard owning `class` (and its `WindowExpire` events).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` was not registered at construction.
+    pub fn class_shard(&self, class: &RequestClass) -> usize {
+        *self.class_shards.get(class).expect("class registered with the layout")
+    }
+}
+
+/// Per-shard binary heaps with a deterministic min-of-heads pop.
+///
+/// Items are pushed to the shard the caller names and popped in the
+/// global `Ord` order: each [`ShardedQueue::pop`] compares the shard
+/// heads and takes the strict minimum (ties — impossible for the event
+/// loop, whose sequence numbers are unique — resolve to the lowest shard
+/// index). With one shard this *is* a plain binary heap; with `k` shards
+/// the pop sequence is identical, which the unit and property tests below
+/// pin against a reference heap.
+#[derive(Debug, Clone)]
+pub struct ShardedQueue<T: Ord> {
+    heaps: Vec<BinaryHeap<Reverse<T>>>,
+    len: usize,
+    pushes: Vec<u64>,
+    pops: Vec<u64>,
+}
+
+impl<T: Ord> ShardedQueue<T> {
+    /// An empty queue over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded queue needs at least one shard");
+        ShardedQueue {
+            heaps: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            len: 0,
+            pushes: vec![0; shards],
+            pops: vec![0; shards],
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.heaps.len()
+    }
+
+    /// Total items across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no shard holds an item.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Items currently in shard `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.heaps[shard].len()
+    }
+
+    /// Cumulative pushes per shard (conservation: after a full drain,
+    /// `shard_pushes()[s] == shard_pops()[s]` for every shard).
+    pub fn shard_pushes(&self) -> &[u64] {
+        &self.pushes
+    }
+
+    /// Cumulative pops per shard.
+    pub fn shard_pops(&self) -> &[u64] {
+        &self.pops
+    }
+
+    /// Pushes `item` onto shard `shard`.
+    pub fn push(&mut self, shard: usize, item: T) {
+        self.heaps[shard].push(Reverse(item));
+        self.pushes[shard] += 1;
+        self.len += 1;
+    }
+
+    /// Bulk-loads `items` into shard `shard` — the seeding path, where
+    /// per-shard item sets are built in parallel and installed here.
+    pub fn fill_shard(&mut self, shard: usize, items: Vec<T>) {
+        self.pushes[shard] += items.len() as u64;
+        self.len += items.len();
+        let heap = &mut self.heaps[shard];
+        for item in items {
+            heap.push(Reverse(item));
+        }
+    }
+
+    /// Removes and returns the globally smallest item along with the
+    /// shard it lived on, or `None` when the queue is empty. Ties on the
+    /// full `Ord` key resolve to the lowest shard index — the explicit,
+    /// tested tie-break of the cross-shard merge.
+    pub fn pop(&mut self) -> Option<(usize, T)> {
+        let mut best: Option<(usize, &T)> = None;
+        for (i, heap) in self.heaps.iter().enumerate() {
+            if let Some(Reverse(head)) = heap.peek() {
+                if best.as_ref().is_none_or(|&(_, b)| head < b) {
+                    best = Some((i, head));
+                }
+            }
+        }
+        let shard = best?.0;
+        let Reverse(item) = self.heaps[shard].pop().expect("peeked head exists");
+        self.pops[shard] += 1;
+        self.len -= 1;
+        Some((shard, item))
+    }
+}
+
+/// Incremental index of dispatch-ready request classes.
+///
+/// The serial dispatcher rescanned every class queue on each iteration to
+/// find the ready class with the longest-waiting head and to arm batch
+/// windows for the rest — the `dispatch_scans ≈ 1.1–1.3× events` cost the
+/// self-profiler measured. This index maintains the same information
+/// incrementally: a class is **ready** (its oldest request is
+/// dispatchable now) or **flagged** (queued but waiting on its batch
+/// window), and transitions happen only where readiness can actually
+/// change — enqueue, head change after batch formation, and the
+/// window-arming step of a dispatch iteration. Readiness is monotone
+/// between head changes (queue length only grows, time only advances), so
+/// evaluating it at those points reproduces the serial scan's decisions
+/// — and therefore its event stream — exactly.
+///
+/// Ready classes are ordered by `(head arrival time, head request id)`,
+/// the serial scan's selection key. Arrival times are non-negative finite,
+/// so their IEEE-754 bit patterns order identically to their values and
+/// the key can live in a `BTreeSet` of integers.
+#[derive(Debug, Default)]
+pub(crate) struct ReadyIndex {
+    ready: BTreeSet<(u64, u64, RequestClass)>,
+    keys: BTreeMap<RequestClass, (u64, u64)>,
+    flagged: BTreeSet<RequestClass>,
+}
+
+impl ReadyIndex {
+    /// A fresh, empty index.
+    pub(crate) fn new() -> Self {
+        ReadyIndex::default()
+    }
+
+    /// The selection key of a queue head: `(arrival bits, id)`. Valid
+    /// because event times are non-negative and finite.
+    pub(crate) fn ready_key(arrive_ns: f64, id: u64) -> (u64, u64) {
+        debug_assert!(
+            arrive_ns.is_finite() && arrive_ns >= 0.0,
+            "arrival times are non-negative finite"
+        );
+        (arrive_ns.to_bits(), id)
+    }
+
+    /// Marks `class` ready under `key`, replacing any previous state.
+    pub(crate) fn set_ready(&mut self, class: RequestClass, key: (u64, u64)) {
+        self.clear(class);
+        self.keys.insert(class, key);
+        self.ready.insert((key.0, key.1, class));
+    }
+
+    /// Marks `class` flagged (queued, not yet dispatchable), replacing
+    /// any previous state.
+    pub(crate) fn set_flagged(&mut self, class: RequestClass) {
+        self.clear(class);
+        self.flagged.insert(class);
+    }
+
+    /// Removes `class` from both the ready and flagged sets.
+    pub(crate) fn clear(&mut self, class: RequestClass) {
+        if let Some((t, id)) = self.keys.remove(&class) {
+            self.ready.remove(&(t, id, class));
+        }
+        self.flagged.remove(&class);
+    }
+
+    /// The ready class whose head has waited longest (ties by request
+    /// id; ids are unique so the order is total).
+    pub(crate) fn best(&self) -> Option<RequestClass> {
+        self.ready.first().map(|&(_, _, class)| class)
+    }
+
+    /// First flagged class in class order (cursor start for the arming
+    /// sweep; the sweep may promote the cursor's class without
+    /// invalidating [`ReadyIndex::next_flagged_after`]).
+    pub(crate) fn first_flagged(&self) -> Option<RequestClass> {
+        self.flagged.first().copied()
+    }
+
+    /// The flagged class after `class` in class order.
+    pub(crate) fn next_flagged_after(&self, class: RequestClass) -> Option<RequestClass> {
+        self.flagged.range((Excluded(class), Unbounded)).next().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelKind;
+
+    fn class(seq: usize) -> RequestClass {
+        RequestClass::new(ModelKind::Tiny, seq)
+    }
+
+    #[test]
+    fn env_parsing_defaults_and_clamps() {
+        // The parser itself (the env var is process-global, so the
+        // default path is exercised by whatever CI leg runs this).
+        let n = shards_from_env();
+        assert!((1..=MAX_SHARDS).contains(&n));
+    }
+
+    #[test]
+    fn layout_partitions_by_residue() {
+        let classes = [class(16), class(32), class(64)];
+        let layout = ShardLayout::new(2, &classes);
+        assert_eq!(layout.shards(), 2);
+        assert_eq!(layout.instance_shard(0), 0);
+        assert_eq!(layout.instance_shard(5), 1);
+        assert_eq!(layout.request_shard(7), 1);
+        // Classes map by rank in class order: 16 -> 0, 32 -> 1, 64 -> 0.
+        assert_eq!(layout.class_shard(&class(16)), 0);
+        assert_eq!(layout.class_shard(&class(32)), 1);
+        assert_eq!(layout.class_shard(&class(64)), 0);
+        // Shard counts clamp instead of panicking.
+        assert_eq!(ShardLayout::new(0, &classes).shards(), 1);
+        assert_eq!(ShardLayout::new(1 << 20, &classes).shards(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn sharded_pop_matches_reference_heap() {
+        // Differential: any push placement across shards pops in the same
+        // order as one global heap.
+        let items: Vec<(u64, u64)> =
+            vec![(5, 0), (1, 1), (5, 2), (0, 3), (9, 4), (1, 5), (0, 6), (7, 7)];
+        for shards in [1usize, 2, 3, 8] {
+            let mut q = ShardedQueue::new(shards);
+            for (i, &it) in items.iter().enumerate() {
+                q.push(i % shards, it);
+            }
+            let mut reference = items.clone();
+            reference.sort_unstable();
+            let mut popped = Vec::new();
+            while let Some((_, it)) = q.pop() {
+                popped.push(it);
+            }
+            assert_eq!(popped, reference, "{shards} shards");
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn equal_timestamp_tiebreak_vector() {
+        // The explicit tie-break vector: four events at the same
+        // timestamp, sequence numbers 0..4, deliberately scattered across
+        // shards in reverse order. The merge must return them in
+        // sequence order — the serial heap's tie-break — regardless of
+        // which shard holds which.
+        let t = 1_000u64;
+        let mut q = ShardedQueue::new(3);
+        q.push(2, (t, 0u64));
+        q.push(0, (t, 3u64));
+        q.push(1, (t, 1u64));
+        q.push(0, (t, 2u64));
+        // An earlier and a later event around the tie cluster.
+        q.push(1, (t - 1, 4u64));
+        q.push(2, (t + 1, 5u64));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop().map(|(_, it)| it)).collect();
+        assert_eq!(
+            order,
+            vec![(t - 1, 4), (t, 0), (t, 1), (t, 2), (t, 3), (t + 1, 5)],
+            "equal timestamps must pop in sequence order"
+        );
+    }
+
+    #[test]
+    fn identical_items_tiebreak_to_lowest_shard() {
+        // Fully identical keys (never produced by the event loop) resolve
+        // to the lowest shard index — pinned so the merge stays total.
+        let mut q = ShardedQueue::new(4);
+        q.push(3, (7u64, 7u64));
+        q.push(1, (7u64, 7u64));
+        q.push(2, (7u64, 7u64));
+        let shards: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(s, _)| s)).collect();
+        assert_eq!(shards, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn per_shard_conservation_after_drain() {
+        let mut q = ShardedQueue::new(4);
+        for i in 0u64..100 {
+            q.push((i % 4) as usize, (i * 37 % 91, i));
+        }
+        let mut filled = ShardedQueue::new(4);
+        filled.fill_shard(2, (0u64..10).map(|i| (i, i)).collect());
+        assert_eq!(filled.shard_len(2), 10);
+        assert_eq!(filled.len(), 10);
+        while q.pop().is_some() {}
+        while filled.pop().is_some() {}
+        for s in 0..4 {
+            assert_eq!(q.shard_pushes()[s], q.shard_pops()[s], "shard {s}");
+            assert_eq!(filled.shard_pushes()[s], filled.shard_pops()[s], "shard {s}");
+        }
+        assert_eq!(q.shard_pushes().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn ready_index_orders_by_wait_then_id() {
+        let mut idx = ReadyIndex::new();
+        idx.set_ready(class(16), ReadyIndex::ready_key(200.0, 9));
+        idx.set_ready(class(32), ReadyIndex::ready_key(100.0, 12));
+        assert_eq!(idx.best(), Some(class(32)), "older head wins");
+        idx.set_ready(class(64), ReadyIndex::ready_key(100.0, 3));
+        assert_eq!(idx.best(), Some(class(64)), "equal arrival: lower id wins");
+        idx.clear(class(64));
+        assert_eq!(idx.best(), Some(class(32)));
+        // Re-marking replaces the old key (no stale entries linger).
+        idx.set_ready(class(32), ReadyIndex::ready_key(500.0, 12));
+        assert_eq!(idx.best(), Some(class(16)));
+    }
+
+    #[test]
+    fn ready_key_bits_order_like_values() {
+        // Non-negative finite f64 bit patterns sort like the values —
+        // the property the integer ready-set key relies on.
+        let times = [0.0, 1e-9, 0.5, 1.0, 50_000.0, 5e7, 1e308];
+        for w in times.windows(2) {
+            assert!(
+                ReadyIndex::ready_key(w[0], 0) < ReadyIndex::ready_key(w[1], 0),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn flagged_cursor_survives_promotion() {
+        let mut idx = ReadyIndex::new();
+        idx.set_flagged(class(16));
+        idx.set_flagged(class(32));
+        idx.set_flagged(class(64));
+        let first = idx.first_flagged().expect("flagged");
+        assert_eq!(first, class(16));
+        // Promoting the cursor's class must not derail the sweep.
+        idx.set_ready(first, ReadyIndex::ready_key(1.0, 1));
+        assert_eq!(idx.next_flagged_after(first), Some(class(32)));
+        assert_eq!(idx.next_flagged_after(class(32)), Some(class(64)));
+        assert_eq!(idx.next_flagged_after(class(64)), None);
+        // A flagged class never appears ready and vice versa.
+        assert_eq!(idx.best(), Some(class(16)));
+        idx.set_flagged(class(16));
+        assert_eq!(idx.best(), None);
+    }
+}

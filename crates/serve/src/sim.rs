@@ -2,14 +2,22 @@
 //!
 //! One [`simulate`] call models a fleet of `fleet` STAR accelerator
 //! instances fed from bounded per-class queues by an arrival process. The
-//! event loop is **single-threaded and fully ordered**: events are
-//! processed in `(time, sequence-number)` order from a binary heap, every
-//! random draw comes from one seeded `ChaCha8Rng` consumed in event
-//! order, and all collections iterate deterministically (`BTreeMap` /
-//! `BTreeSet`). Two runs with the same [`ServeConfig`] therefore produce
-//! bitwise-identical reports — parallelism lives *outside* the event loop
-//! (parameter sweeps fan out whole simulations over `star-exec`; see
-//! [`crate::sweep`]).
+//! event loop is **fully ordered**: events are processed in `(time,
+//! sequence-number)` order, every random draw comes from one seeded
+//! `ChaCha8Rng` consumed in event order, and all collections iterate
+//! deterministically (`BTreeMap` / `BTreeSet`). Two runs with the same
+//! [`ServeConfig`] therefore produce bitwise-identical reports.
+//!
+//! Event *storage* is sharded (see [`crate::shard`]): instances, request
+//! ids, and classes partition across per-shard heaps, popped through a
+//! deterministic min-of-heads merge that reproduces the single-heap pop
+//! sequence exactly — so the shard count (`STAR_SERVE_SHARDS`, or an
+//! explicit [`simulate_sharded`] argument) changes no output byte, a
+//! property the `shard_equivalence` differential suite pins across shard
+//! × thread grids. Open-loop seeding builds the per-shard heaps in
+//! parallel on `star-exec` workers; whole-simulation parallelism lives
+//! *outside* the event loop (parameter sweeps fan out over `star-exec`;
+//! see [`crate::sweep`]).
 //!
 //! # Event model
 //!
@@ -31,6 +39,7 @@ use crate::health::{FleetHealthReport, HealthConfig, HealthMonitor};
 use crate::model::{ServiceModel, ServiceModelConfig};
 use crate::profile::{phase, SimProfile};
 use crate::request::{Request, RequestClass, RequestRecord};
+use crate::shard::{shards_from_env, ReadyIndex, ShardLayout, ShardedQueue};
 use crate::slo::{ClassSloReport, LatencyStats, ServeReport};
 use crate::trace::{
     invocation_span, BatchTrace, RequestOutcome, RequestTrace, ServeTrace, SystemSample,
@@ -38,9 +47,9 @@ use crate::trace::{
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use star_exec::Executor;
 use star_telemetry::Span;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Instant;
 
 /// Complete description of one serving experiment.
@@ -152,11 +161,64 @@ impl Ord for Event {
     }
 }
 
+/// Telemetry facade sink. Identical registry effects to calling
+/// `star_telemetry` directly, plus one deterministic op-count bump per
+/// call when profiling — folded into `WorkCounters::telemetry_ops` at
+/// finalize. Lives in its own field so the hot path can call it while
+/// the cached metric-name table is borrowed.
+#[derive(Debug)]
+struct TelSink {
+    profiled: bool,
+    ops: u64,
+}
+
+impl TelSink {
+    #[inline]
+    fn bump(&mut self) {
+        if self.profiled {
+            self.ops += 1;
+        }
+    }
+
+    fn count(&mut self, name: &str, n: u64) {
+        self.bump();
+        star_telemetry::count(name, n);
+    }
+
+    fn add(&mut self, name: &str, v: f64) {
+        self.bump();
+        star_telemetry::add(name, v);
+    }
+
+    fn observe(&mut self, name: &str, v: f64) {
+        self.bump();
+        star_telemetry::observe(name, v);
+    }
+
+    fn observe_with(&mut self, name: &str, v: f64, bounds: &[f64]) {
+        self.bump();
+        star_telemetry::observe_with(name, v, bounds);
+    }
+}
+
+/// Pre-formatted per-class metric names, built once per run. (The loop
+/// used to `format!` two strings per completed request — a measurable
+/// slice of the instance-free phase the self-profiler flagged.)
+#[derive(Debug)]
+struct ClassNames {
+    latency_us: String,
+    queue_us: String,
+}
+
 /// The simulator state.
 struct Sim<'a> {
     cfg: &'a ServeConfig,
     service: ServiceModel,
-    heap: BinaryHeap<Reverse<Event>>,
+    /// Event storage: per-shard heaps with a deterministic min-of-heads
+    /// merge — pops in exactly the single-heap order for any shard count.
+    events: ShardedQueue<Event>,
+    layout: ShardLayout,
+    exec: &'a Executor,
     event_seq: u64,
     next_request_id: u64,
     rng: ChaCha8Rng,
@@ -164,6 +226,11 @@ struct Sim<'a> {
     queued_total: usize,
     idle: BTreeSet<usize>,
     armed_windows: BTreeMap<RequestClass, f64>,
+    /// Incremental ready/flagged class index — replaces the per-iteration
+    /// linear queue scan in the dispatcher.
+    ready: ReadyIndex,
+    class_names: BTreeMap<RequestClass, ClassNames>,
+    tel: TelSink,
     // Accounting.
     arrivals: u64,
     rejected: u64,
@@ -200,15 +267,26 @@ impl<'a> Sim<'a> {
         traced: bool,
         health: Option<&HealthConfig>,
         profiled: bool,
+        shards: usize,
+        exec: &'a Executor,
     ) -> Self {
         cfg.validate();
         let classes = cfg.mix.classes();
         let service = ServiceModel::new(cfg.service.clone(), &classes);
+        let layout = ShardLayout::new(shards, &classes);
         let mut queues = BTreeMap::new();
         let mut per_class = BTreeMap::new();
+        let mut class_names = BTreeMap::new();
         for class in classes {
             queues.insert(class, VecDeque::new());
             per_class.insert(class, ClassAccum::default());
+            class_names.insert(
+                class,
+                ClassNames {
+                    latency_us: format!("serve.class.{class}.latency_us"),
+                    queue_us: format!("serve.class.{class}.queue_us"),
+                },
+            );
         }
         let trace = traced.then(|| ServeTrace::new(cfg.fleet, cfg.deadline_ns));
         let health =
@@ -216,7 +294,9 @@ impl<'a> Sim<'a> {
         Sim {
             cfg,
             service,
-            heap: BinaryHeap::new(),
+            events: ShardedQueue::new(layout.shards()),
+            layout,
+            exec,
             event_seq: 0,
             next_request_id: 0,
             rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5EB5_E001),
@@ -224,6 +304,9 @@ impl<'a> Sim<'a> {
             queued_total: 0,
             idle: (0..cfg.fleet).collect(),
             armed_windows: BTreeMap::new(),
+            ready: ReadyIndex::new(),
+            class_names,
+            tel: TelSink { profiled, ops: 0 },
             arrivals: 0,
             rejected: 0,
             expired: 0,
@@ -278,38 +361,6 @@ impl<'a> Sim<'a> {
         }
     }
 
-    // Telemetry facade wrappers: identical registry effects to calling
-    // `star_telemetry` directly, plus one deterministic op-count bump
-    // when profiling — so the profile can report how much telemetry
-    // traffic the event loop generates per run.
-    fn tel_count(&mut self, name: &str, n: u64) {
-        if let Some(p) = self.profile.as_deref_mut() {
-            p.work.telemetry_ops += 1;
-        }
-        star_telemetry::count(name, n);
-    }
-
-    fn tel_add(&mut self, name: &str, v: f64) {
-        if let Some(p) = self.profile.as_deref_mut() {
-            p.work.telemetry_ops += 1;
-        }
-        star_telemetry::add(name, v);
-    }
-
-    fn tel_observe(&mut self, name: &str, v: f64) {
-        if let Some(p) = self.profile.as_deref_mut() {
-            p.work.telemetry_ops += 1;
-        }
-        star_telemetry::observe(name, v);
-    }
-
-    fn tel_observe_with(&mut self, name: &str, v: f64, bounds: &[f64]) {
-        if let Some(p) = self.profile.as_deref_mut() {
-            p.work.telemetry_ops += 1;
-        }
-        star_telemetry::observe_with(name, v, bounds);
-    }
-
     /// Samples post-event system state onto the trace timeseries (one
     /// sample per distinct event time; later events at the same instant
     /// overwrite, so the sample reflects the settled state).
@@ -327,19 +378,31 @@ impl<'a> Sim<'a> {
         t.samples.push(SystemSample { t_ns: now, queued, busy });
     }
 
+    /// The shard owning an event — a pure function of the event itself
+    /// (request id, class, or instance residue), so shard placement never
+    /// depends on processing history.
+    fn event_shard(&self, kind: &EventKind) -> usize {
+        match kind {
+            EventKind::Arrive(req) => self.layout.request_shard(req.id),
+            EventKind::WindowExpire(class) => self.layout.class_shard(class),
+            EventKind::InstanceFree { instance, .. } => self.layout.instance_shard(*instance),
+        }
+    }
+
     fn push_event(&mut self, time: f64, kind: EventKind) {
         debug_assert!(time.is_finite(), "event times must be finite");
         let seq = self.event_seq;
         self.event_seq += 1;
-        self.heap.push(Reverse(Event { time, seq, kind }));
+        let shard = self.event_shard(&kind);
+        self.events.push(shard, Event { time, seq, kind });
         if let Some(p) = self.profile.as_deref_mut() {
             p.work.heap_pushes += 1;
-            p.work.heap_peak = p.work.heap_peak.max(self.heap.len() as u64);
+            p.work.heap_peak = p.work.heap_peak.max(self.events.len() as u64);
         }
     }
 
-    /// Seeds the heap with the entire open-loop trace, or the first
-    /// request of every closed-loop client.
+    /// Seeds the event queue with the entire open-loop trace, or the
+    /// first request of every closed-loop client.
     fn seed_arrivals(&mut self) {
         match self.cfg.arrival {
             ArrivalProcess::Poisson(_) | ArrivalProcess::Mmpp(_) => {
@@ -350,8 +413,12 @@ impl<'a> Sim<'a> {
                     self.cfg.seed,
                 );
                 self.next_request_id = reqs.len() as u64;
-                for req in reqs {
-                    self.push_event(req.arrive_ns, EventKind::Arrive(req));
+                if self.layout.shards() > 1 {
+                    self.seed_open_loop_sharded(reqs);
+                } else {
+                    for req in reqs {
+                        self.push_event(req.arrive_ns, EventKind::Arrive(req));
+                    }
                 }
             }
             ArrivalProcess::ClosedLoop(crate::arrival::ClosedLoopArrival { clients, think_ns }) => {
@@ -362,6 +429,40 @@ impl<'a> Sim<'a> {
                     self.issue_client_request(client, t);
                 }
             }
+        }
+    }
+
+    /// Seeds the sharded queue from an open-loop trace by building every
+    /// shard's event set on a `star-exec` worker. An arrival's event is a
+    /// pure function of the request and its trace position (its sequence
+    /// number equals its index, exactly what the serial per-event push
+    /// assigns), so the per-shard heaps — and therefore every later pop —
+    /// are bitwise identical to serial seeding at any worker count.
+    fn seed_open_loop_sharded(&mut self, reqs: Vec<Request>) {
+        debug_assert_eq!(self.event_seq, 0, "seeding happens before any other push");
+        let shard_ids: Vec<usize> = (0..self.layout.shards()).collect();
+        let layout = &self.layout;
+        let per_shard: Vec<Vec<Event>> = self.exec.par_map(&shard_ids, |_, &shard| {
+            reqs.iter()
+                .enumerate()
+                .filter(|(_, req)| layout.request_shard(req.id) == shard)
+                .map(|(i, req)| Event {
+                    time: req.arrive_ns,
+                    seq: i as u64,
+                    kind: EventKind::Arrive(req.clone()),
+                })
+                .collect()
+        });
+        let n = reqs.len() as u64;
+        self.event_seq = n;
+        for (shard, events) in per_shard.into_iter().enumerate() {
+            self.events.fill_shard(shard, events);
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            // Bulk accounting identical to n serial pushes: seeding only
+            // grows the queue, so its peak is its final length.
+            p.work.heap_pushes += n;
+            p.work.heap_peak = p.work.heap_peak.max(self.events.len() as u64);
         }
     }
 
@@ -392,11 +493,11 @@ impl<'a> Sim<'a> {
     fn on_arrive(&mut self, now: f64, req: Request) {
         self.arrivals += 1;
         self.per_class.get_mut(&req.class).expect("mix classes pre-registered").arrivals += 1;
-        self.tel_count("serve.requests.arrived", 1);
+        self.tel.count("serve.requests.arrived", 1);
         if self.queued_total >= self.cfg.max_queue {
             self.rejected += 1;
             self.per_class.get_mut(&req.class).expect("class registered").rejected += 1;
-            self.tel_count("serve.requests.rejected", 1);
+            self.tel.count("serve.requests.rejected", 1);
             let tt = self.tick_if(self.trace.is_some());
             if let Some(t) = self.trace.as_mut() {
                 // A rejected request's whole lifecycle is one instant.
@@ -413,11 +514,15 @@ impl<'a> Sim<'a> {
             self.client_think_and_reissue(req.client, now);
             return;
         }
-        self.tel_count("serve.requests.admitted", 1);
+        self.tel.count("serve.requests.admitted", 1);
         self.in_system += 1;
         self.max_in_system = self.max_in_system.max(self.in_system);
         self.queued_total += 1;
-        self.queues.get_mut(&req.class).expect("mix classes pre-registered").push_back(req);
+        let class = req.class;
+        self.queues.get_mut(&class).expect("mix classes pre-registered").push_back(req);
+        // Enqueue is one of the two points where class readiness can
+        // change; re-evaluate its slot in the ready index.
+        self.reindex_class(now, class);
         self.try_dispatch(now);
     }
 
@@ -471,15 +576,17 @@ impl<'a> Sim<'a> {
             } else {
                 self.late += 1;
                 acc.late += 1;
-                self.tel_count("serve.requests.late", 1);
+                self.tel.count("serve.requests.late", 1);
             }
-            self.tel_count("serve.requests.completed", 1);
-            self.tel_observe("serve.latency_us", latency / 1e3);
-            self.tel_observe("serve.queue_us", queue_ns / 1e3);
+            self.tel.count("serve.requests.completed", 1);
+            self.tel.observe("serve.latency_us", latency / 1e3);
+            self.tel.observe("serve.queue_us", queue_ns / 1e3);
             // Per-class span-duration histograms: the dashboard view of
-            // the per-request span tree's two lifecycle children.
-            self.tel_observe(&format!("serve.class.{}.latency_us", req.class), latency / 1e3);
-            self.tel_observe(&format!("serve.class.{}.queue_us", req.class), queue_ns / 1e3);
+            // the per-request span tree's two lifecycle children (names
+            // pre-formatted at construction — no per-request `format!`).
+            let names = self.class_names.get(&req.class).expect("class registered");
+            self.tel.observe(&names.latency_us, latency / 1e3);
+            self.tel.observe(&names.queue_us, queue_ns / 1e3);
             let tt = self.tick_if(self.trace.is_some());
             if let (Some(t), Some(p)) = (self.trace.as_mut(), phases.as_ref()) {
                 let span = Span::leaf(
@@ -532,29 +639,49 @@ impl<'a> Sim<'a> {
         self.tock(phase::DISPATCH, td);
     }
 
-    fn dispatch_loop(&mut self, now: f64) {
-        while !self.idle.is_empty() {
-            if let Some(p) = self.profile.as_deref_mut() {
-                p.work.dispatch_scans += 1;
-            }
-            // The ready class whose head has waited longest (ties broken
-            // by request id, then by class order via the BTreeMap scan).
-            let mut best: Option<(f64, u64, RequestClass)> = None;
-            let mut to_arm: Vec<(RequestClass, f64)> = Vec::new();
-            for (&class, q) in &self.queues {
-                let Some(head) = q.front() else { continue };
-                let expiry = head.arrive_ns + self.cfg.policy.window_ns;
-                let ready = q.len() >= self.cfg.policy.max_batch || now >= expiry;
-                if ready {
-                    let key = (head.arrive_ns, head.id);
-                    if best.is_none_or(|(t, id, _)| key < (t, id)) {
-                        best = Some((key.0, key.1, class));
-                    }
+    /// Re-evaluates `class`'s slot in the ready index from its queue
+    /// state. Called at the two points where readiness can change shape:
+    /// enqueue (length grows, or a first head appears) and batch
+    /// formation (the head changes or the queue empties). Between those
+    /// points readiness is monotone — queues only grow and time only
+    /// advances — so promotions *by time* are handled lazily by the
+    /// arming sweep inside the dispatch loop, exactly where the serial
+    /// scan used to notice them.
+    fn reindex_class(&mut self, now: f64, class: RequestClass) {
+        let q = self.queues.get(&class).expect("class registered");
+        match q.front() {
+            None => self.ready.clear(class),
+            Some(head) => {
+                if self.cfg.policy.head_ready(q.len(), now, head.arrive_ns) {
+                    let key = ReadyIndex::ready_key(head.arrive_ns, head.id);
+                    self.ready.set_ready(class, key);
                 } else {
-                    to_arm.push((class, expiry));
+                    self.ready.set_flagged(class);
                 }
             }
-            for (class, expiry) in to_arm {
+        }
+    }
+
+    /// The window-arming sweep: walks the flagged classes in class
+    /// order, promoting any whose window has elapsed and arming one
+    /// wake-up event for the rest. This is push-for-push identical to
+    /// the serial scan's arming pass — same classes, same order, same
+    /// coverage check — which is what keeps the event stream (and
+    /// therefore every report, golden, and trace byte) unchanged.
+    fn arm_flagged(&mut self, now: f64) {
+        let mut cursor = self.ready.first_flagged();
+        while let Some(class) = cursor {
+            cursor = self.ready.next_flagged_after(class);
+            let head = self
+                .queues
+                .get(&class)
+                .and_then(|q| q.front())
+                .expect("flagged class has a queued head");
+            let (arrive_ns, id) = (head.arrive_ns, head.id);
+            let expiry = self.cfg.policy.expiry_ns(arrive_ns);
+            if now >= expiry {
+                self.ready.set_ready(class, ReadyIndex::ready_key(arrive_ns, id));
+            } else {
                 // Arm one wake-up per class; re-arm only if nothing
                 // earlier is pending (duplicates would be harmless but
                 // noisy).
@@ -565,8 +692,25 @@ impl<'a> Sim<'a> {
                     self.push_event(expiry, EventKind::WindowExpire(class));
                 }
             }
-            let Some((_, _, class)) = best else { break };
+        }
+    }
+
+    fn dispatch_loop(&mut self, now: f64) {
+        while !self.idle.is_empty() {
+            self.arm_flagged(now);
+            // The ready class whose head has waited longest (ties broken
+            // by request id; ids are unique), straight off the index —
+            // the serial loop rescanned every class queue here.
+            let Some(class) = self.ready.best() else { break };
+            if let Some(p) = self.profile.as_deref_mut() {
+                // One "scan" per indexed ready-pop, i.e. per dispatch
+                // attempt — a pure function of the batch sequence (the
+                // serial dispatcher counted full queue sweeps here,
+                // which also made the count fleet-dependent).
+                p.work.dispatch_scans += 1;
+            }
             let members = self.form_batch(now, class);
+            self.reindex_class(now, class);
             if members.is_empty() {
                 continue; // everything at the head had expired
             }
@@ -598,13 +742,13 @@ impl<'a> Sim<'a> {
                 p.work.batches_formed += 1;
                 p.work.batch_members += size as u64;
             }
-            self.tel_count("serve.batches.dispatched", 1);
-            self.tel_observe_with(
+            self.tel.count("serve.batches.dispatched", 1);
+            self.tel.observe_with(
                 "serve.batch.size",
                 size as f64,
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
             );
-            self.tel_add("serve.energy.total_pj", cost.energy_pj);
+            self.tel.add("serve.energy.total_pj", cost.energy_pj);
             let finish = now + cost.latency_ns;
             self.push_event(
                 finish,
@@ -639,7 +783,7 @@ impl<'a> Sim<'a> {
         if !dead.is_empty() {
             // One facade call for the whole sweep: `count(name, n)` folds
             // identically to n unit counts in every registry snapshot.
-            self.tel_count("serve.requests.expired", dead.len() as u64);
+            self.tel.count("serve.requests.expired", dead.len() as u64);
             if let Some(p) = self.profile.as_deref_mut() {
                 p.work.expired_drops += dead.len() as u64;
             }
@@ -679,7 +823,10 @@ impl<'a> Sim<'a> {
     fn run(mut self) -> SimOutcome {
         let run_start = self.tick();
         self.seed_arrivals();
-        while let Some(Reverse(event)) = self.heap.pop() {
+        // The cross-shard merge pop: every iteration synchronizes the
+        // shards on the global (time, seq) minimum — a lockstep barrier
+        // per event, which is what preserves bitwise replay.
+        while let Some((_, event)) = self.events.pop() {
             self.makespan_ns = self.makespan_ns.max(event.time);
             if let Some(p) = self.profile.as_deref_mut() {
                 p.work.events_total += 1;
@@ -709,7 +856,7 @@ impl<'a> Sim<'a> {
                 // Post-event settled state, same convention as the trace
                 // timeseries sample below.
                 p.work.queue_depth_hist.record(self.queued_total as u64);
-                p.work.backlog_hist.record(self.heap.len() as u64);
+                p.work.backlog_hist.record(self.events.len() as u64);
             }
             let ts = self.tick();
             self.record_sample(event.time);
@@ -720,6 +867,10 @@ impl<'a> Sim<'a> {
         }
         debug_assert_eq!(self.queued_total, 0, "drain leaves no queued request");
         debug_assert_eq!(self.in_system, 0, "every admitted request completes or expires");
+        debug_assert!(
+            self.events.shard_pushes().iter().zip(self.events.shard_pops()).all(|(p, q)| p == q),
+            "per-shard conservation: every shard drains exactly what it received"
+        );
         let tf = self.tick();
         let makespan_s = (self.makespan_ns * 1e-9).max(f64::MIN_POSITIVE);
         if let Some(t) = self.trace.as_mut() {
@@ -781,7 +932,9 @@ impl<'a> Sim<'a> {
             }
             health_report
         });
+        let tel_ops = self.tel.ops;
         let profile = self.profile.take().map(|mut p| {
+            p.work.telemetry_ops = tel_ops;
             if let Some(tf) = tf {
                 p.wall.record(phase::FINALIZE, tf.elapsed());
             }
@@ -814,12 +967,60 @@ pub struct SimOutcome {
 
 /// Runs the serving simulation and returns its report.
 ///
+/// The event-queue shard count comes from `STAR_SERVE_SHARDS` (default
+/// 1); any value produces the same bytes — see [`simulate_sharded`].
+///
 /// # Panics
 ///
 /// Panics on invalid configuration (zero fleet, non-positive deadline,
 /// horizon, or queue bound; unknown classes).
 pub fn simulate(cfg: &ServeConfig) -> ServeReport {
-    Sim::new(cfg, false, None, false).run().report
+    let exec = Executor::from_env();
+    Sim::new(cfg, false, None, false, shards_from_env(), &exec).run().report
+}
+
+/// Like [`simulate`] with an explicit event-queue shard count, clamped
+/// to `1..=`[`crate::shard::MAX_SHARDS`]. Sharding partitions event
+/// *storage* only — instances, request ids, and classes map to per-shard
+/// heaps, popped through a deterministic min-of-heads merge in the exact
+/// single-heap order — so the returned report is **bitwise identical**
+/// to the serial loop's for any shard count (the `shard_equivalence`
+/// suite pins this across shard × thread grids). Open-loop seeding fans
+/// out across `star-exec` workers; `shards = 1` is exactly the serial
+/// layout.
+pub fn simulate_sharded(cfg: &ServeConfig, shards: usize) -> ServeReport {
+    let exec = Executor::from_env();
+    Sim::new(cfg, false, None, false, shards, &exec).run().report
+}
+
+/// The fully general sharded entry point: explicit shard count plus any
+/// combination of tracing, health monitoring, and self-profiling. Every
+/// observer and the shard count preserve the no-perturbation invariant
+/// (wear-leveling, when explicitly enabled in `health`, is the single
+/// documented exception).
+pub fn simulate_sharded_with(
+    cfg: &ServeConfig,
+    shards: usize,
+    traced: bool,
+    health: Option<&HealthConfig>,
+    profiled: bool,
+) -> SimOutcome {
+    let exec = Executor::from_env();
+    Sim::new(cfg, traced, health, profiled, shards, &exec).run()
+}
+
+/// [`simulate_sharded_with`] on a caller-supplied executor — the hook
+/// the differential suite uses to vary worker counts in-process instead
+/// of through `STAR_EXEC_THREADS`.
+pub fn simulate_sharded_on(
+    cfg: &ServeConfig,
+    shards: usize,
+    traced: bool,
+    health: Option<&HealthConfig>,
+    profiled: bool,
+    exec: &Executor,
+) -> SimOutcome {
+    Sim::new(cfg, traced, health, profiled, shards, exec).run()
 }
 
 /// Like [`simulate`], but also collects per-request records and the full
@@ -828,7 +1029,8 @@ pub fn simulate(cfg: &ServeConfig) -> ServeReport {
 /// untraced run: tracing consumes no RNG draws and perturbs no event
 /// arithmetic.
 pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
-    Sim::new(cfg, true, None, false).run()
+    let exec = Executor::from_env();
+    Sim::new(cfg, true, None, false, shards_from_env(), &exec).run()
 }
 
 /// Like [`simulate`], with the device-health monitor attached: wear
@@ -839,7 +1041,8 @@ pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
 /// identical to the unmonitored run (the monitor consumes no RNG draws
 /// and perturbs no event arithmetic — a test pins this).
 pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
-    Sim::new(cfg, false, Some(health), false).run()
+    let exec = Executor::from_env();
+    Sim::new(cfg, false, Some(health), false, shards_from_env(), &exec).run()
 }
 
 /// [`simulate_traced`] plus the device-health monitor: the trace also
@@ -847,7 +1050,8 @@ pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcom
 /// temperature / accuracy-margin / wear counter tracks in the Perfetto
 /// export).
 pub fn simulate_traced_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
-    Sim::new(cfg, true, Some(health), false).run()
+    let exec = Executor::from_env();
+    Sim::new(cfg, true, Some(health), false, shards_from_env(), &exec).run()
 }
 
 /// Like [`simulate`], with the simulator's self-profiler attached: the
@@ -857,7 +1061,8 @@ pub fn simulate_traced_monitored(cfg: &ServeConfig, health: &HealthConfig) -> Si
 /// returned [`ServeReport`] is bitwise identical to the unprofiled run
 /// (a test pins this).
 pub fn simulate_profiled(cfg: &ServeConfig) -> SimOutcome {
-    Sim::new(cfg, false, None, true).run()
+    let exec = Executor::from_env();
+    Sim::new(cfg, false, None, true, shards_from_env(), &exec).run()
 }
 
 /// The fully general entry point: any combination of tracing, health
@@ -869,7 +1074,8 @@ pub fn simulate_profiled_with(
     traced: bool,
     health: Option<&HealthConfig>,
 ) -> SimOutcome {
-    Sim::new(cfg, traced, health, true).run()
+    let exec = Executor::from_env();
+    Sim::new(cfg, traced, health, true, shards_from_env(), &exec).run()
 }
 
 #[cfg(test)]
@@ -895,6 +1101,24 @@ mod tests {
         let mut other = cfg;
         other.seed ^= 1;
         assert_ne!(simulate(&other), a);
+    }
+
+    #[test]
+    fn sharded_event_queue_is_invisible_in_the_report() {
+        // The headline sharding invariant at unit scope (the full
+        // differential grid lives in tests/shard_equivalence.rs): any
+        // shard count, including non-powers-of-two and counts above the
+        // fleet size, produces the serial loop's exact report.
+        let cfg = ServeConfig::example();
+        let serial = simulate_sharded(&cfg, 1);
+        assert_eq!(serial, simulate(&cfg), "env default is the serial layout");
+        for shards in [2usize, 3, 8, 64] {
+            assert_eq!(serial, simulate_sharded(&cfg, shards), "{shards} shards");
+        }
+        // Closed-loop arrivals exercise the per-event seeding path too.
+        let mut closed = cfg;
+        closed.arrival = ArrivalProcess::closed_loop(5, 50_000.0);
+        assert_eq!(simulate_sharded(&closed, 1), simulate_sharded(&closed, 4));
     }
 
     #[test]

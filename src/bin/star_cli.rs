@@ -34,7 +34,7 @@ COMMANDS:
                                    utilization summary goes to stderr
     metrics <format> [seq]         run a representative softmax workload and
                                    print the telemetry counter/gauge table
-    serve [rate] [fleet] [batch] [window_us] [--trace[=PATH]]
+    serve [rate] [fleet] [batch] [window_us] [--trace[=PATH]] [--shards=N]
                                    simulate a fleet of STAR instances serving
                                    Poisson BERT-base/128 traffic against a
                                    2 ms SLO and print the goodput/latency
@@ -44,7 +44,10 @@ COMMANDS:
                                    queue/utilization counter tracks as
                                    Perfetto-loadable JSON (default path
                                    serve_trace.json) and print the SLO
-                                   burn-rate analysis
+                                   burn-rate analysis. --shards=N runs the
+                                   event loop on N event-queue shards
+                                   (1..=64; output is bitwise identical at
+                                   any shard count — engine choice only)
     trace-analyze <file> [k]       re-analyze a `serve --trace` file:
                                    availability, burn-rate windows,
                                    time-to-first-violation, per-class
@@ -58,7 +61,7 @@ COMMANDS:
                                    projection (time to first degradation,
                                    lifetime inferences). --level enables
                                    round-robin wear-leveling placement
-    profile [rate] [fleet] [batch] [window_us] [--trace[=PATH]]
+    profile [rate] [fleet] [batch] [window_us] [--trace[=PATH]] [--shards=N]
                                    run the serve simulation with the
                                    simulator self-profiler: deterministic
                                    work counters (events, heap traffic,
@@ -66,7 +69,10 @@ COMMANDS:
                                    plus the wall-clock top-phases table.
                                    With --trace, also write a Chrome
                                    meta-trace of the simulator's own time
-                                   (default path profile_trace.json)
+                                   (default path profile_trace.json).
+                                   --shards=N as in serve — the work
+                                   counters prove the shard count changes
+                                   nothing
     help                           this message
 
 Paper formats: CNEWS = q5.2 (8 bits), MRPC = q5.3 (9 bits), CoLA = q4.2 (7 bits).";
@@ -265,6 +271,15 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the value of a `--shards=N` flag: 1..=`MAX_SHARDS`.
+fn parse_shards(text: &str) -> Result<usize, String> {
+    let n: usize = text.parse().map_err(|_| format!("`{text}` is not a shard count"))?;
+    if !(1..=star::serve::MAX_SHARDS).contains(&n) {
+        return Err(format!("shard count must be in 1..={}", star::serve::MAX_SHARDS));
+    }
+    Ok(n)
+}
+
 /// Parses a positional argument with a default, rejecting zero.
 fn parse_positive<T: std::str::FromStr + PartialOrd + Default>(
     arg: Option<&String>,
@@ -283,12 +298,14 @@ fn parse_positive<T: std::str::FromStr + PartialOrd + Default>(
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use star::serve::{
-        simulate, simulate_traced, ArrivalProcess, BatchPolicy, ModelKind, RequestClass,
-        ServeConfig, ServiceModel, ServiceModelConfig, SloAnalysis, SloPolicy, WorkloadMix,
+        shards_from_env, simulate_sharded_with, ArrivalProcess, BatchPolicy, ModelKind,
+        RequestClass, ServeConfig, ServiceModel, ServiceModelConfig, SloAnalysis, SloPolicy,
+        WorkloadMix,
     };
-    // Split flags from positionals so --trace composes with every
-    // positional combination.
+    // Split flags from positionals so --trace/--shards compose with
+    // every positional combination.
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut shards: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
     for a in args {
         if a == "--trace" {
@@ -298,6 +315,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 return Err("--trace= needs a path".into());
             }
             trace_path = Some(p.into());
+        } else if let Some(n) = a.strip_prefix("--shards=") {
+            shards = Some(parse_shards(n)?);
         } else if a.starts_with("--") {
             return Err(format!("unknown flag `{a}`"));
         } else {
@@ -331,12 +350,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         service: ServiceModelConfig::default(),
     };
     let service = ServiceModel::new(cfg.service.clone(), &[class]);
-    let (r, trace) = if trace_path.is_some() {
-        let outcome = simulate_traced(&cfg);
-        (outcome.report, outcome.trace)
-    } else {
-        (simulate(&cfg), None)
-    };
+    // --shards picks the event-queue layout; the report is bitwise
+    // identical at any count, so this is an engine choice, not a knob.
+    let shards = shards.unwrap_or_else(shards_from_env);
+    let outcome = simulate_sharded_with(&cfg, shards, trace_path.is_some(), None, false);
+    let (r, trace) = (outcome.report, outcome.trace);
 
     println!("serving {class} on {fleet} STAR instance(s), policy {}:", cfg.policy);
     println!(
@@ -504,10 +522,11 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
 
 fn cmd_profile(args: &[String]) -> Result<(), String> {
     use star::serve::{
-        simulate_profiled, ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig,
-        ServiceModelConfig, WorkloadMix,
+        shards_from_env, simulate_sharded_with, ArrivalProcess, BatchPolicy, ModelKind,
+        RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
     };
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut shards: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
     for a in args {
         if a == "--trace" {
@@ -517,6 +536,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
                 return Err("--trace= needs a path".into());
             }
             trace_path = Some(p.into());
+        } else if let Some(n) = a.strip_prefix("--shards=") {
+            shards = Some(parse_shards(n)?);
         } else if a.starts_with("--") {
             return Err(format!("unknown flag `{a}`"));
         } else {
@@ -549,7 +570,8 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         deadline_ns: 2e6,
         service: ServiceModelConfig::default(),
     };
-    let outcome = simulate_profiled(&cfg);
+    let shards = shards.unwrap_or_else(shards_from_env);
+    let outcome = simulate_sharded_with(&cfg, shards, false, None, true);
     let r = &outcome.report;
     let profile = outcome.profile.as_ref().expect("profiled run carries a profile");
 
@@ -737,6 +759,24 @@ mod tests {
         assert!(cmd_serve(&["inf".into()]).is_err());
         assert!(cmd_serve(&["--trace=".into()]).is_err());
         assert!(cmd_serve(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_and_profile_accept_shard_counts() {
+        cmd_serve(&["8000".into(), "1".into(), "--shards=4".into()]).expect("serve sharded");
+        cmd_profile(&["8000".into(), "1".into(), "--shards=8".into()]).expect("profile sharded");
+    }
+
+    #[test]
+    fn shard_flag_rejects_bad_counts() {
+        assert_eq!(parse_shards("1").unwrap(), 1);
+        assert_eq!(parse_shards("64").unwrap(), star::serve::MAX_SHARDS);
+        assert!(parse_shards("0").is_err());
+        assert!(parse_shards("65").is_err());
+        assert!(parse_shards("eight").is_err());
+        assert!(cmd_serve(&["--shards=0".into()]).is_err());
+        assert!(cmd_serve(&["--shards=".into()]).is_err());
+        assert!(cmd_profile(&["--shards=999".into()]).is_err());
     }
 
     #[test]

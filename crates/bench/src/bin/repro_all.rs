@@ -23,7 +23,7 @@ use star_exec::Executor;
 use std::path::Path;
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "e1_softmax_share",
     "e2_table1",
     "e3_fig3",
@@ -38,6 +38,7 @@ const EXPERIMENTS: [&str; 14] = [
     "a7_pareto",
     "a8_serving",
     "a9_device_health",
+    "a10_fleet_control",
 ];
 
 /// Outcome of one experiment child process.

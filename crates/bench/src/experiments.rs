@@ -115,8 +115,8 @@ pub fn e3_fig3_result() -> serde_json::Value {
 /// (~35.2 krps), which is exactly where dynamic batching pays.
 pub fn a8_serving_cases() -> (star_serve::ServeConfig, Vec<star_serve::SweepCase>) {
     use star_serve::{
-        ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig, ServiceModelConfig,
-        WorkloadMix,
+        ArrivalProcess, BatchPolicy, ControlConfig, ModelKind, RequestClass, ServeConfig,
+        ServiceModelConfig, WorkloadMix,
     };
     let base = ServeConfig {
         fleet: 2,
@@ -128,6 +128,7 @@ pub fn a8_serving_cases() -> (star_serve::ServeConfig, Vec<star_serve::SweepCase
         max_queue: 256,
         deadline_ns: 2e6, // 2 ms SLO
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     };
     let cases = star_serve::grid(
         &base,
@@ -150,8 +151,8 @@ pub fn a8_serving_cases() -> (star_serve::ServeConfig, Vec<star_serve::SweepCase
 pub fn a9_device_health_cases(
 ) -> (star_serve::ServeConfig, star_serve::HealthConfig, Vec<star_serve::SweepCase>) {
     use star_serve::{
-        ArrivalProcess, BatchPolicy, HealthConfig, ModelKind, RequestClass, ServeConfig,
-        ServiceModelConfig, WorkloadMix,
+        ArrivalProcess, BatchPolicy, ControlConfig, HealthConfig, ModelKind, RequestClass,
+        ServeConfig, ServiceModelConfig, WorkloadMix,
     };
     let base = ServeConfig {
         fleet: 2,
@@ -163,6 +164,7 @@ pub fn a9_device_health_cases(
         max_queue: 256,
         deadline_ns: 2e6,
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     };
     let cases = star_serve::grid(
         &base,
@@ -310,6 +312,300 @@ pub fn a9_device_health_result() -> serde_json::Value {
                 .hot_cell_writes_per_layer()
                 * AttentionConfig::bert_base(128).num_layers as u64,
         },
+    })
+}
+
+/// The A10 operating point: the A8 mixed 70/30 tenant mix (BERT-base
+/// seq-128 premium, seq-64 economy) on the batch-8 fleet, driven by a
+/// bursty MMPP ramp — an 8 krps background flipping to 40 krps bursts
+/// with 10 ms mean dwells — against the 2 ms SLO. The burst saturates
+/// one instance (mixed batch-8 capacity ≈ 20.5 krps, and queueing past
+/// ~75% utilization blows the 2 ms budget) but rides comfortably on
+/// two, so the static-provisioning answer pays for burst capacity
+/// around the clock while the background phase needs half of it: the
+/// gap the autoscaler collects. Fleet size and control plane are
+/// per-case.
+pub fn a10_fleet_control_base() -> star_serve::ServeConfig {
+    use star_serve::{
+        ArrivalProcess, BatchPolicy, ControlConfig, ModelKind, RequestClass, ServeConfig,
+        ServiceModelConfig, WorkloadMix,
+    };
+    ServeConfig {
+        fleet: 1,
+        policy: BatchPolicy::new(8, 50_000.0),
+        arrival: ArrivalProcess::mmpp(8_000.0, 40_000.0, 1e7, 1e7),
+        mix: WorkloadMix::new(vec![
+            (RequestClass::new(ModelKind::BertBase, 128), 0.7),
+            (RequestClass::new(ModelKind::BertBase, 64), 0.3),
+        ]),
+        horizon_ns: 1e8,
+        seed: 2023,
+        max_queue: 256,
+        deadline_ns: 2e6,
+        service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
+    }
+}
+
+/// The static fleet sizes the A10 provisioning sweep evaluates.
+pub const A10_STATIC_FLEETS: [usize; 4] = [1, 2, 3, 4];
+
+/// SLO attainment (`good / arrivals`) a fleet must reach to "meet" the
+/// 2 ms SLO in A10 — one nine, the same bar `SloPolicy` burn windows
+/// default to.
+pub const A10_SLO_ATTAINMENT: f64 = 0.99;
+
+/// The A10 autoscaler: 0.5 ms checks and cooldown so the fleet tracks a
+/// 10 ms burst within a couple of milliseconds, scale-up at queue depth
+/// 8 or a hot SLO-burn interval, scale-down at depth 2 or below.
+pub fn a10_autoscaler() -> star_serve::AutoscaleConfig {
+    star_serve::AutoscaleConfig {
+        check_interval_ns: 5e5,
+        up_queue_depth: 8,
+        down_queue_depth: 2,
+        cooldown_ns: 5e5,
+        ..star_serve::AutoscaleConfig::new(1, *A10_STATIC_FLEETS.last().expect("non-empty"))
+    }
+}
+
+/// The machine-readable A10 fleet-control result.
+///
+/// Three legs, all on the same bursty mixed-tenant workload:
+///
+/// 1. **Static provisioning sweep** — fleets of 1–4 instances with the
+///    control plane off. The smallest fleet reaching
+///    [`A10_SLO_ATTAINMENT`] is the best static answer; it pays
+///    `fleet × makespan` instance-seconds around the clock.
+/// 2. **Autoscaled fleets, one per dequeue policy** — FIFO,
+///    weighted-fair (premium tenant at weight 2), and EDF (economy
+///    tenant on a tighter 1 ms deadline), each between 1 and 4
+///    instances under [`a10_autoscaler`] with least-loaded placement.
+///    Each leg reports SLO attainment, allocated instance-seconds, the
+///    scale-event timeline, convergence time (first time at peak), and
+///    over-provisioning (allocated / busy instance-seconds).
+/// 3. **Heterogeneous fleet** — one two-instance fleet mixing a
+///    half-width q3.5 economy build (index 0) with the paper's q5.3
+///    build (index 1), run under energy-greedy and again under
+///    first-idle placement: first-idle lands on the economy build by
+///    index order, so the energy/request gap between the two runs is
+///    the value of cost-aware placement on a heterogeneous fleet.
+///
+/// The headline asserts the acceptance criterion: every autoscaled
+/// policy meets the SLO bar at **strictly lower** instance-seconds than
+/// the best static fleet.
+///
+/// Runs fan out over `star_exec::Executor::from_env()`; per-case
+/// telemetry is recorded in scoped registries and absorbed in case
+/// order, so the result is byte-identical for any `STAR_EXEC_THREADS`.
+pub fn a10_fleet_control_result() -> serde_json::Value {
+    use star_serve::{
+        simulate_sharded_with, ControlConfig, DequeuePolicy, ModelKind, PlacementPolicy,
+        RequestClass, ServeConfig, ServiceModelConfig,
+    };
+    let base = a10_fleet_control_base();
+    let premium = RequestClass::new(ModelKind::BertBase, 128);
+    let economy = RequestClass::new(ModelKind::BertBase, 64);
+
+    // Case table: statics, then one autoscaled leg per dequeue policy,
+    // then the heterogeneous pair. One flat list so the executor fan-out
+    // and the telemetry absorb order are a single case order.
+    let autoscaled = |dequeue: DequeuePolicy| ControlConfig {
+        dequeue,
+        placement: PlacementPolicy::LeastLoaded,
+        autoscale: Some(a10_autoscaler()),
+        instance_services: Vec::new(),
+    };
+    let mut cases: Vec<(String, ServeConfig)> = A10_STATIC_FLEETS
+        .iter()
+        .map(|&fleet| (format!("static/fleet{fleet}"), ServeConfig { fleet, ..base.clone() }))
+        .collect();
+    let policies = [
+        ("fifo", DequeuePolicy::Fifo),
+        ("wfq", DequeuePolicy::weighted_fair(vec![(premium, 2.0), (economy, 1.0)])),
+        ("edf", DequeuePolicy::earliest_deadline(vec![(premium, 2e6), (economy, 1e6)])),
+    ];
+    for (name, dequeue) in &policies {
+        cases.push((
+            format!("autoscaled/{name}"),
+            ServeConfig { fleet: 1, control: autoscaled(dequeue.clone()), ..base.clone() },
+        ));
+    }
+    // The heterogeneous fleet: a half-width economy build (5 softmax
+    // engines, q3.5) at index 0 — slower and costlier per batch — with
+    // the paper's q5.3 build at index 1. First-idle placement lands on
+    // the economy instance whenever both are free; energy-greedy has to
+    // notice the paper build quotes cheaper and route around index
+    // order. Same fleet, two placements: the gap is pure placement.
+    let economy =
+        ServiceModelConfig { format: (3, 5), softmax_units: 5, ..ServiceModelConfig::default() };
+    for placement in [PlacementPolicy::EnergyGreedy, PlacementPolicy::FirstIdle] {
+        cases.push((
+            format!("hetero/q35-econ+q53/{}", placement.name()),
+            ServeConfig {
+                fleet: 2,
+                control: ControlConfig {
+                    placement,
+                    instance_services: vec![economy.clone(), base.service.clone()],
+                    ..ControlConfig::default()
+                },
+                ..base.clone()
+            },
+        ));
+    }
+
+    let exec = star_exec::Executor::from_env();
+    let outcomes = exec.par_map(&cases, |_, (_, cfg)| {
+        star_telemetry::with_scoped(|| simulate_sharded_with(cfg, 1, false, None, false))
+    });
+    let outcomes: Vec<star_serve::SimOutcome> = outcomes
+        .into_iter()
+        .map(|(outcome, snap)| {
+            star_telemetry::absorb(&snap);
+            outcome
+        })
+        .collect();
+
+    let attainment = |r: &star_serve::ServeReport| r.good as f64 / r.arrivals as f64;
+    // Busy instance-seconds actually consumed: the utilization vector is
+    // busy_ns / makespan per slot, so its sum × makespan integrates the
+    // busy time across the fleet.
+    let busy_s =
+        |r: &star_serve::ServeReport| r.utilization.iter().sum::<f64>() * r.makespan_ns * 1e-9;
+
+    let static_rows: Vec<(String, usize, f64, f64, f64)> = cases[..A10_STATIC_FLEETS.len()]
+        .iter()
+        .zip(&outcomes)
+        .map(|((label, cfg), outcome)| {
+            let r = &outcome.report;
+            let allocated_s = cfg.fleet as f64 * r.makespan_ns * 1e-9;
+            (label.clone(), cfg.fleet, attainment(r), allocated_s, busy_s(r))
+        })
+        .collect();
+    let statics: Vec<serde_json::Value> = static_rows
+        .iter()
+        .zip(&outcomes)
+        .map(|((label, fleet, att, allocated_s, busy), outcome)| {
+            let r = &outcome.report;
+            serde_json::json!({
+                "label": label,
+                "fleet": fleet,
+                "slo_attainment": att,
+                "meets_slo": *att >= A10_SLO_ATTAINMENT,
+                "instance_seconds": allocated_s,
+                "busy_instance_seconds": busy,
+                "over_provisioning": allocated_s / busy,
+                "goodput_rps": r.goodput_rps,
+                "p99_ms": r.latency.p99_ms,
+                "rejected": r.rejected,
+                "expired": r.expired,
+                "energy_per_request_nj": r.energy_per_request_nj,
+            })
+        })
+        .collect();
+    let (_, best_static_fleet, _, best_static_seconds, _) = static_rows
+        .iter()
+        .find(|(_, _, att, _, _)| *att >= A10_SLO_ATTAINMENT)
+        .cloned()
+        .expect("some static fleet meets the SLO");
+
+    let class_json = |c: &star_serve::ClassSloReport| {
+        serde_json::json!({
+            "class": c.class.to_string(),
+            "arrivals": c.arrivals,
+            "good": c.good,
+            "late": c.late,
+            "rejected": c.rejected,
+            "expired": c.expired,
+            "goodput_rps": c.goodput_rps,
+            "p99_ms": c.latency.p99_ms,
+        })
+    };
+    let auto_range = A10_STATIC_FLEETS.len()..A10_STATIC_FLEETS.len() + policies.len();
+    let autoscaled_legs: Vec<serde_json::Value> = cases[auto_range.clone()]
+        .iter()
+        .zip(&outcomes[auto_range])
+        .map(|((label, _), outcome)| {
+            let r = &outcome.report;
+            let c = outcome.control.as_ref().expect("control plane active");
+            let att = attainment(r);
+            // The acceptance criterion, per policy: meet the SLO bar on
+            // strictly fewer instance-seconds than the best static fleet.
+            assert!(
+                att >= A10_SLO_ATTAINMENT,
+                "{label}: autoscaled fleet misses the SLO bar ({att})"
+            );
+            assert!(
+                c.instance_seconds < best_static_seconds,
+                "{label}: autoscaled {} !< best static {best_static_seconds}",
+                c.instance_seconds
+            );
+            serde_json::json!({
+                "label": label,
+                "dequeue": c.dequeue,
+                "placement": c.placement,
+                "slo_attainment": att,
+                "instance_seconds": c.instance_seconds,
+                "busy_instance_seconds": busy_s(r),
+                "over_provisioning": c.instance_seconds / busy_s(r),
+                "savings_vs_best_static": 1.0 - c.instance_seconds / best_static_seconds,
+                "converge_ms": c.converge_ns * 1e-6,
+                "peak_active": c.peak_active,
+                "min_active": c.min_active,
+                "final_active": c.final_active,
+                "scale_events": c.scale_events,
+                "shares": c.shares,
+                "goodput_rps": r.goodput_rps,
+                "p99_ms": r.latency.p99_ms,
+                "per_class": r.per_class.iter().map(class_json).collect::<Vec<_>>(),
+                "energy_per_request_nj": r.energy_per_request_nj,
+            })
+        })
+        .collect();
+
+    let hetero_leg = |outcome: &star_serve::SimOutcome, label: &str| {
+        let r = &outcome.report;
+        serde_json::json!({
+            "label": label,
+            "placement": outcome.control.as_ref().expect("control active").placement.clone(),
+            "energy_per_request_nj": r.energy_per_request_nj,
+            "goodput_rps": r.goodput_rps,
+            "p99_ms": r.latency.p99_ms,
+            "utilization": r.utilization,
+        })
+    };
+    let greedy = &outcomes[outcomes.len() - 2];
+    let naive = &outcomes[outcomes.len() - 1];
+    let hetero_json = serde_json::json!({
+        "note": "one heterogeneous two-instance fleet — a half-width q3.5 \
+                 economy build at index 0, the paper q5.3 build at index 1 — \
+                 under energy-greedy versus first-idle placement; the gap in \
+                 energy/request and p99 is pure placement policy",
+        "energy_greedy": hetero_leg(greedy, &cases[cases.len() - 2].0),
+        "first_idle": hetero_leg(naive, &cases[cases.len() - 1].0),
+        "energy_per_request_ratio":
+            greedy.report.energy_per_request_nj / naive.report.energy_per_request_nj,
+    });
+
+    serde_json::json!({
+        "operating_point": {
+            "mix": base.mix.classes().iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+            "policy": base.policy.to_string(),
+            "arrival": "mmpp 8 krps / 40 krps, 10 ms dwell",
+            "horizon_ns": base.horizon_ns,
+            "seed": base.seed,
+            "deadline_ns": base.deadline_ns,
+            "max_queue": base.max_queue,
+            "service": base.service,
+            "autoscaler": a10_autoscaler(),
+            "slo_attainment_bar": A10_SLO_ATTAINMENT,
+        },
+        "static_sweep": statics,
+        "best_static": {
+            "fleet": best_static_fleet,
+            "instance_seconds": best_static_seconds,
+        },
+        "autoscaled": autoscaled_legs,
+        "heterogeneous": hetero_json,
     })
 }
 

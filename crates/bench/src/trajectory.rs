@@ -67,8 +67,8 @@ pub fn trajectory_file_path() -> PathBuf {
 /// the fleet size parameterized.
 pub fn matrix_config(rate_rps: f64, fleet: usize) -> star_serve::ServeConfig {
     use star_serve::{
-        ArrivalProcess, BatchPolicy, ModelKind, RequestClass, ServeConfig, ServiceModelConfig,
-        WorkloadMix,
+        ArrivalProcess, BatchPolicy, ControlConfig, ModelKind, RequestClass, ServeConfig,
+        ServiceModelConfig, WorkloadMix,
     };
     ServeConfig {
         fleet,
@@ -80,6 +80,7 @@ pub fn matrix_config(rate_rps: f64, fleet: usize) -> star_serve::ServeConfig {
         max_queue: 256,
         deadline_ns: 2e6,
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     }
 }
 
@@ -353,7 +354,7 @@ mod tests {
         assert_eq!(a.len(), matrix_points().len());
         for (point, counters) in &a {
             assert!(counters.get("events_total").copied().unwrap_or(0) > 0, "{point}");
-            assert_eq!(counters.len(), 13, "{point}: all scalar counters present");
+            assert_eq!(counters.len(), 17, "{point}: all scalar counters present");
         }
         // Deterministic: a second measurement is identical.
         assert_eq!(a, current_work_counters());

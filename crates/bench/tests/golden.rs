@@ -1,15 +1,17 @@
 //! Golden-file regression tests for the machine-readable experiment
 //! results.
 //!
-//! The `e2_table1`, `e3_fig3`, `a8_serving`, and `a9_device_health`
-//! binaries write `results/*.json` through the shared builders in
+//! The `e2_table1`, `e3_fig3`, `a8_serving`, `a9_device_health`, and
+//! `a10_fleet_control` binaries write `results/*.json` through the
+//! shared builders in
 //! `star_bench::experiments`; these tests call the *same* builders and
 //! compare against fixtures checked in under `tests/golden/`. The e2/e3
 //! builders are pure closed-form cost models (no RNG, no clock, no
 //! environment); the a8/a9 builders drive seeded discrete-event
 //! simulations whose event loops are totally ordered and whose sweeps
 //! reduce in case order (a9's health monitor additionally consumes zero
-//! RNG draws), so they are equally deterministic — including across
+//! RNG draws, and a10's control plane folds scale decisions into the
+//! same ordered event stream), so they are equally deterministic — including across
 //! `STAR_EXEC_THREADS` worker counts. The vendored `serde_json`
 //! round-trips `f64` exactly, so the comparison is field-level *exact*
 //! equality — any drift in the cost model shows up as a named JSON path,
@@ -19,9 +21,10 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin repro_all -- \
-//!     e2_table1 e3_fig3 a8_serving a9_device_health
+//!     e2_table1 e3_fig3 a8_serving a9_device_health a10_fleet_control
 //! cp results/e2_table1.json results/e3_fig3.json results/a8_serving.json \
-//!    results/a9_device_health.json crates/bench/tests/golden/
+//!    results/a9_device_health.json results/a10_fleet_control.json \
+//!    crates/bench/tests/golden/
 //! ```
 
 use serde_json::Value;
@@ -113,6 +116,11 @@ fn a9_device_health_matches_golden() {
 }
 
 #[test]
+fn a10_fleet_control_matches_golden() {
+    assert_matches_golden("a10_fleet_control", &star_bench::a10_fleet_control_result());
+}
+
+#[test]
 fn profile_work_matches_golden() {
     // The self-profiler's deterministic work counters for the fixed A8
     // operating point. Any silent change to event-loop behaviour — an
@@ -137,6 +145,7 @@ fn profile_work_golden_reconciles_with_itself() {
         number_at(&p, "work/events_arrive")
             + number_at(&p, "work/events_window_expire")
             + number_at(&p, "work/events_instance_free")
+            + number_at(&p, "work/events_scale_check")
     );
     assert!(number_at(&p, "events_per_request") > 0.0);
 }

@@ -25,7 +25,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use star_serve::{
     simulate, simulate_monitored, simulate_profiled, simulate_sharded, simulate_traced,
-    ArrivalProcess, BatchPolicy, HealthConfig, ModelKind, RequestClass, ServeConfig,
+    ArrivalProcess, BatchPolicy, ControlConfig, HealthConfig, ModelKind, RequestClass, ServeConfig,
     ServiceModelConfig, WorkloadMix,
 };
 
@@ -46,6 +46,7 @@ fn bench_config(rate_rps: f64) -> ServeConfig {
         max_queue: 256,
         deadline_ns: 2e6,
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     }
 }
 

@@ -18,6 +18,7 @@
 //! | [`model`] | Service costs per batched invocation, grounded in `star-arch` |
 //! | [`sim`] | The seeded, totally ordered discrete-event loop |
 //! | [`shard`] | Sharded event storage: per-shard heaps, deterministic cross-shard merge |
+//! | [`control`] | Fleet control plane: dequeue policies, autoscaler, heterogeneous placement |
 //! | [`slo`] | Exact latency quantiles, goodput, per-class breakdowns, burn-rate monitor |
 //! | [`trace`] | Per-request span trees, batch invocation spans, Perfetto export |
 //! | [`health`] | Wear ledgers, thermal/drift monitors, fleet degradation reporting |
@@ -57,6 +58,7 @@
 
 pub mod arrival;
 pub mod batch;
+pub mod control;
 pub mod health;
 pub mod model;
 pub mod profile;
@@ -69,6 +71,10 @@ pub mod trace;
 
 pub use arrival::{generate_open_loop, ArrivalProcess, WorkloadMix};
 pub use batch::BatchPolicy;
+pub use control::{
+    AutoscaleConfig, ClassShare, ControlConfig, ControlReport, DequeuePolicy, EdfPolicy,
+    PlacementPolicy, ScaleDirection, ScaleEvent, WeightedFairPolicy,
+};
 pub use health::{
     invocation_wear, AlarmKind, FleetHealthReport, FleetHealthSample, HealthAlarm, HealthConfig,
     HealthModel, HealthMonitor, HealthProjection, InstanceHealthReport, InstanceHealthSample,

@@ -67,9 +67,13 @@ pub mod phase {
     pub const TRACE_EMIT: usize = 7;
     /// Nested: health-monitor dispatch accounting.
     pub const HEALTH_DISPATCH: usize = 8;
+    /// `ScaleCheck` event handling (autoscaler decisions; a top-level
+    /// event-handler region like the first three, but listed after the
+    /// nested phases to keep existing indices stable).
+    pub const SCALE_CHECK: usize = 9;
 
     /// Phase names, indexed by the constants above.
-    pub const NAMES: [&str; 9] = [
+    pub const NAMES: [&str; 10] = [
         "arrive",
         "window_expire",
         "instance_free",
@@ -79,6 +83,7 @@ pub mod phase {
         "batch_cost",
         "trace_emit",
         "health_dispatch",
+        "scale_check",
     ];
 
     /// Number of phases that form the disjoint top-level partition.
@@ -146,6 +151,8 @@ pub struct WorkCounters {
     pub events_window_expire: u64,
     /// `InstanceFree` events processed.
     pub events_instance_free: u64,
+    /// `ScaleCheck` events processed (0 without an autoscaler).
+    pub events_scale_check: u64,
     /// Events pushed onto the heap (arrivals seeded + windows armed +
     /// invocations scheduled).
     pub heap_pushes: u64,
@@ -163,6 +170,16 @@ pub struct WorkCounters {
     /// index this counted full per-class queue sweeps, ≈ 1.1–1.3× the
     /// event count and fleet-dependent.
     pub dispatch_scans: u64,
+    /// `dispatch_scans` attributed to the FIFO dequeue branch (the
+    /// whole count in the default config). The three policy-branch
+    /// counters partition `dispatch_scans`, keeping the ±5% CI work
+    /// budgets meaningful per policy now that dequeue order is
+    /// pluggable.
+    pub dispatch_scans_fifo: u64,
+    /// `dispatch_scans` attributed to the weighted-fair branch.
+    pub dispatch_scans_wfq: u64,
+    /// `dispatch_scans` attributed to the earliest-deadline branch.
+    pub dispatch_scans_edf: u64,
     /// Batches dispatched to an instance.
     pub batches_formed: u64,
     /// Requests carried by those batches.
@@ -189,11 +206,15 @@ impl WorkCounters {
             ("events_arrive", self.events_arrive),
             ("events_window_expire", self.events_window_expire),
             ("events_instance_free", self.events_instance_free),
+            ("events_scale_check", self.events_scale_check),
             ("heap_pushes", self.heap_pushes),
             ("heap_pops", self.heap_pops),
             ("heap_peak", self.heap_peak),
             ("dispatch_rounds", self.dispatch_rounds),
             ("dispatch_scans", self.dispatch_scans),
+            ("dispatch_scans_fifo", self.dispatch_scans_fifo),
+            ("dispatch_scans_wfq", self.dispatch_scans_wfq),
+            ("dispatch_scans_edf", self.dispatch_scans_edf),
             ("batches_formed", self.batches_formed),
             ("batch_members", self.batch_members),
             ("expired_drops", self.expired_drops),
@@ -213,11 +234,15 @@ impl WorkCounters {
         self.events_arrive += other.events_arrive;
         self.events_window_expire += other.events_window_expire;
         self.events_instance_free += other.events_instance_free;
+        self.events_scale_check += other.events_scale_check;
         self.heap_pushes += other.heap_pushes;
         self.heap_pops += other.heap_pops;
         self.heap_peak = self.heap_peak.max(other.heap_peak);
         self.dispatch_rounds += other.dispatch_rounds;
         self.dispatch_scans += other.dispatch_scans;
+        self.dispatch_scans_fifo += other.dispatch_scans_fifo;
+        self.dispatch_scans_wfq += other.dispatch_scans_wfq;
+        self.dispatch_scans_edf += other.dispatch_scans_edf;
         self.batches_formed += other.batches_formed;
         self.batch_members += other.batch_members;
         self.expired_drops += other.expired_drops;
@@ -368,7 +393,7 @@ mod tests {
     fn scalars_cover_every_counter_field() {
         let w = WorkCounters { events_total: 10, batch_members: 4, ..WorkCounters::default() };
         let pairs = w.scalars();
-        assert_eq!(pairs.len(), 13);
+        assert_eq!(pairs.len(), 17);
         assert!(pairs.contains(&("events_total", 10)));
         assert!((w.events_per_request() - 2.5).abs() < 1e-12);
         assert_eq!(WorkCounters::default().events_per_request(), 0.0);
@@ -423,7 +448,8 @@ mod tests {
         assert_eq!(phase::NAMES[phase::ARRIVE], "arrive");
         assert_eq!(phase::NAMES[phase::FINALIZE], "finalize");
         assert_eq!(phase::NAMES[phase::HEALTH_DISPATCH], "health_dispatch");
-        assert_eq!(phase::NAMES.len(), 9);
+        assert_eq!(phase::NAMES[phase::SCALE_CHECK], "scale_check");
+        assert_eq!(phase::NAMES.len(), 10);
         assert!(phase::TOP_LEVEL <= phase::NAMES.len());
     }
 

@@ -35,6 +35,10 @@
 
 use crate::arrival::{exp_sample, generate_open_loop, ArrivalProcess, WorkloadMix};
 use crate::batch::BatchPolicy;
+use crate::control::autoscale::ScalerState;
+use crate::control::{
+    ClassShare, ControlConfig, ControlReport, DequeuePolicy, PlacementPolicy, ScaleDirection,
+};
 use crate::health::{FleetHealthReport, HealthConfig, HealthMonitor};
 use crate::model::{ServiceModel, ServiceModelConfig};
 use crate::profile::{phase, SimProfile};
@@ -76,6 +80,11 @@ pub struct ServeConfig {
     pub deadline_ns: f64,
     /// Hardware operating point of every instance.
     pub service: ServiceModelConfig,
+    /// Fleet control plane: dequeue policy, placement, autoscaler,
+    /// heterogeneous per-instance engines. The default is a strict
+    /// no-op — the simulation is then bitwise identical to a config
+    /// without a control plane at all.
+    pub control: ControlConfig,
 }
 
 impl ServeConfig {
@@ -93,6 +102,7 @@ impl ServeConfig {
             max_queue: 64,
             deadline_ns: 2e6,
             service: ServiceModelConfig::default(),
+            control: ControlConfig::default(),
         }
     }
 
@@ -104,6 +114,7 @@ impl ServeConfig {
             "deadline must be positive"
         );
         assert!(self.horizon_ns.is_finite() && self.horizon_ns > 0.0, "horizon must be positive");
+        self.control.validate(self.fleet);
     }
 }
 
@@ -119,7 +130,13 @@ struct Batch {
 enum EventKind {
     Arrive(Request),
     WindowExpire(RequestClass),
-    InstanceFree { instance: usize, batch: Batch },
+    InstanceFree {
+        instance: usize,
+        batch: Batch,
+    },
+    /// Periodic autoscaler decision point (only scheduled when an
+    /// autoscaler is configured).
+    ScaleCheck,
 }
 
 /// Per-class running totals (always maintained — they cost a handful of
@@ -213,7 +230,12 @@ struct ClassNames {
 /// The simulator state.
 struct Sim<'a> {
     cfg: &'a ServeConfig,
-    service: ServiceModel,
+    /// Distinct service models of the fleet (one entry for a
+    /// homogeneous fleet; heterogeneous configs dedupe, since building
+    /// a `ServiceModel` is the expensive part).
+    services: Vec<ServiceModel>,
+    /// Instance slot → index into `services`.
+    model_of: Vec<usize>,
     /// Event storage: per-shard heaps with a deterministic min-of-heads
     /// merge — pops in exactly the single-heap order for any shard count.
     events: ShardedQueue<Event>,
@@ -227,8 +249,20 @@ struct Sim<'a> {
     idle: BTreeSet<usize>,
     armed_windows: BTreeMap<RequestClass, f64>,
     /// Incremental ready/flagged class index — replaces the per-iteration
-    /// linear queue scan in the dispatcher.
+    /// linear queue scan in the dispatcher. The control plane's dequeue
+    /// policy chooses the *key* each class is indexed under (FIFO head
+    /// arrival by default; WFQ virtual time; EDF absolute deadline).
     ready: ReadyIndex,
+    /// True iff any control-plane knob is on; the hot path consults this
+    /// one flag to skip all control bookkeeping in the default config.
+    control_active: bool,
+    /// Instances currently active (== fleet without an autoscaler).
+    active_count: usize,
+    /// Per-class attained busy time, ns — WFQ's virtual-time input and
+    /// the fairness-share table (maintained only when control is on).
+    attained_ns: BTreeMap<RequestClass, f64>,
+    /// Autoscaler runtime state (present iff configured).
+    scaler: Option<ScalerState>,
     class_names: BTreeMap<RequestClass, ClassNames>,
     tel: TelSink,
     // Accounting.
@@ -272,14 +306,38 @@ impl<'a> Sim<'a> {
     ) -> Self {
         cfg.validate();
         let classes = cfg.mix.classes();
-        let service = ServiceModel::new(cfg.service.clone(), &classes);
+        let capacity = cfg.control.capacity(cfg.fleet);
+        let initial_active = cfg.control.initial_active(cfg.fleet);
+        // Dedupe per-instance engine configs into distinct service
+        // models (model construction is the expensive part — a
+        // two-format q5.3/q3.5 fleet builds two models, not `capacity`).
+        let (services, model_of) = if cfg.control.instance_services.is_empty() {
+            (vec![ServiceModel::new(cfg.service.clone(), &classes)], vec![0; capacity])
+        } else {
+            let mut distinct: Vec<ServiceModelConfig> = Vec::new();
+            let mut model_of = Vec::with_capacity(capacity);
+            for svc in &cfg.control.instance_services {
+                let idx = match distinct.iter().position(|c| c == svc) {
+                    Some(idx) => idx,
+                    None => {
+                        distinct.push(svc.clone());
+                        distinct.len() - 1
+                    }
+                };
+                model_of.push(idx);
+            }
+            let services = distinct.into_iter().map(|c| ServiceModel::new(c, &classes)).collect();
+            (services, model_of)
+        };
         let layout = ShardLayout::new(shards, &classes);
         let mut queues = BTreeMap::new();
         let mut per_class = BTreeMap::new();
         let mut class_names = BTreeMap::new();
+        let mut attained_ns = BTreeMap::new();
         for class in classes {
             queues.insert(class, VecDeque::new());
             per_class.insert(class, ClassAccum::default());
+            attained_ns.insert(class, 0.0);
             class_names.insert(
                 class,
                 ClassNames {
@@ -288,12 +346,15 @@ impl<'a> Sim<'a> {
                 },
             );
         }
-        let trace = traced.then(|| ServeTrace::new(cfg.fleet, cfg.deadline_ns));
+        let trace = traced.then(|| ServeTrace::new(capacity, cfg.deadline_ns));
         let health =
-            health.map(|hc| HealthMonitor::new(hc.clone(), cfg.fleet, cfg.service.qformat()));
+            health.map(|hc| HealthMonitor::new(hc.clone(), capacity, cfg.service.qformat()));
+        let scaler =
+            cfg.control.autoscale.clone().map(|a| ScalerState::new(a, capacity, initial_active));
         Sim {
             cfg,
-            service,
+            services,
+            model_of,
             events: ShardedQueue::new(layout.shards()),
             layout,
             exec,
@@ -302,9 +363,13 @@ impl<'a> Sim<'a> {
             rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5EB5_E001),
             queues,
             queued_total: 0,
-            idle: (0..cfg.fleet).collect(),
+            idle: (0..initial_active).collect(),
             armed_windows: BTreeMap::new(),
             ready: ReadyIndex::new(),
+            control_active: !cfg.control.is_noop(),
+            active_count: initial_active,
+            attained_ns,
+            scaler,
             class_names,
             tel: TelSink { profiled, ops: 0 },
             arrivals: 0,
@@ -318,7 +383,7 @@ impl<'a> Sim<'a> {
             latencies_ns: Vec::new(),
             queue_delays_ns: Vec::new(),
             records: Vec::new(),
-            busy_ns: vec![0.0; cfg.fleet],
+            busy_ns: vec![0.0; capacity],
             energy_pj: 0.0,
             in_system: 0,
             max_in_system: 0,
@@ -367,7 +432,7 @@ impl<'a> Sim<'a> {
     fn record_sample(&mut self, now: f64) {
         let Some(t) = self.trace.as_mut() else { return };
         let queued = self.queued_total as u64;
-        let busy = (self.cfg.fleet - self.idle.len()) as u64;
+        let busy = (self.active_count - self.idle.len()) as u64;
         if let Some(last) = t.samples.last_mut() {
             if last.t_ns == now {
                 last.queued = queued;
@@ -386,6 +451,9 @@ impl<'a> Sim<'a> {
             EventKind::Arrive(req) => self.layout.request_shard(req.id),
             EventKind::WindowExpire(class) => self.layout.class_shard(class),
             EventKind::InstanceFree { instance, .. } => self.layout.instance_shard(*instance),
+            // Scale checks form one global periodic stream; anchor them
+            // to a fixed shard so placement is history-independent.
+            EventKind::ScaleCheck => self.layout.instance_shard(0),
         }
     }
 
@@ -497,6 +565,9 @@ impl<'a> Sim<'a> {
         if self.queued_total >= self.cfg.max_queue {
             self.rejected += 1;
             self.per_class.get_mut(&req.class).expect("class registered").rejected += 1;
+            if let Some(s) = self.scaler.as_mut() {
+                s.note_violation(req.class);
+            }
             self.tel.count("serve.requests.rejected", 1);
             let tt = self.tick_if(self.trace.is_some());
             if let Some(t) = self.trace.as_mut() {
@@ -545,8 +616,10 @@ impl<'a> Sim<'a> {
         // changes no event arithmetic — the traced and untraced runs
         // stay bitwise identical.
         let tt = self.tick_if(self.trace.is_some());
-        let phases =
-            self.trace.is_some().then(|| self.service.invocation_phases(batch.class, size));
+        let phases = self
+            .trace
+            .is_some()
+            .then(|| self.services[self.model_of[instance]].invocation_phases(batch.class, size));
         if let (Some(t), Some(p)) = (self.trace.as_mut(), phases.as_ref()) {
             t.batches.push(BatchTrace {
                 instance,
@@ -573,9 +646,15 @@ impl<'a> Sim<'a> {
             if good {
                 self.good += 1;
                 acc.good += 1;
+                if let Some(s) = self.scaler.as_mut() {
+                    s.note_completed(req.class);
+                }
             } else {
                 self.late += 1;
                 acc.late += 1;
+                if let Some(s) = self.scaler.as_mut() {
+                    s.note_violation(req.class);
+                }
                 self.tel.count("serve.requests.late", 1);
             }
             self.tel.count("serve.requests.completed", 1);
@@ -629,6 +708,50 @@ impl<'a> Sim<'a> {
         self.try_dispatch(now);
     }
 
+    /// One autoscaler decision point: evaluate the scale rule from the
+    /// current queue depth and the per-class outcome counts accumulated
+    /// since the last check, execute the action if possible, and arm the
+    /// next check. Scale-up activates the lowest inactive slot and
+    /// immediately offers it to the dispatcher; scale-down drains the
+    /// highest *idle* active slot (never a busy one — if nothing is
+    /// idle the decision lapses and is re-evaluated next check). Checks
+    /// stop at the horizon so the drain phase terminates.
+    fn on_scale_check(&mut self, now: f64) {
+        let queued = self.queued_total;
+        let scaler = self.scaler.as_mut().expect("scale check implies an autoscaler");
+        let decision = scaler.decide(now, queued);
+        let interval = scaler.cfg.check_interval_ns;
+        let mut scaled_up = false;
+        match decision.direction {
+            Some(ScaleDirection::Up) => {
+                if let Some(i) = scaler.lowest_inactive() {
+                    scaler.record(now, ScaleDirection::Up, i, queued, decision.burn_hot);
+                    self.active_count += 1;
+                    self.idle.insert(i);
+                    scaled_up = true;
+                }
+            }
+            Some(ScaleDirection::Down) => {
+                // The highest idle index: drained instances re-activate
+                // last, so low slots accumulate the steady-state load.
+                if let Some(&i) = self.idle.iter().next_back() {
+                    scaler.record(now, ScaleDirection::Down, i, queued, decision.burn_hot);
+                    self.active_count -= 1;
+                    self.idle.remove(&i);
+                }
+            }
+            None => {}
+        }
+        let next = now + interval;
+        if next <= self.cfg.horizon_ns {
+            self.push_event(next, EventKind::ScaleCheck);
+        }
+        if scaled_up {
+            // A fresh instance may unblock queued work right now.
+            self.try_dispatch(now);
+        }
+    }
+
     /// Greedily matches idle instances with ready class queues.
     fn try_dispatch(&mut self, now: f64) {
         let td = self.tick();
@@ -639,6 +762,26 @@ impl<'a> Sim<'a> {
         self.tock(phase::DISPATCH, td);
     }
 
+    /// The ready-index key of a class whose queue head arrived at
+    /// `arrive_ns` with request `id` — the dequeue policy's comparator.
+    /// FIFO keys by head arrival (the pre-control-plane order, bitwise
+    /// preserved); weighted-fair by the class's weighted attained
+    /// service (a virtual time — least-served-first); EDF by the head's
+    /// absolute deadline. All three are non-negative finite, so they
+    /// ride the same `ready_key` bit-pattern ordering.
+    fn priority_key(&self, class: RequestClass, arrive_ns: f64, id: u64) -> (u64, u64) {
+        match &self.cfg.control.dequeue {
+            DequeuePolicy::Fifo => ReadyIndex::ready_key(arrive_ns, id),
+            DequeuePolicy::WeightedFair(p) => {
+                let attained = self.attained_ns.get(&class).copied().unwrap_or(0.0);
+                ReadyIndex::ready_key(attained / p.weight(class), id)
+            }
+            DequeuePolicy::EarliestDeadline(p) => {
+                ReadyIndex::ready_key(arrive_ns + p.deadline_ns(class, self.cfg.deadline_ns), id)
+            }
+        }
+    }
+
     /// Re-evaluates `class`'s slot in the ready index from its queue
     /// state. Called at the two points where readiness can change shape:
     /// enqueue (length grows, or a first head appears) and batch
@@ -646,14 +789,16 @@ impl<'a> Sim<'a> {
     /// points readiness is monotone — queues only grow and time only
     /// advances — so promotions *by time* are handled lazily by the
     /// arming sweep inside the dispatch loop, exactly where the serial
-    /// scan used to notice them.
+    /// scan used to notice them. (Weighted-fair keys also move when a
+    /// class attains service; the dispatch loop re-indexes the
+    /// dispatched class after charging it.)
     fn reindex_class(&mut self, now: f64, class: RequestClass) {
         let q = self.queues.get(&class).expect("class registered");
         match q.front() {
             None => self.ready.clear(class),
             Some(head) => {
                 if self.cfg.policy.head_ready(q.len(), now, head.arrive_ns) {
-                    let key = ReadyIndex::ready_key(head.arrive_ns, head.id);
+                    let key = self.priority_key(class, head.arrive_ns, head.id);
                     self.ready.set_ready(class, key);
                 } else {
                     self.ready.set_flagged(class);
@@ -680,7 +825,8 @@ impl<'a> Sim<'a> {
             let (arrive_ns, id) = (head.arrive_ns, head.id);
             let expiry = self.cfg.policy.expiry_ns(arrive_ns);
             if now >= expiry {
-                self.ready.set_ready(class, ReadyIndex::ready_key(arrive_ns, id));
+                let key = self.priority_key(class, arrive_ns, id);
+                self.ready.set_ready(class, key);
             } else {
                 // Arm one wake-up per class; re-arm only if nothing
                 // earlier is pending (duplicates would be harmless but
@@ -706,8 +852,15 @@ impl<'a> Sim<'a> {
                 // One "scan" per indexed ready-pop, i.e. per dispatch
                 // attempt — a pure function of the batch sequence (the
                 // serial dispatcher counted full queue sweeps here,
-                // which also made the count fleet-dependent).
+                // which also made the count fleet-dependent). Also
+                // attributed to the active dequeue-policy branch so the
+                // ±5% work budgets stay meaningful per policy.
                 p.work.dispatch_scans += 1;
+                match &self.cfg.control.dequeue {
+                    DequeuePolicy::Fifo => p.work.dispatch_scans_fifo += 1,
+                    DequeuePolicy::WeightedFair(_) => p.work.dispatch_scans_wfq += 1,
+                    DequeuePolicy::EarliestDeadline(_) => p.work.dispatch_scans_edf += 1,
+                }
             }
             let members = self.form_batch(now, class);
             self.reindex_class(now, class);
@@ -715,19 +868,28 @@ impl<'a> Sim<'a> {
                 continue; // everything at the head had expired
             }
             let size = members.len();
-            let tc = self.tick();
-            let cost = self.service.batch_cost(class, size);
-            self.tock(phase::BATCH_COST, tc);
             // Placement: the lowest idle index by default. With the
             // health monitor's wear-leveling policy on, a deterministic
             // round-robin cursor spreads invocations across the fleet
-            // instead (zero RNG draws either way — the placement choice
-            // is the *only* behavioural difference, and it exists only
-            // when the operator opts in).
-            let instance = match self.health.as_mut() {
-                Some(h) if h.wear_leveling() => h.pick_instance(&self.idle),
-                _ => *self.idle.first().expect("loop guard: idle set non-empty"),
+            // and keeps precedence over the control plane's placement
+            // policy (zero RNG draws on every path — placement chooses
+            // *which* instance runs the batch, never when or what).
+            let wear_pick = match self.health.as_mut() {
+                Some(h) if h.wear_leveling() => Some(h.pick_instance(&self.idle)),
+                _ => None,
             };
+            let instance = match wear_pick {
+                Some(i) => i,
+                None if self.control_active => self.place_instance(class, size),
+                None => *self.idle.first().expect("loop guard: idle set non-empty"),
+            };
+            debug_assert!(
+                self.scaler.as_ref().is_none_or(|s| s.is_active(instance)),
+                "dispatch only targets active instances"
+            );
+            let tc = self.tick();
+            let cost = self.services[self.model_of[instance]].batch_cost(class, size);
+            self.tock(phase::BATCH_COST, tc);
             let th = self.tick_if(self.health.is_some());
             if let Some(h) = self.health.as_mut() {
                 h.on_dispatch(instance, class, size, &cost);
@@ -736,6 +898,15 @@ impl<'a> Sim<'a> {
             self.idle.remove(&instance);
             self.busy_ns[instance] += cost.latency_ns;
             self.energy_pj += cost.energy_pj;
+            if self.control_active {
+                // Charge the class its attained service. Under
+                // weighted-fair the charge moves the class's virtual
+                // time, so its index key must be recomputed.
+                *self.attained_ns.get_mut(&class).expect("class registered") += cost.latency_ns;
+                if matches!(self.cfg.control.dequeue, DequeuePolicy::WeightedFair(_)) {
+                    self.reindex_class(now, class);
+                }
+            }
             self.batches += 1;
             self.batched_requests += size as u64;
             if let Some(p) = self.profile.as_deref_mut() {
@@ -757,6 +928,53 @@ impl<'a> Sim<'a> {
                     batch: Batch { class, dispatch_ns: now, members },
                 },
             );
+        }
+    }
+
+    /// Picks the idle instance for a batch under the control plane's
+    /// placement policy. Deterministic: the idle set iterates in
+    /// ascending instance order and comparisons are strict, so ties
+    /// always break to the lowest index; no RNG is consumed. On a
+    /// homogeneous fleet, fastest-eligible and energy-greedy both
+    /// degenerate to first-idle (every instance quotes the same cost).
+    fn place_instance(&self, class: RequestClass, size: usize) -> usize {
+        let first = *self.idle.first().expect("loop guard: idle set non-empty");
+        match self.cfg.control.placement {
+            PlacementPolicy::FirstIdle => first,
+            PlacementPolicy::LeastLoaded => {
+                let mut best = first;
+                let mut best_busy = f64::INFINITY;
+                for &i in &self.idle {
+                    if self.busy_ns[i] < best_busy {
+                        best_busy = self.busy_ns[i];
+                        best = i;
+                    }
+                }
+                best
+            }
+            PlacementPolicy::FastestEligible | PlacementPolicy::EnergyGreedy => {
+                let greedy_energy = self.cfg.control.placement == PlacementPolicy::EnergyGreedy;
+                // Quote each *distinct* model once, not each instance.
+                let mut quote: Vec<Option<f64>> = vec![None; self.services.len()];
+                let mut best = first;
+                let mut best_cost = f64::INFINITY;
+                for &i in &self.idle {
+                    let m = self.model_of[i];
+                    let c = *quote[m].get_or_insert_with(|| {
+                        let cost = self.services[m].batch_cost(class, size);
+                        if greedy_energy {
+                            cost.energy_pj
+                        } else {
+                            cost.latency_ns
+                        }
+                    });
+                    if c < best_cost {
+                        best_cost = c;
+                        best = i;
+                    }
+                }
+                best
+            }
         }
     }
 
@@ -790,6 +1008,9 @@ impl<'a> Sim<'a> {
         }
         for req in dead {
             self.per_class.get_mut(&req.class).expect("class registered").expired += 1;
+            if let Some(s) = self.scaler.as_mut() {
+                s.note_violation(req.class);
+            }
             let tt = self.tick_if(self.trace.is_some());
             if let Some(t) = self.trace.as_mut() {
                 // The whole (futile) lifetime was spent queued.
@@ -823,6 +1044,15 @@ impl<'a> Sim<'a> {
     fn run(mut self) -> SimOutcome {
         let run_start = self.tick();
         self.seed_arrivals();
+        if let Some(s) = &self.scaler {
+            // The first decision point; each check arms its successor
+            // until the horizon. Seeded after the arrival trace so the
+            // open-loop bulk path keeps its seq == index property.
+            let first = s.cfg.check_interval_ns;
+            if first <= self.cfg.horizon_ns {
+                self.push_event(first, EventKind::ScaleCheck);
+            }
+        }
         // The cross-shard merge pop: every iteration synchronizes the
         // shards on the global (time, seq) minimum — a lockstep barrier
         // per event, which is what preserves bitwise replay.
@@ -835,6 +1065,7 @@ impl<'a> Sim<'a> {
                     EventKind::Arrive(_) => p.work.events_arrive += 1,
                     EventKind::WindowExpire(_) => p.work.events_window_expire += 1,
                     EventKind::InstanceFree { .. } => p.work.events_instance_free += 1,
+                    EventKind::ScaleCheck => p.work.events_scale_check += 1,
                 }
             }
             let t0 = self.tick();
@@ -850,6 +1081,10 @@ impl<'a> Sim<'a> {
                 EventKind::InstanceFree { instance, batch } => {
                     self.on_instance_free(event.time, instance, batch);
                     self.tock(phase::INSTANCE_FREE, t0);
+                }
+                EventKind::ScaleCheck => {
+                    self.on_scale_check(event.time);
+                    self.tock(phase::SCALE_CHECK, t0);
                 }
             }
             if let Some(p) = self.profile.as_deref_mut() {
@@ -924,6 +1159,70 @@ impl<'a> Sim<'a> {
             max_in_system: self.max_in_system,
             per_class,
         };
+        let control = self.control_active.then(|| {
+            let total_attained: f64 = self.attained_ns.values().sum();
+            let shares: Vec<ClassShare> = self
+                .per_class
+                .iter()
+                .map(|(&class, a)| {
+                    let attained = self.attained_ns.get(&class).copied().unwrap_or(0.0);
+                    ClassShare {
+                        class,
+                        completed: a.completed,
+                        attained_ns: attained,
+                        share: if total_attained > 0.0 { attained / total_attained } else { 0.0 },
+                        weight: match &self.cfg.control.dequeue {
+                            DequeuePolicy::WeightedFair(p) => p.weight(class),
+                            _ => 1.0,
+                        },
+                    }
+                })
+                .collect();
+            let (
+                scale_events,
+                final_active,
+                peak_active,
+                min_active,
+                instance_seconds,
+                converge_ns,
+            ) = match self.scaler.as_mut() {
+                Some(s) => {
+                    let integral_ns = s.close_integral(self.makespan_ns);
+                    let peak = s.peak_active;
+                    // Convergence: when the fleet first reached its
+                    // peak size (0 if it never moved).
+                    let converge =
+                        s.events.iter().find(|e| e.active_after == peak).map_or(0.0, |e| e.t_ns);
+                    (
+                        std::mem::take(&mut s.events),
+                        s.active_count(),
+                        peak,
+                        s.min_active,
+                        integral_ns * 1e-9,
+                        converge,
+                    )
+                }
+                None => (
+                    Vec::new(),
+                    self.active_count,
+                    self.active_count,
+                    self.active_count,
+                    self.active_count as f64 * self.makespan_ns * 1e-9,
+                    0.0,
+                ),
+            };
+            ControlReport {
+                dequeue: self.cfg.control.dequeue.name().to_string(),
+                placement: self.cfg.control.placement.name().to_string(),
+                shares,
+                scale_events,
+                final_active,
+                peak_active,
+                min_active,
+                instance_seconds,
+                converge_ns,
+            }
+        });
         let mut trace = self.trace;
         let health = self.health.map(|monitor| {
             let (health_report, samples) = monitor.finalize(report.makespan_ns);
@@ -943,7 +1242,7 @@ impl<'a> Sim<'a> {
             }
             *p
         });
-        SimOutcome { report, records: self.records, trace, health, profile }
+        SimOutcome { report, records: self.records, trace, health, profile, control }
     }
 }
 
@@ -963,6 +1262,10 @@ pub struct SimOutcome {
     /// Simulator self-profile: deterministic work counters + wall-clock
     /// phase attribution (present when requested; see [`crate::profile`]).
     pub profile: Option<SimProfile>,
+    /// Control-plane report: fairness shares, the scale-event timeline,
+    /// and fleet-cost figures (present iff any [`ControlConfig`] knob is
+    /// on; see [`crate::control`]).
+    pub control: Option<ControlReport>,
 }
 
 /// Runs the serving simulation and returns its report.
@@ -1311,8 +1614,14 @@ mod tests {
         assert_eq!(w.expired_drops, plain.expired);
         assert_eq!(
             w.events_total,
-            w.events_arrive + w.events_window_expire + w.events_instance_free
+            w.events_arrive
+                + w.events_window_expire
+                + w.events_instance_free
+                + w.events_scale_check
         );
+        assert_eq!(w.events_scale_check, 0, "no autoscaler configured");
+        assert_eq!(w.dispatch_scans_fifo, w.dispatch_scans, "FIFO default owns every scan");
+        assert_eq!(w.dispatch_scans_wfq + w.dispatch_scans_edf, 0);
         assert_eq!(w.events_instance_free, plain.batches, "one free event per invocation");
         assert_eq!(w.heap_pushes, w.heap_pops, "the heap drains completely");
         assert_eq!(w.queue_depth_hist.total(), w.events_total);

@@ -122,6 +122,7 @@ proptest! {
         prop_assert_eq!(
             w.events_total,
             w.events_arrive + w.events_window_expire + w.events_instance_free
+                + w.events_scale_check
         );
         prop_assert_eq!(w.queue_depth_hist.total(), w.events_total);
         prop_assert_eq!(w.backlog_hist.total(), w.events_total);

@@ -30,8 +30,9 @@ use proptest::prelude::*;
 use star_exec::Executor;
 use star_serve::{
     simulate, simulate_sharded, simulate_sharded_on, simulate_sharded_with, ArrivalProcess,
-    BatchPolicy, HealthConfig, ModelKind, RequestClass, ServeConfig, ServiceModelConfig,
-    SimOutcome, WorkloadMix, MAX_SHARDS,
+    AutoscaleConfig, BatchPolicy, ControlConfig, DequeuePolicy, HealthConfig, ModelKind,
+    PlacementPolicy, RequestClass, ServeConfig, ServiceModelConfig, SimOutcome, WorkloadMix,
+    MAX_SHARDS,
 };
 
 /// Saturating mixed workload on one instance: completions (good and
@@ -51,6 +52,7 @@ fn stress_config() -> ServeConfig {
         max_queue: 16,
         deadline_ns: 1e6,
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     }
 }
 
@@ -74,12 +76,51 @@ fn closed_loop_config() -> ServeConfig {
     cfg
 }
 
+/// Weighted-fair dequeue + the deterministic autoscaler + least-loaded
+/// placement, over the saturating stress mix: `ScaleCheck` events, the
+/// WFQ virtual-time re-keying, and load-aware placement all cross shard
+/// boundaries.
+fn wfq_autoscale_config() -> ServeConfig {
+    let mut cfg = stress_config();
+    cfg.fleet = 2;
+    cfg.control = ControlConfig {
+        dequeue: DequeuePolicy::weighted_fair(vec![
+            (RequestClass::new(ModelKind::Tiny, 16), 3.0),
+            (RequestClass::new(ModelKind::Tiny, 32), 1.0),
+        ]),
+        placement: PlacementPolicy::LeastLoaded,
+        autoscale: Some(AutoscaleConfig::new(1, 4)),
+        instance_services: Vec::new(),
+    };
+    cfg
+}
+
+/// Earliest-deadline-first over a heterogeneous q5.3/q3.5 fleet with
+/// energy-greedy placement on the bursty MMPP arrivals — the per-class
+/// deadline keys and per-instance cost sheets must survive sharding too.
+fn edf_hetero_config() -> ServeConfig {
+    let mut cfg = mmpp_config();
+    let q35 = ServiceModelConfig { format: (3, 5), ..ServiceModelConfig::default() };
+    cfg.control = ControlConfig {
+        dequeue: DequeuePolicy::earliest_deadline(vec![(
+            RequestClass::new(ModelKind::Tiny, 16),
+            5e5,
+        )]),
+        placement: PlacementPolicy::EnergyGreedy,
+        autoscale: None,
+        instance_services: vec![ServiceModelConfig::default(), q35],
+    };
+    cfg
+}
+
 fn configs() -> Vec<(&'static str, ServeConfig)> {
     vec![
         ("example", ServeConfig::example()),
         ("stress", stress_config()),
         ("mmpp", mmpp_config()),
         ("closed_loop", closed_loop_config()),
+        ("wfq_autoscale", wfq_autoscale_config()),
+        ("edf_hetero", edf_hetero_config()),
     ]
 }
 
@@ -104,6 +145,7 @@ fn assert_outcomes_identical(label: &str, a: &SimOutcome, b: &SimOutcome) {
     let (wa, wb) =
         (&a.profile.as_ref().expect("profile").work, &b.profile.as_ref().expect("profile").work);
     assert_eq!(wa, wb, "{label}: work counters diverged");
+    assert_eq!(a.control, b.control, "{label}: control report diverged");
 }
 
 #[test]
@@ -191,7 +233,10 @@ fn conservation_holds_at_every_shard_count() {
             assert_eq!(work.heap_pushes, work.heap_pops, "{name} @ {shards}: push/pop imbalance");
             assert_eq!(
                 work.events_total,
-                work.events_arrive + work.events_window_expire + work.events_instance_free,
+                work.events_arrive
+                    + work.events_window_expire
+                    + work.events_instance_free
+                    + work.events_scale_check,
                 "{name} @ {shards}: event partition broken"
             );
         }

@@ -4,9 +4,9 @@
 
 use star_serve::{
     simulate, simulate_profiled, simulate_profiled_with, simulate_traced,
-    simulate_traced_monitored, ArrivalProcess, BatchPolicy, HealthConfig, ModelKind, RequestClass,
-    RequestOutcome, ServeConfig, ServeTrace, ServiceModelConfig, SloAnalysis, SloPolicy,
-    WorkloadMix,
+    simulate_traced_monitored, ArrivalProcess, BatchPolicy, ControlConfig, HealthConfig, ModelKind,
+    RequestClass, RequestOutcome, ServeConfig, ServeTrace, ServiceModelConfig, SloAnalysis,
+    SloPolicy, WorkloadMix,
 };
 use star_telemetry::SPAN_EPS_NS;
 
@@ -27,6 +27,7 @@ fn stress_config() -> ServeConfig {
         max_queue: 16,
         deadline_ns: 1e6,
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     }
 }
 

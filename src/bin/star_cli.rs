@@ -73,6 +73,22 @@ COMMANDS:
                                    --shards=N as in serve — the work
                                    counters prove the shard count changes
                                    nothing
+    control [rate] [fleet] [batch] [window_us] [--policy=P] [--placement=P]
+            [--autoscale=MIN:MAX|off] [--shards=N]
+                                   run the fleet control plane on the mixed
+                                   70/30 premium/economy workload under a
+                                   bursty MMPP ramp (low phase = rate,
+                                   high phase = 5x): per-class fairness
+                                   table, the autoscaler's scale-event
+                                   timeline, and the instance-seconds cost
+                                   figure. --policy is fifo, wfq (premium
+                                   weighted 2:1) or edf (premium 2 ms /
+                                   economy 1 ms offsets); --placement is
+                                   first-idle, least-loaded, fastest or
+                                   energy-greedy; --autoscale bounds the
+                                   fleet (default 1:4, `off` pins it).
+                                   Defaults: 8000 rps low phase, fleet 1,
+                                   batch 8, 50 us window, wfq/least-loaded
     help                           this message
 
 Paper formats: CNEWS = q5.2 (8 bits), MRPC = q5.3 (9 bits), CoLA = q4.2 (7 bits).";
@@ -91,6 +107,7 @@ fn main() -> ExitCode {
         "trace-analyze" => cmd_trace_analyze(&args[1..]),
         "health" => cmd_health(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
+        "control" => cmd_control(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -298,9 +315,9 @@ fn parse_positive<T: std::str::FromStr + PartialOrd + Default>(
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use star::serve::{
-        shards_from_env, simulate_sharded_with, ArrivalProcess, BatchPolicy, ModelKind,
-        RequestClass, ServeConfig, ServiceModel, ServiceModelConfig, SloAnalysis, SloPolicy,
-        WorkloadMix,
+        shards_from_env, simulate_sharded_with, ArrivalProcess, BatchPolicy, ControlConfig,
+        ModelKind, RequestClass, ServeConfig, ServiceModel, ServiceModelConfig, SloAnalysis,
+        SloPolicy, WorkloadMix,
     };
     // Split flags from positionals so --trace/--shards compose with
     // every positional combination.
@@ -348,6 +365,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         max_queue: 256,
         deadline_ns: 2e6,
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     };
     let service = ServiceModel::new(cfg.service.clone(), &[class]);
     // --shards picks the event-queue layout; the report is bitwise
@@ -403,8 +421,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_health(args: &[String]) -> Result<(), String> {
     use star::serve::{
-        simulate_monitored, ArrivalProcess, BatchPolicy, HealthConfig, HealthModel, ModelKind,
-        RequestClass, ServeConfig, ServiceModelConfig, WearRates, WorkloadMix,
+        simulate_monitored, ArrivalProcess, BatchPolicy, ControlConfig, HealthConfig, HealthModel,
+        ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WearRates, WorkloadMix,
     };
     let mut wear_leveling = false;
     let mut positional: Vec<&String> = Vec::new();
@@ -442,6 +460,7 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
         max_queue: 256,
         deadline_ns: 2e6,
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     };
     let health_cfg = HealthConfig { wear_leveling, ..HealthConfig::default() };
     let outcome = simulate_monitored(&cfg, &health_cfg);
@@ -522,8 +541,8 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
 
 fn cmd_profile(args: &[String]) -> Result<(), String> {
     use star::serve::{
-        shards_from_env, simulate_sharded_with, ArrivalProcess, BatchPolicy, ModelKind,
-        RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
+        shards_from_env, simulate_sharded_with, ArrivalProcess, BatchPolicy, ControlConfig,
+        ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
     };
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut shards: Option<usize> = None;
@@ -569,6 +588,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         max_queue: 256,
         deadline_ns: 2e6,
         service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
     };
     let shards = shards.unwrap_or_else(shards_from_env);
     let outcome = simulate_sharded_with(&cfg, shards, false, None, true);
@@ -598,6 +618,172 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             path.display(),
             star::serve::PROFILE_SIDECAR_KEY
         );
+    }
+    Ok(())
+}
+
+fn cmd_control(args: &[String]) -> Result<(), String> {
+    use star::serve::{
+        shards_from_env, simulate_sharded_with, ArrivalProcess, AutoscaleConfig, BatchPolicy,
+        ControlConfig, DequeuePolicy, ModelKind, PlacementPolicy, RequestClass, ScaleDirection,
+        ServeConfig, ServiceModelConfig, WorkloadMix,
+    };
+    let premium = RequestClass::new(ModelKind::BertBase, 128);
+    let economy = RequestClass::new(ModelKind::BertBase, 64);
+
+    let mut policy_flag: Option<&str> = None;
+    let mut placement_flag: Option<&str> = None;
+    let mut autoscale_flag: Option<&str> = None;
+    let mut shards: Option<usize> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if let Some(p) = a.strip_prefix("--policy=") {
+            policy_flag = Some(p);
+        } else if let Some(p) = a.strip_prefix("--placement=") {
+            placement_flag = Some(p);
+        } else if let Some(p) = a.strip_prefix("--autoscale=") {
+            autoscale_flag = Some(p);
+        } else if let Some(n) = a.strip_prefix("--shards=") {
+            shards = Some(parse_shards(n)?);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let rate: f64 = parse_positive(positional.first().copied(), 8_000.0, "arrival rate (rps)")?;
+    if !rate.is_finite() {
+        return Err("arrival rate must be finite".into());
+    }
+    let fleet: usize = parse_positive(positional.get(1).copied(), 1, "fleet size")?;
+    let batch: usize = parse_positive(positional.get(2).copied(), 8, "batch size")?;
+    let window_us: f64 = match positional.get(3) {
+        Some(a) => a.parse().map_err(|_| format!("`{a}` is not a window in us"))?,
+        None => 50.0,
+    };
+    if !(window_us.is_finite() && window_us >= 0.0) {
+        return Err("window must be finite and non-negative".into());
+    }
+
+    let dequeue = match policy_flag.unwrap_or("wfq") {
+        "fifo" => DequeuePolicy::Fifo,
+        "wfq" => DequeuePolicy::weighted_fair(vec![(premium, 2.0), (economy, 1.0)]),
+        "edf" => DequeuePolicy::earliest_deadline(vec![(premium, 2e6), (economy, 1e6)]),
+        other => return Err(format!("`{other}` is not a dequeue policy (fifo, wfq, edf)")),
+    };
+    let placement = match placement_flag.unwrap_or("least-loaded") {
+        "first-idle" => PlacementPolicy::FirstIdle,
+        "least-loaded" => PlacementPolicy::LeastLoaded,
+        "fastest" => PlacementPolicy::FastestEligible,
+        "energy-greedy" => PlacementPolicy::EnergyGreedy,
+        other => {
+            return Err(format!(
+                "`{other}` is not a placement policy \
+                 (first-idle, least-loaded, fastest, energy-greedy)"
+            ))
+        }
+    };
+    let autoscale = match autoscale_flag.unwrap_or("1:4") {
+        "off" => None,
+        bounds => {
+            let (lo, hi) = bounds
+                .split_once(':')
+                .ok_or_else(|| format!("`--autoscale={bounds}` must be MIN:MAX or off"))?;
+            let min: usize = lo.parse().map_err(|_| format!("`{lo}` is not a fleet bound"))?;
+            let max: usize = hi.parse().map_err(|_| format!("`{hi}` is not a fleet bound"))?;
+            if min < 1 || min > max {
+                return Err(format!("autoscale bounds {min}:{max} must satisfy 1 <= MIN <= MAX"));
+            }
+            // The A10 burst-tracking cadence: 0.5 ms checks and cooldown.
+            Some(AutoscaleConfig {
+                check_interval_ns: 5e5,
+                cooldown_ns: 5e5,
+                ..AutoscaleConfig::new(min, max)
+            })
+        }
+    };
+
+    let cfg = ServeConfig {
+        fleet,
+        policy: BatchPolicy::new(batch, window_us * 1e3),
+        arrival: ArrivalProcess::mmpp(rate, 5.0 * rate, 1e7, 1e7),
+        mix: WorkloadMix::new(vec![(premium, 0.7), (economy, 0.3)]),
+        horizon_ns: 1e8,
+        seed: 2023,
+        max_queue: 256,
+        deadline_ns: 2e6,
+        service: ServiceModelConfig::default(),
+        control: ControlConfig { dequeue, placement, autoscale, instance_services: Vec::new() },
+    };
+    let shards = shards.unwrap_or_else(shards_from_env);
+    let outcome = simulate_sharded_with(&cfg, shards, false, None, false);
+    let r = &outcome.report;
+
+    println!(
+        "fleet control: 70/30 {premium} / {economy} under MMPP {rate:.0}/{:.0} rps, \
+         policy {}, 2 ms deadline:",
+        5.0 * rate,
+        cfg.policy
+    );
+    println!(
+        "  completed {}/{}   attainment {:.4}   goodput {:.0} rps   p99 {:.3} ms   \
+         window {:.1} ms",
+        r.completed,
+        r.arrivals,
+        if r.arrivals == 0 { 1.0 } else { r.good as f64 / r.arrivals as f64 },
+        r.goodput_rps,
+        r.latency.p99_ms,
+        r.makespan_ns / 1e6
+    );
+    let Some(c) = outcome.control else {
+        println!(
+            "  control plane at no-op defaults (fifo / first-idle / no autoscaler): \
+             the run took the bitwise-identical baseline path and emits no report"
+        );
+        return Ok(());
+    };
+
+    println!("  dequeue {}   placement {}", c.dequeue, c.placement);
+    println!(
+        "  {:<20} {:>7} {:>10} {:>13} {:>8}",
+        "class", "weight", "completed", "attained ms", "share"
+    );
+    for s in &c.shares {
+        println!(
+            "  {:<20} {:>7.1} {:>10} {:>13.3} {:>8.4}",
+            s.class.to_string(),
+            s.weight,
+            s.completed,
+            s.attained_ns / 1e6,
+            s.share
+        );
+    }
+
+    if c.scale_events.is_empty() {
+        println!("  fleet static at {} instance(s): no scale events", c.final_active);
+    } else {
+        println!("  scale-event timeline ({} events):", c.scale_events.len());
+        println!("  {:>10} {:>5} {:>7} {:>7} {:>9}", "t ms", "dir", "active", "queued", "burn hot");
+        for e in &c.scale_events {
+            println!(
+                "  {:>10.3} {:>5} {:>7} {:>7} {:>9}",
+                e.t_ns / 1e6,
+                match e.direction {
+                    ScaleDirection::Up => "up",
+                    ScaleDirection::Down => "down",
+                },
+                e.active_after,
+                e.queued,
+                e.burn_hot
+            );
+        }
+    }
+    println!(
+        "  fleet cost {:.4} instance-seconds   active min/final/peak {}/{}/{}",
+        c.instance_seconds, c.min_active, c.final_active, c.peak_active
+    );
+    if c.converge_ns > 0.0 {
+        println!("  converged to peak capacity at {:.2} ms", c.converge_ns / 1e6);
     }
     Ok(())
 }
@@ -814,6 +1000,47 @@ mod tests {
         assert!(cmd_profile(&["inf".into()]).is_err());
         assert!(cmd_profile(&["--trace=".into()]).is_err());
         assert!(cmd_profile(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn control_command_runs() {
+        cmd_control(&[]).expect("control defaults");
+        cmd_control(&["8000".into(), "1".into(), "8".into(), "50".into()])
+            .expect("control explicit");
+        for policy in ["fifo", "wfq", "edf"] {
+            cmd_control(&[format!("--policy={policy}")]).expect(policy);
+        }
+        for placement in ["first-idle", "least-loaded", "fastest", "energy-greedy"] {
+            cmd_control(&[format!("--placement={placement}")]).expect(placement);
+        }
+        cmd_control(&["--autoscale=2:3".into()]).expect("control bounded");
+        cmd_control(&["--autoscale=off".into()]).expect("control static");
+        cmd_control(&["--shards=4".into()]).expect("control sharded");
+        // Every knob at its no-op default: the baseline path, no report.
+        cmd_control(&[
+            "--policy=fifo".into(),
+            "--placement=first-idle".into(),
+            "--autoscale=off".into(),
+        ])
+        .expect("control no-op");
+    }
+
+    #[test]
+    fn control_command_rejects_bad_arguments() {
+        assert!(cmd_control(&["abc".into()]).is_err());
+        assert!(cmd_control(&["0".into()]).is_err());
+        assert!(cmd_control(&["8000".into(), "0".into()]).is_err());
+        assert!(cmd_control(&["8000".into(), "1".into(), "0".into()]).is_err());
+        assert!(cmd_control(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
+        assert!(cmd_control(&["inf".into()]).is_err());
+        assert!(cmd_control(&["--bogus".into()]).is_err());
+        assert!(cmd_control(&["--policy=lifo".into()]).is_err());
+        assert!(cmd_control(&["--placement=random".into()]).is_err());
+        assert!(cmd_control(&["--autoscale=4".into()]).is_err());
+        assert!(cmd_control(&["--autoscale=0:4".into()]).is_err());
+        assert!(cmd_control(&["--autoscale=4:1".into()]).is_err());
+        assert!(cmd_control(&["--autoscale=a:b".into()]).is_err());
+        assert!(cmd_control(&["--shards=0".into()]).is_err());
     }
 
     #[test]

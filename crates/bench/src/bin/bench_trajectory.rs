@@ -2,7 +2,7 @@
 //! behind the repo-root `BENCH_serve.json`.
 //!
 //! Runs the `serve_event_loop` matrix (arrival rate × fleet ×
-//! {untraced, traced, health, profiled, sharded}) and maintains the tracked file's
+//! {untraced, traced, health, profiled, sharded, flight}) and maintains the tracked file's
 //! two tracks: deterministic work-counter budgets (machine-independent,
 //! gated hard in CI) and wall-clock medians (machine-dependent,
 //! report-only). See `star_bench::trajectory` for the schema.
@@ -11,14 +11,16 @@
 //! bench_trajectory check              # gate: counters vs recorded budgets
 //! bench_trajectory measure [ITERS]    # report-only wall-clock medians
 //! bench_trajectory update LABEL [ITERS]  # rewrite budgets, append medians
-//! bench_trajectory golden             # write results/profile_work.json
+//! bench_trajectory golden             # write results/{profile_work,incident}.json
 //! ```
 //!
 //! `check` exits nonzero when any counter grew more than the recorded
 //! tolerance over its budget — the machine-independent regression gate.
-//! `golden` regenerates the deterministic work-counter fixture the
-//! `star-bench` golden tests pin (copy `results/profile_work.json` to
-//! `crates/bench/tests/golden/` to accept a deliberate change).
+//! `golden` regenerates the deterministic fixtures the `star-bench`
+//! golden tests pin — the work-counter snapshot and the flight-recorder
+//! incident dump (copy `results/profile_work.json` and
+//! `results/incident.json` to `crates/bench/tests/golden/` to accept a
+//! deliberate change).
 
 use star_bench::{header, trajectory};
 
@@ -129,11 +131,15 @@ fn cmd_update(label: &str, iters: usize) {
 }
 
 fn cmd_golden() {
-    header("bench_trajectory: regenerate deterministic profile_work fixture");
+    header("bench_trajectory: regenerate deterministic profile_work + incident fixtures");
     let result = star_bench::profile_work_result();
     let path = star_bench::write_json("profile_work", &result).expect("write results/");
     println!("  wrote {}", path.display());
     println!("  accept: cp {} crates/bench/tests/golden/profile_work.json", path.display());
+    let incident = star_bench::incident_result();
+    let path = star_bench::write_json("incident", &incident).expect("write results/");
+    println!("  wrote {}", path.display());
+    println!("  accept: cp {} crates/bench/tests/golden/incident.json", path.display());
 }
 
 fn parse_iters(arg: Option<&String>) -> usize {

@@ -743,6 +743,70 @@ pub fn profile_fixture_config() -> star_serve::ServeConfig {
     }
 }
 
+/// The fixed operating point pinned by the `incident` golden: 80 krps of
+/// BERT-base/128 offered to a single batch-8 instance — the saturating
+/// shape `star_cli serve 80000 1 --flight` runs, far past the
+/// ~17.6 krps batched capacity, so the default
+/// [`star_serve::FlightConfig`] triggers (SLO burn, expiry burst, queue
+/// depth) all fire early in the run.
+pub fn incident_config() -> star_serve::ServeConfig {
+    use star_serve::{ArrivalProcess, BatchPolicy};
+    let (base, _) = a8_serving_cases();
+    star_serve::ServeConfig {
+        fleet: 1,
+        policy: BatchPolicy::new(8, 50_000.0),
+        arrival: ArrivalProcess::poisson(80_000.0),
+        ..base
+    }
+}
+
+/// The machine-readable `incident` result: the first incident dump the
+/// flight recorder seals on the [`incident_config`] overload, exactly as
+/// `star_cli serve --flight` would write it (the sidecar object with the
+/// `starServeIncident` key), plus the recorder's conservation counters.
+///
+/// The dump is a pure function of the configuration — the recorder
+/// consumes zero RNG and performs no event arithmetic — so the golden
+/// pins byte-for-byte that (1) the recorder stays invisible and
+/// (2) incident capture is reproducible on any shard/thread topology
+/// (CI diffs this file across `STAR_SERVE_SHARDS` × `STAR_EXEC_THREADS`
+/// legs).
+///
+/// # Panics
+///
+/// Panics if the overload fails to produce an incident (a recorder or
+/// trigger regression).
+pub fn incident_result() -> serde_json::Value {
+    let cfg = incident_config();
+    let outcome = star_serve::simulate_flight(&cfg, &star_serve::FlightConfig::default());
+    let flight = outcome.flight.expect("flight run carries an outcome");
+    let dump = flight.incidents.first().expect("saturating overload seals an incident");
+    serde_json::json!({
+        "experiment": "incident",
+        "config": {
+            "class": cfg.mix.classes()[0].to_string(),
+            "rate_rps": 80_000.0,
+            "fleet": cfg.fleet,
+            "policy": cfg.policy.to_string(),
+            "horizon_ns": cfg.horizon_ns,
+            "seed": cfg.seed,
+            "max_queue": cfg.max_queue,
+            "deadline_ns": cfg.deadline_ns,
+        },
+        "counters": {
+            "events_seen": flight.events_seen,
+            "events_retained": flight.events_retained,
+            "events_evicted": flight.events_evicted,
+            "terminals_seen": flight.terminals_seen,
+            "terminals_retained": flight.terminals_retained,
+            "terminals_evicted": flight.terminals_evicted,
+            "triggers_fired": flight.triggers_fired,
+            "incidents": flight.incidents.len(),
+        },
+        "dump": dump.to_object_json(),
+    })
+}
+
 /// The machine-readable `profile_work` result: the deterministic half of
 /// the self-profile ([`star_serve::WorkCounters`] + histograms) for the
 /// fixed configuration from [`profile_fixture_config`], alongside the

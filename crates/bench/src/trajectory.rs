@@ -47,8 +47,10 @@ pub const WORK_BUDGET_TOLERANCE_PCT: f64 = 5.0;
 /// order they appear in reports. `sharded` runs the same untraced
 /// simulation with the event queue split across 8 shards — bitwise
 /// identical output by construction, timed so the trajectory shows what
-/// the sharded layout costs or saves.
-pub const VARIANTS: [&str; 5] = ["untraced", "traced", "health", "profiled", "sharded"];
+/// the sharded layout costs or saves. `flight` runs with the always-on
+/// incident flight recorder attached (default [`star_serve::FlightConfig`]);
+/// its budget is the recorder's ≤1.1×-untraced overhead contract.
+pub const VARIANTS: [&str; 6] = ["untraced", "traced", "health", "profiled", "sharded", "flight"];
 
 /// Shard count used by the `sharded` trajectory variant.
 pub const SHARDED_VARIANT_SHARDS: usize = 8;
@@ -124,18 +126,25 @@ pub struct TrajectoryFile {
     pub trajectory: Vec<TrajectoryEntry>,
 }
 
-/// Measures the deterministic work counters at every matrix point.
+/// Measures the deterministic work counters at every matrix point: the
+/// profiler's 17 [`star_serve::WorkCounters`] scalars plus the flight
+/// recorder's `flight_*` scalars from a recorder-attached run of the
+/// same config (default [`star_serve::FlightConfig`]).
 ///
 /// # Panics
 ///
-/// Panics if a profiled run returns no profile (a programming error).
+/// Panics if a profiled run returns no profile or a flight run returns
+/// no flight outcome (programming errors).
 pub fn current_work_counters() -> BTreeMap<String, BTreeMap<String, u64>> {
+    let flight_cfg = star_serve::FlightConfig::default();
     let mut out = BTreeMap::new();
     for (label, rate, fleet) in matrix_points() {
         let cfg = matrix_config(rate, fleet);
         let profile = star_serve::simulate_profiled(&cfg).profile.expect("profiled run");
-        let scalars: BTreeMap<String, u64> =
+        let mut scalars: BTreeMap<String, u64> =
             profile.work.scalars().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let flight = star_serve::simulate_flight(&cfg, &flight_cfg).flight.expect("flight outcome");
+        scalars.extend(flight.scalars().into_iter().map(|(k, v)| (k.to_string(), v)));
         out.insert(label, scalars);
     }
     out
@@ -205,6 +214,7 @@ pub fn median_ms(samples: &mut [f64]) -> f64 {
 /// Panics if a profiled run returns no profile (a programming error).
 pub fn measure_trajectory(label: &str, iters: usize) -> TrajectoryEntry {
     let health = star_serve::HealthConfig::default();
+    let flight = star_serve::FlightConfig::default();
     let mut medians_ms: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     let mut events_per_sec = BTreeMap::new();
     for (point, rate, fleet) in matrix_points() {
@@ -228,6 +238,9 @@ pub fn measure_trajectory(label: &str, iters: usize) -> TrajectoryEntry {
                             &cfg,
                             SHARDED_VARIANT_SHARDS,
                         ));
+                    }
+                    "flight" => {
+                        std::hint::black_box(star_serve::simulate_flight(&cfg, &flight));
                     }
                     _ => {
                         std::hint::black_box(star_serve::simulate_profiled(&cfg));
@@ -354,7 +367,12 @@ mod tests {
         assert_eq!(a.len(), matrix_points().len());
         for (point, counters) in &a {
             assert!(counters.get("events_total").copied().unwrap_or(0) > 0, "{point}");
-            assert_eq!(counters.len(), 17, "{point}: all scalar counters present");
+            assert_eq!(counters.len(), 23, "{point}: all scalar counters present");
+            assert_eq!(
+                counters.get("flight_events_seen"),
+                counters.get("events_total"),
+                "{point}: the recorder sees exactly the events the profiler counts"
+            );
         }
         // Deterministic: a second measurement is identical.
         assert_eq!(a, current_work_counters());

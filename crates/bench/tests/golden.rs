@@ -326,6 +326,94 @@ fn a8_golden_surfaces_per_class_slo() {
 }
 
 #[test]
+fn incident_matches_golden() {
+    // The flight recorder's first incident dump on the saturating
+    // 80 krps / 1-instance overload, byte-for-byte. The recorder
+    // consumes no RNG and performs no event arithmetic, so the dump is a
+    // pure function of the configuration; CI additionally diffs the
+    // regenerated file across `STAR_SERVE_SHARDS` × `STAR_EXEC_THREADS`
+    // legs. Regenerate deliberately with `bench_trajectory golden` and
+    // copy from `results/`.
+    assert_matches_golden("incident", &star_bench::incident_result());
+}
+
+#[test]
+fn incident_golden_reconciles_with_itself() {
+    // The fixture must satisfy the recorder's own invariants — a
+    // regenerated fixture that broke ring conservation or waterfall
+    // accounting would otherwise be accepted byte-for-byte.
+    let inc = fixture("incident");
+    assert_eq!(
+        number_at(&inc, "counters/events_seen"),
+        number_at(&inc, "counters/events_retained") + number_at(&inc, "counters/events_evicted"),
+        "event-ring conservation"
+    );
+    assert_eq!(
+        number_at(&inc, "counters/terminals_seen"),
+        number_at(&inc, "counters/terminals_retained")
+            + number_at(&inc, "counters/terminals_evicted"),
+        "terminal-ring conservation"
+    );
+    assert!(number_at(&inc, "counters/incidents") >= 1.0);
+
+    let dump = inc
+        .get("dump")
+        .and_then(|d| d.get("starServeIncident"))
+        .expect("dump carries the starServeIncident sidecar");
+    let triggers = dump.get("triggers").and_then(|v| v.as_array()).expect("triggers array");
+    assert!(!triggers.is_empty(), "a sealed incident records at least one trigger");
+    let start = number_at(dump, "window_start_ns");
+    let end = number_at(dump, "window_end_ns");
+    assert!(start < end, "window is non-degenerate: [{start}, {end}]");
+    let known = ["BurnRate", "ExpiryBurst", "QueueDepth", "HealthAlarm"];
+    for (i, t) in triggers.iter().enumerate() {
+        let kind = t.get("kind").and_then(|v| v.as_str()).expect("trigger kind");
+        assert!(known.contains(&kind), "trigger {i} has unknown kind {kind:?}");
+        let t_ns = number_at(t, "t_ns");
+        assert!(
+            start < t_ns && t_ns <= end,
+            "trigger {i} at {t_ns} outside pre-window ({start}) .. window end ({end})"
+        );
+        assert!(
+            number_at(t, "value") >= number_at(t, "threshold"),
+            "trigger {i} fired below its threshold"
+        );
+    }
+
+    // The waterfall partitions total latency exactly: queueing +
+    // batch-window + the five service phases == total.
+    let total = number_at(dump, "report/waterfall/total_ms");
+    let parts = number_at(dump, "report/waterfall/queueing_ms")
+        + number_at(dump, "report/waterfall/batch_window_ms")
+        + number_at(dump, "report/waterfall/overhead_ms")
+        + number_at(dump, "report/waterfall/projection_ms")
+        + number_at(dump, "report/waterfall/qk_fill_ms")
+        + number_at(dump, "report/waterfall/softmax_stream_ms")
+        + number_at(dump, "report/waterfall/av_drain_ms");
+    assert!(
+        (parts - total).abs() <= 1e-6 * total.max(1.0),
+        "waterfall components {parts} do not sum to total {total}"
+    );
+    // The overload is constant-rate (capacity sag, not an arrival
+    // spike), so the window rate must sit near the offered 80 krps. The
+    // trigger fires a few ms into the run, before the ring ever evicts,
+    // so the captured window reaches back to t=0 and the pre-window
+    // baseline is empty — which the delta must report as ratio 0, not a
+    // wild number from a degenerate span.
+    let window_rps = number_at(dump, "report/arrival/window_rps");
+    assert!(
+        (40_000.0..160_000.0).contains(&window_rps),
+        "window arrival rate {window_rps} is not near the offered 80 krps"
+    );
+    if number_at(dump, "report/arrival/baseline_rps") == 0.0 {
+        assert_eq!(number_at(dump, "report/arrival/ratio"), 0.0);
+    } else {
+        let ratio = number_at(dump, "report/arrival/ratio");
+        assert!((0.1..10.0).contains(&ratio), "baseline over the wrong span: ratio {ratio}");
+    }
+}
+
+#[test]
 fn goldens_contain_paper_anchors() {
     // Guard against fixtures regenerated from a builder that silently
     // dropped the paper anchor fields: the anchors are the whole point

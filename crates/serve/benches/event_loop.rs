@@ -14,6 +14,10 @@
 //! - `sharded` — `simulate_sharded` at 8 shards: the same untraced run
 //!   on the sharded event queue (bitwise-identical output; this times
 //!   what the per-shard heaps and min-of-heads merge cost or save).
+//! - `flight` — `simulate_flight`: the always-on incident flight
+//!   recorder (bounded ring of compact rows + trigger engine). Its
+//!   budget is ≤1.1× untraced — an order of magnitude cheaper than full
+//!   tracing, which is the whole point of recording retroactively.
 //!
 //! The measured traced/untraced ratio is recorded in DESIGN.md
 //! ("Observability") — re-run with `STAR_BENCH_BUDGET_MS=2000` for
@@ -24,9 +28,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use star_serve::{
-    simulate, simulate_monitored, simulate_profiled, simulate_sharded, simulate_traced,
-    ArrivalProcess, BatchPolicy, ControlConfig, HealthConfig, ModelKind, RequestClass, ServeConfig,
-    ServiceModelConfig, WorkloadMix,
+    simulate, simulate_flight, simulate_monitored, simulate_profiled, simulate_sharded,
+    simulate_traced, ArrivalProcess, BatchPolicy, ControlConfig, FlightConfig, HealthConfig,
+    ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
 };
 
 /// Shard count for the `sharded` variant — mirrors
@@ -53,6 +57,7 @@ fn bench_config(rate_rps: f64) -> ServeConfig {
 fn bench_event_loop(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_event_loop");
     let health_cfg = HealthConfig::default();
+    let flight_cfg = FlightConfig::default();
     for rate in [20_000.0, 80_000.0] {
         let cfg = bench_config(rate);
         // Sanity: all paths agree before we time them.
@@ -61,6 +66,7 @@ fn bench_event_loop(c: &mut Criterion) {
         assert_eq!(plain, simulate_monitored(&cfg, &health_cfg).report);
         assert_eq!(plain, simulate_profiled(&cfg).report);
         assert_eq!(plain, simulate_sharded(&cfg, SHARDS));
+        assert_eq!(plain, simulate_flight(&cfg, &flight_cfg).report);
         assert!(plain.arrivals > 0);
         group.bench_with_input(BenchmarkId::new("untraced", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate(cfg))
@@ -76,6 +82,9 @@ fn bench_event_loop(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("sharded", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate_sharded(cfg, SHARDS))
+        });
+        group.bench_with_input(BenchmarkId::new("flight", rate as u64), &cfg, |b, cfg| {
+            b.iter(|| simulate_flight(cfg, &flight_cfg))
         });
     }
     group.finish();

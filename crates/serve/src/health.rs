@@ -683,6 +683,13 @@ impl HealthMonitor {
         self.model.cfg.wear_leveling
     }
 
+    /// Alarms raised so far — the flight recorder's first-crossing
+    /// trigger input (alarms fire once per (instance, kind), so this is
+    /// monotone over the run).
+    pub fn alarm_count(&self) -> usize {
+        self.alarms.len()
+    }
+
     /// The per-instance ledgers, instance order.
     pub fn ledgers(&self) -> &[WearLedger] {
         &self.ledgers

@@ -19,6 +19,7 @@
 //! | [`sim`] | The seeded, totally ordered discrete-event loop |
 //! | [`shard`] | Sharded event storage: per-shard heaps, deterministic cross-shard merge |
 //! | [`control`] | Fleet control plane: dequeue policies, autoscaler, heterogeneous placement |
+//! | [`flight`] | Incident flight recorder: bounded event ring, trigger engine, root-cause dumps |
 //! | [`slo`] | Exact latency quantiles, goodput, per-class breakdowns, burn-rate monitor |
 //! | [`trace`] | Per-request span trees, batch invocation spans, Perfetto export |
 //! | [`health`] | Wear ledgers, thermal/drift monitors, fleet degradation reporting |
@@ -59,6 +60,7 @@
 pub mod arrival;
 pub mod batch;
 pub mod control;
+pub mod flight;
 pub mod health;
 pub mod model;
 pub mod profile;
@@ -75,6 +77,12 @@ pub use control::{
     AutoscaleConfig, ClassShare, ControlConfig, ControlReport, DequeuePolicy, EdfPolicy,
     PlacementPolicy, ScaleDirection, ScaleEvent, WeightedFairPolicy,
 };
+pub use flight::{
+    ArrivalDelta, BurnTriggerConfig, ClassIncidentStats, EventRecord, EventView, ExpiryBurstConfig,
+    FlightConfig, FlightEventKind, FlightOutcome, FlightRecorder, IncidentDump, IncidentExemplar,
+    IncidentReport, InstanceIncidentStats, LatencyWaterfall, TerminalRecord, TriggerKind,
+    TriggerRecord, FLIGHT_SIDECAR_KEY,
+};
 pub use health::{
     invocation_wear, AlarmKind, FleetHealthReport, FleetHealthSample, HealthAlarm, HealthConfig,
     HealthModel, HealthMonitor, HealthProjection, InstanceHealthReport, InstanceHealthSample,
@@ -85,9 +93,9 @@ pub use profile::{Pow2Hist, SimProfile, WorkCounters, HIST_BUCKETS, PROFILE_SIDE
 pub use request::{ModelKind, Request, RequestClass, RequestRecord};
 pub use shard::{shards_from_env, ShardLayout, ShardedQueue, MAX_SHARDS, SHARDS_ENV};
 pub use sim::{
-    simulate, simulate_monitored, simulate_profiled, simulate_profiled_with, simulate_sharded,
-    simulate_sharded_on, simulate_sharded_with, simulate_traced, simulate_traced_monitored,
-    ServeConfig, SimOutcome,
+    simulate, simulate_flight, simulate_full, simulate_full_on, simulate_monitored,
+    simulate_profiled, simulate_profiled_with, simulate_sharded, simulate_sharded_on,
+    simulate_sharded_with, simulate_traced, simulate_traced_monitored, ServeConfig, SimOutcome,
 };
 pub use slo::{
     BurnWindow, ClassSloReport, Exemplar, LatencyStats, ServeReport, SloAnalysis, SloPolicy,

@@ -39,6 +39,7 @@ use crate::control::autoscale::ScalerState;
 use crate::control::{
     ClassShare, ControlConfig, ControlReport, DequeuePolicy, PlacementPolicy, ScaleDirection,
 };
+use crate::flight::{EventView, FlightConfig, FlightOutcome, FlightRecorder};
 use crate::health::{FleetHealthReport, HealthConfig, HealthMonitor};
 use crate::model::{ServiceModel, ServiceModelConfig};
 use crate::profile::{phase, SimProfile};
@@ -293,6 +294,12 @@ struct Sim<'a> {
     /// identical (boxed: only the hot loop's `is_some` check stays in
     /// the state's cache footprint).
     profile: Option<Box<SimProfile>>,
+    /// Incident flight recorder: bounded rings of compact per-event and
+    /// per-terminal rows plus the deterministic trigger engine. Like
+    /// every other observer it consumes zero RNG draws and perturbs no
+    /// event arithmetic — recorder-on output is bitwise identical to
+    /// recorder-off (see [`crate::flight`]).
+    flight: Option<Box<FlightRecorder>>,
 }
 
 impl<'a> Sim<'a> {
@@ -301,6 +308,7 @@ impl<'a> Sim<'a> {
         traced: bool,
         health: Option<&HealthConfig>,
         profiled: bool,
+        flight: Option<&FlightConfig>,
         shards: usize,
         exec: &'a Executor,
     ) -> Self {
@@ -330,6 +338,14 @@ impl<'a> Sim<'a> {
             (services, model_of)
         };
         let layout = ShardLayout::new(shards, &classes);
+        let flight = flight.map(|fc| {
+            Box::new(FlightRecorder::new(
+                fc.clone(),
+                classes.clone(),
+                capacity,
+                cfg.policy.window_ns,
+            ))
+        });
         let mut queues = BTreeMap::new();
         let mut per_class = BTreeMap::new();
         let mut class_names = BTreeMap::new();
@@ -392,6 +408,7 @@ impl<'a> Sim<'a> {
             trace,
             health,
             profile: profiled.then(|| Box::new(SimProfile::new())),
+            flight,
         }
     }
 
@@ -582,6 +599,18 @@ impl<'a> Sim<'a> {
                 });
             }
             self.tock(phase::TRACE_EMIT, tt);
+            if let Some(f) = self.flight.as_deref_mut() {
+                f.on_terminal(
+                    req.id,
+                    req.class,
+                    RequestOutcome::Rejected,
+                    req.arrive_ns,
+                    None,
+                    now,
+                    0,
+                    None,
+                );
+            }
             self.client_think_and_reissue(req.client, now);
             return;
         }
@@ -638,6 +667,18 @@ impl<'a> Sim<'a> {
             let latency = now - req.arrive_ns;
             let queue_ns = batch.dispatch_ns - req.arrive_ns;
             let good = latency <= self.cfg.deadline_ns;
+            if let Some(f) = self.flight.as_deref_mut() {
+                f.on_terminal(
+                    req.id,
+                    req.class,
+                    if good { RequestOutcome::Good } else { RequestOutcome::Late },
+                    req.arrive_ns,
+                    Some(batch.dispatch_ns),
+                    now,
+                    size,
+                    Some(instance),
+                );
+            }
             self.in_system -= 1;
             self.completed += 1;
             let acc = self.per_class.get_mut(&req.class).expect("class registered");
@@ -1036,6 +1077,18 @@ impl<'a> Sim<'a> {
                 });
             }
             self.tock(phase::TRACE_EMIT, tt);
+            if let Some(f) = self.flight.as_deref_mut() {
+                f.on_terminal(
+                    req.id,
+                    req.class,
+                    RequestOutcome::Expired,
+                    req.arrive_ns,
+                    None,
+                    now,
+                    0,
+                    None,
+                );
+            }
             self.client_think_and_reissue(req.client, now);
         }
         members
@@ -1068,6 +1121,24 @@ impl<'a> Sim<'a> {
                     EventKind::ScaleCheck => p.work.events_scale_check += 1,
                 }
             }
+            // Lower the event to its flight view before the handler
+            // consumes it (the recorder never sees the private event
+            // enum; the view is a pure projection).
+            let fview = if self.flight.is_some() {
+                Some(match &event.kind {
+                    EventKind::Arrive(req) => EventView::arrive(req.class),
+                    EventKind::WindowExpire(class) => EventView::window_expire(*class),
+                    EventKind::InstanceFree { instance, batch } => EventView::instance_free(
+                        *instance,
+                        batch.class,
+                        batch.members.len(),
+                        batch.dispatch_ns,
+                    ),
+                    EventKind::ScaleCheck => EventView::scale_check(),
+                })
+            } else {
+                None
+            };
             let t0 = self.tick();
             match event.kind {
                 EventKind::Arrive(req) => {
@@ -1097,6 +1168,17 @@ impl<'a> Sim<'a> {
             self.record_sample(event.time);
             if let Some(h) = self.health.as_mut() {
                 h.maybe_sample(event.time);
+            }
+            if let Some(view) = fview {
+                // Post-event settled state, same convention as the
+                // sample hooks above; occupancy = in-flight requests
+                // currently executing in batches.
+                let alarms = self.health.as_ref().map_or(0, HealthMonitor::alarm_count);
+                let occupancy = (self.in_system as usize).saturating_sub(self.queued_total);
+                self.flight
+                    .as_deref_mut()
+                    .expect("view captured only when the recorder is attached")
+                    .on_event(event.time, event.seq, view, self.queued_total, occupancy, alarms);
             }
             self.tock(phase::SAMPLE_HOOKS, ts);
         }
@@ -1242,7 +1324,8 @@ impl<'a> Sim<'a> {
             }
             *p
         });
-        SimOutcome { report, records: self.records, trace, health, profile, control }
+        let flight = self.flight.take().map(|f| f.finalize(&self.services, &self.model_of));
+        SimOutcome { report, records: self.records, trace, health, profile, control, flight }
     }
 }
 
@@ -1266,6 +1349,10 @@ pub struct SimOutcome {
     /// and fleet-cost figures (present iff any [`ControlConfig`] knob is
     /// on; see [`crate::control`]).
     pub control: Option<ControlReport>,
+    /// Flight-recorder outcome: sealed incident dumps plus ring
+    /// conservation counters (present when the recorder was attached;
+    /// see [`crate::flight`]).
+    pub flight: Option<FlightOutcome>,
 }
 
 /// Runs the serving simulation and returns its report.
@@ -1279,7 +1366,7 @@ pub struct SimOutcome {
 /// horizon, or queue bound; unknown classes).
 pub fn simulate(cfg: &ServeConfig) -> ServeReport {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, None, false, shards_from_env(), &exec).run().report
+    Sim::new(cfg, false, None, false, None, shards_from_env(), &exec).run().report
 }
 
 /// Like [`simulate`] with an explicit event-queue shard count, clamped
@@ -1293,7 +1380,7 @@ pub fn simulate(cfg: &ServeConfig) -> ServeReport {
 /// layout.
 pub fn simulate_sharded(cfg: &ServeConfig, shards: usize) -> ServeReport {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, None, false, shards, &exec).run().report
+    Sim::new(cfg, false, None, false, None, shards, &exec).run().report
 }
 
 /// The fully general sharded entry point: explicit shard count plus any
@@ -1309,7 +1396,7 @@ pub fn simulate_sharded_with(
     profiled: bool,
 ) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, traced, health, profiled, shards, &exec).run()
+    Sim::new(cfg, traced, health, profiled, None, shards, &exec).run()
 }
 
 /// [`simulate_sharded_with`] on a caller-supplied executor — the hook
@@ -1323,7 +1410,7 @@ pub fn simulate_sharded_on(
     profiled: bool,
     exec: &Executor,
 ) -> SimOutcome {
-    Sim::new(cfg, traced, health, profiled, shards, exec).run()
+    Sim::new(cfg, traced, health, profiled, None, shards, exec).run()
 }
 
 /// Like [`simulate`], but also collects per-request records and the full
@@ -1333,7 +1420,7 @@ pub fn simulate_sharded_on(
 /// arithmetic.
 pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, true, None, false, shards_from_env(), &exec).run()
+    Sim::new(cfg, true, None, false, None, shards_from_env(), &exec).run()
 }
 
 /// Like [`simulate`], with the device-health monitor attached: wear
@@ -1345,7 +1432,7 @@ pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
 /// and perturbs no event arithmetic — a test pins this).
 pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, Some(health), false, shards_from_env(), &exec).run()
+    Sim::new(cfg, false, Some(health), false, None, shards_from_env(), &exec).run()
 }
 
 /// [`simulate_traced`] plus the device-health monitor: the trace also
@@ -1354,7 +1441,7 @@ pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcom
 /// export).
 pub fn simulate_traced_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, true, Some(health), false, shards_from_env(), &exec).run()
+    Sim::new(cfg, true, Some(health), false, None, shards_from_env(), &exec).run()
 }
 
 /// Like [`simulate`], with the simulator's self-profiler attached: the
@@ -1365,7 +1452,7 @@ pub fn simulate_traced_monitored(cfg: &ServeConfig, health: &HealthConfig) -> Si
 /// (a test pins this).
 pub fn simulate_profiled(cfg: &ServeConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, None, true, shards_from_env(), &exec).run()
+    Sim::new(cfg, false, None, true, None, shards_from_env(), &exec).run()
 }
 
 /// The fully general entry point: any combination of tracing, health
@@ -1378,7 +1465,51 @@ pub fn simulate_profiled_with(
     health: Option<&HealthConfig>,
 ) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, traced, health, true, shards_from_env(), &exec).run()
+    Sim::new(cfg, traced, health, true, None, shards_from_env(), &exec).run()
+}
+
+/// Like [`simulate`], with the incident flight recorder attached: the
+/// outcome carries a [`FlightOutcome`] of sealed incident dumps and
+/// ring conservation counters. Recording is observation-only — it
+/// consumes zero RNG draws and perturbs no event arithmetic, so the
+/// returned [`ServeReport`] is bitwise identical to the unrecorded run,
+/// and dumps are byte-identical across shard × thread grids (the
+/// `flight_equivalence` suite pins both).
+pub fn simulate_flight(cfg: &ServeConfig, flight: &FlightConfig) -> SimOutcome {
+    let exec = Executor::from_env();
+    Sim::new(cfg, false, None, false, Some(flight), shards_from_env(), &exec).run()
+}
+
+/// The fully general entry point: explicit shard count plus any
+/// combination of tracing, health monitoring, self-profiling, and the
+/// incident flight recorder. Every observer and the shard count
+/// preserve the no-perturbation invariant (wear-leveling, when
+/// explicitly enabled in `health`, is the single documented exception).
+pub fn simulate_full(
+    cfg: &ServeConfig,
+    shards: usize,
+    traced: bool,
+    health: Option<&HealthConfig>,
+    profiled: bool,
+    flight: Option<&FlightConfig>,
+) -> SimOutcome {
+    let exec = Executor::from_env();
+    Sim::new(cfg, traced, health, profiled, flight, shards, &exec).run()
+}
+
+/// [`simulate_full`] on a caller-supplied executor — the hook the
+/// differential suites use to vary worker counts in-process instead of
+/// through `STAR_EXEC_THREADS`.
+pub fn simulate_full_on(
+    cfg: &ServeConfig,
+    shards: usize,
+    traced: bool,
+    health: Option<&HealthConfig>,
+    profiled: bool,
+    flight: Option<&FlightConfig>,
+    exec: &Executor,
+) -> SimOutcome {
+    Sim::new(cfg, traced, health, profiled, flight, shards, exec).run()
 }
 
 #[cfg(test)]
@@ -1718,5 +1849,95 @@ mod tests {
             assert!(snap.gauges.contains_key(&format!("serve.health.i{i}.accuracy_margin")));
         }
         assert_eq!(snap.gauges["serve.health.wear_skew"], health.wear_skew);
+    }
+
+    #[test]
+    fn flight_recording_is_observation_only() {
+        let cfg = ServeConfig::example();
+        let plain = simulate(&cfg);
+        let recorded = simulate_flight(&cfg, &crate::flight::FlightConfig::default());
+        // The acceptance invariant: the recorder never perturbs the
+        // simulation — bitwise-equal reports.
+        assert_eq!(plain, recorded.report);
+        let flight = recorded.flight.expect("flight requested");
+
+        // Ring conservation and accounting identities against the
+        // report and the self-profiler's event counts.
+        assert_eq!(flight.events_seen, flight.events_retained + flight.events_evicted);
+        assert_eq!(flight.terminals_seen, flight.terminals_retained + flight.terminals_evicted);
+        assert_eq!(
+            flight.terminals_seen,
+            plain.completed + plain.rejected + plain.expired,
+            "every request reaches exactly one terminal row"
+        );
+        let profiled = simulate_profiled(&cfg).profile.expect("profile");
+        assert_eq!(flight.events_seen, profiled.work.events_total);
+    }
+
+    #[test]
+    fn flight_composes_with_all_observers() {
+        let cfg = ServeConfig::example();
+        let plain = simulate(&cfg);
+        let hc = HealthConfig::default();
+        let fc = crate::flight::FlightConfig::default();
+        let full = simulate_full(&cfg, 1, true, Some(&hc), true, Some(&fc));
+        assert_eq!(plain, full.report, "all four observers attached, still bitwise equal");
+        // The work counters do not depend on which observers ride along
+        // (flight on_event runs inside SAMPLE_HOOKS, not a new phase).
+        let solo = simulate_profiled(&cfg).profile.expect("profile");
+        let p = full.profile.expect("profile requested");
+        assert_eq!(p.work, solo.work);
+        assert!(full.trace.is_some());
+        assert!(full.health.is_some());
+        // The trace bytes equal a flight-off run's with the same
+        // observers attached.
+        let traced = simulate_traced_monitored(&cfg, &hc).trace.expect("trace");
+        let full_trace = full.trace.expect("trace");
+        assert_eq!(
+            serde_json::to_string(&full_trace.to_object_json()).expect("trace json"),
+            serde_json::to_string(&traced.to_object_json()).expect("trace json"),
+        );
+        // Flight outcome itself replays bitwise.
+        let again = simulate_flight(&cfg, &fc).flight.expect("flight");
+        assert_eq!(full.flight.expect("flight"), again);
+    }
+
+    #[test]
+    fn flight_triggers_fire_under_overload() {
+        // The tiny-queue overload config floods a 1-instance fleet, so
+        // the default triggers (queue depth, burn, expiry burst) all
+        // have material to fire on.
+        let cfg = ServeConfig {
+            fleet: 1,
+            arrival: ArrivalProcess::poisson(120_000.0),
+            max_queue: 16,
+            deadline_ns: 1e6,
+            ..ServeConfig::example()
+        };
+        let fc = crate::flight::FlightConfig {
+            queue_depth_threshold: Some(8),
+            ..crate::flight::FlightConfig::default()
+        };
+        let out = simulate_flight(&cfg, &fc);
+        let flight = out.flight.expect("flight requested");
+        assert!(flight.triggers_fired > 0, "overload must trip a trigger");
+        assert_eq!(flight.incidents.len(), 1, "one incident budgeted");
+        let dump = &flight.incidents[0];
+        assert!(!dump.triggers.is_empty());
+        assert!(dump.window_start_ns <= dump.triggers[0].t_ns);
+        assert!(dump.triggers[0].t_ns <= dump.window_end_ns);
+        // The report's waterfall reconciles: components sum to total.
+        let w = &dump.report.waterfall;
+        if w.completed > 0 {
+            assert!(
+                (w.component_sum_ms() - w.total_ms).abs() <= 1e-6 * w.total_ms.max(1e-9),
+                "waterfall components sum to total latency"
+            );
+        }
+        // Per-class terminals in the window never exceed the run totals.
+        let good: u64 = dump.report.per_class.iter().map(|c| c.good).sum();
+        let rejected: u64 = dump.report.per_class.iter().map(|c| c.rejected).sum();
+        assert!(good <= out.report.good);
+        assert!(rejected <= out.report.rejected);
     }
 }

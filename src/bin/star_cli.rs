@@ -35,6 +35,7 @@ COMMANDS:
     metrics <format> [seq]         run a representative softmax workload and
                                    print the telemetry counter/gauge table
     serve [rate] [fleet] [batch] [window_us] [--trace[=PATH]] [--shards=N]
+          [--flight[=PATH]]
                                    simulate a fleet of STAR instances serving
                                    Poisson BERT-base/128 traffic against a
                                    2 ms SLO and print the goodput/latency
@@ -47,12 +48,27 @@ COMMANDS:
                                    burn-rate analysis. --shards=N runs the
                                    event loop on N event-queue shards
                                    (1..=64; output is bitwise identical at
-                                   any shard count — engine choice only)
+                                   any shard count — engine choice only).
+                                   --flight arms the always-on incident
+                                   flight recorder (bounded event ring +
+                                   deterministic triggers: SLO burn,
+                                   expiry burst, queue depth); when a
+                                   trigger fires the captured window and
+                                   a root-cause report are written as
+                                   Perfetto-loadable JSON (default path
+                                   flight_incident.json)
     trace-analyze <file> [k]       re-analyze a `serve --trace` file:
                                    availability, burn-rate windows,
                                    time-to-first-violation, per-class
                                    goodput/p99, and the k slowest requests
-                                   with their span decomposition (default 5)
+                                   with their span decomposition (default 5).
+                                   Incident dumps from `serve --flight` are
+                                   recognized and re-analyzed too
+    incident-analyze <file>        re-analyze a `serve --flight` incident
+                                   dump: triggers, captured window, latency
+                                   waterfall, arrival-rate delta, per-class
+                                   and per-instance saturation, and the
+                                   slowest exemplars
     health [rate] [fleet] [batch] [window_us] [--level]
                                    run the serve simulation with the device
                                    health monitor: per-instance wear ledgers,
@@ -105,6 +121,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "trace-analyze" => cmd_trace_analyze(&args[1..]),
+        "incident-analyze" => cmd_incident_analyze(&args[1..]),
         "health" => cmd_health(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "control" => cmd_control(&args[1..]),
@@ -315,13 +332,14 @@ fn parse_positive<T: std::str::FromStr + PartialOrd + Default>(
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use star::serve::{
-        shards_from_env, simulate_sharded_with, ArrivalProcess, BatchPolicy, ControlConfig,
+        shards_from_env, simulate_full, ArrivalProcess, BatchPolicy, ControlConfig, FlightConfig,
         ModelKind, RequestClass, ServeConfig, ServiceModel, ServiceModelConfig, SloAnalysis,
         SloPolicy, WorkloadMix,
     };
-    // Split flags from positionals so --trace/--shards compose with
-    // every positional combination.
+    // Split flags from positionals so --trace/--flight/--shards compose
+    // with every positional combination.
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut flight_path: Option<std::path::PathBuf> = None;
     let mut shards: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
     for a in args {
@@ -332,6 +350,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 return Err("--trace= needs a path".into());
             }
             trace_path = Some(p.into());
+        } else if a == "--flight" {
+            flight_path = Some(std::path::PathBuf::from("flight_incident.json"));
+        } else if let Some(p) = a.strip_prefix("--flight=") {
+            if p.is_empty() {
+                return Err("--flight= needs a path".into());
+            }
+            flight_path = Some(p.into());
         } else if let Some(n) = a.strip_prefix("--shards=") {
             shards = Some(parse_shards(n)?);
         } else if a.starts_with("--") {
@@ -371,8 +396,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // --shards picks the event-queue layout; the report is bitwise
     // identical at any count, so this is an engine choice, not a knob.
     let shards = shards.unwrap_or_else(shards_from_env);
-    let outcome = simulate_sharded_with(&cfg, shards, trace_path.is_some(), None, false);
-    let (r, trace) = (outcome.report, outcome.trace);
+    let flight_cfg = flight_path.is_some().then(FlightConfig::default);
+    let outcome =
+        simulate_full(&cfg, shards, trace_path.is_some(), None, false, flight_cfg.as_ref());
+    let (r, trace, flight) = (outcome.report, outcome.trace, outcome.flight);
 
     println!("serving {class} on {fleet} STAR instance(s), policy {}:", cfg.policy);
     println!(
@@ -415,6 +442,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             path.display()
         );
         print_slo_analysis(&SloAnalysis::from_trace(&trace, SloPolicy::default(), 5));
+    }
+    if let (Some(path), Some(flight)) = (flight_path, flight) {
+        println!(
+            "  flight: {} event rows seen ({} retained / {} evicted), {} terminals, {} trigger(s)",
+            flight.events_seen,
+            flight.events_retained,
+            flight.events_evicted,
+            flight.terminals_seen,
+            flight.triggers_fired
+        );
+        match flight.incidents.first() {
+            None => println!("  flight: no trigger fired; nothing dumped"),
+            Some(dump) => {
+                let json =
+                    serde_json::to_string(&dump.to_object_json()).map_err(|e| e.to_string())?;
+                std::fs::write(&path, &json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!(
+                    "  flight: incident dump -> {} (open in https://ui.perfetto.dev, or `star-cli incident-analyze`)",
+                    path.display()
+                );
+                print_incident(dump);
+            }
+        }
     }
     Ok(())
 }
@@ -854,8 +905,137 @@ fn print_slo_analysis(a: &star::serve::SloAnalysis) {
     }
 }
 
+/// Renders an incident dump's root-cause report: the triggers that
+/// fired, the captured window, and where the window's latency went.
+fn print_incident(dump: &star::serve::IncidentDump) {
+    println!(
+        "incident: window {:.3} -> {:.3} ms ({:.3} ms captured, post-trigger {:.3} ms)",
+        dump.window_start_ns / 1e6,
+        dump.window_end_ns / 1e6,
+        dump.window_ns() / 1e6,
+        dump.post_trigger_ns / 1e6
+    );
+    println!(
+        "  captured {} event rows / {} terminals (pre-window evicted: {} / {})",
+        dump.events.len(),
+        dump.terminals.len(),
+        dump.pre_events_evicted,
+        dump.pre_terminals_evicted
+    );
+    println!("  {:>14} {:>12} {:>12} {:>12}", "trigger", "at ms", "value", "threshold");
+    for t in &dump.triggers {
+        println!(
+            "  {:>14} {:>12.3} {:>12.2} {:>12.2}",
+            t.kind.as_str(),
+            t.t_ns / 1e6,
+            t.value,
+            t.threshold
+        );
+        if let Some(b) = &t.burn {
+            println!(
+                "  {:>14} window {:.1} ms, peak error {:.2} %, peak burn {:.1}",
+                "",
+                b.window_ns / 1e6,
+                b.peak_error_rate * 100.0,
+                b.peak_burn_rate
+            );
+        }
+    }
+    let rep = &dump.report;
+    let w = &rep.waterfall;
+    if w.completed > 0 {
+        println!("  latency waterfall ({} completed, {:.3} ms total):", w.completed, w.total_ms);
+        let pct = |part: f64| if w.total_ms > 0.0 { part / w.total_ms * 100.0 } else { 0.0 };
+        for (name, part) in [
+            ("queueing", w.queueing_ms),
+            ("batch window", w.batch_window_ms),
+            ("overhead", w.overhead_ms),
+            ("projection", w.projection_ms),
+            ("qk fill", w.qk_fill_ms),
+            ("softmax stream", w.softmax_stream_ms),
+            ("av drain", w.av_drain_ms),
+        ] {
+            println!("    {name:<16} {part:>10.3} ms  {:>5.1} %", pct(part));
+        }
+    }
+    println!(
+        "  arrivals: {} in window at {:.0} rps vs trailing baseline {:.0} rps (x{:.2})",
+        rep.arrival.window_arrivals,
+        rep.arrival.window_rps,
+        rep.arrival.baseline_rps,
+        rep.arrival.ratio
+    );
+    println!(
+        "  {:<20} {:>9} {:>7} {:>6} {:>8} {:>8}",
+        "class", "arrivals", "good", "late", "expired", "rejected"
+    );
+    for c in &rep.per_class {
+        println!(
+            "  {:<20} {:>9} {:>7} {:>6} {:>8} {:>8}",
+            c.class.to_string(),
+            c.arrivals,
+            c.good,
+            c.late,
+            c.expired,
+            c.rejected
+        );
+    }
+    println!("  {:>9} {:>8} {:>12} {:>8}", "instance", "batches", "completions", "busy %");
+    for i in &rep.per_instance {
+        println!(
+            "  {:>9} {:>8} {:>12} {:>8.1}",
+            i.instance,
+            i.batches,
+            i.completions,
+            i.busy_fraction * 100.0
+        );
+    }
+    if !rep.exemplars.is_empty() {
+        println!("  slowest {} requests in window:", rep.exemplars.len());
+        println!(
+            "  {:>8} {:<20} {:>8} {:>11} {:>10} {:>6} {:>9}",
+            "id", "class", "outcome", "latency ms", "queue ms", "batch", "instance"
+        );
+        for e in &rep.exemplars {
+            println!(
+                "  {:>8} {:<20} {:>8} {:>11.3} {:>10.3} {:>6} {:>9}",
+                e.id,
+                e.class.to_string(),
+                e.outcome.as_str(),
+                e.latency_ms,
+                e.queue_ms,
+                e.batch_size,
+                e.instance.map_or("-".to_string(), |i| i.to_string())
+            );
+        }
+    }
+}
+
+fn cmd_incident_analyze(args: &[String]) -> Result<(), String> {
+    use star::serve::IncidentDump;
+    let path = args
+        .first()
+        .ok_or("incident-analyze needs an incident dump (produce one with `serve --flight`)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let dump = IncidentDump::from_object_json(&value)?;
+    println!(
+        "{path}: {} trigger(s), {} classes, {} event rows, {} terminals",
+        dump.triggers.len(),
+        dump.classes.len(),
+        dump.events.len(),
+        dump.terminals.len()
+    );
+    print_incident(&dump);
+    Ok(())
+}
+
 fn cmd_trace_analyze(args: &[String]) -> Result<(), String> {
-    use star::serve::{ServeTrace, SloAnalysis, SloPolicy};
+    use star::serve::{
+        IncidentDump, ServeTrace, SloAnalysis, SloPolicy, FLIGHT_SIDECAR_KEY, PROFILE_SIDECAR_KEY,
+        TRACE_SIDECAR_KEY,
+    };
     let path = args
         .first()
         .ok_or("trace-analyze needs a trace file (produce one with `serve --trace`)")?;
@@ -866,6 +1046,32 @@ fn cmd_trace_analyze(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let value: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    // Dispatch on the machine-readable sidecar key: serve traces carry
+    // `starServe`, incident dumps `starServeIncident`, profiler
+    // meta-traces `starServeProfile`.
+    if value.get(FLIGHT_SIDECAR_KEY).is_some() {
+        let dump = IncidentDump::from_object_json(&value)?;
+        println!(
+            "{path}: incident dump ({} triggers, {} event rows, {} terminals)",
+            dump.triggers.len(),
+            dump.events.len(),
+            dump.terminals.len()
+        );
+        print_incident(&dump);
+        return Ok(());
+    }
+    if value.get(TRACE_SIDECAR_KEY).is_none() {
+        if value.get(PROFILE_SIDECAR_KEY).is_some() {
+            return Err(format!(
+                "{path} is a profiler meta-trace (`{PROFILE_SIDECAR_KEY}`), not a serve trace; \
+                 it has no per-request spans to analyze"
+            ));
+        }
+        return Err(format!(
+            "{path} carries none of the recognized sidecar keys \
+             (`{TRACE_SIDECAR_KEY}`, `{FLIGHT_SIDECAR_KEY}`, `{PROFILE_SIDECAR_KEY}`)"
+        ));
+    }
     let trace = ServeTrace::from_object_json(&value)?;
     trace.validate().map_err(|e| format!("{path} violates span invariants: {e}"))?;
     println!(
@@ -944,6 +1150,7 @@ mod tests {
         assert!(cmd_serve(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
         assert!(cmd_serve(&["inf".into()]).is_err());
         assert!(cmd_serve(&["--trace=".into()]).is_err());
+        assert!(cmd_serve(&["--flight=".into()]).is_err());
         assert!(cmd_serve(&["--bogus".into()]).is_err());
     }
 
@@ -1094,6 +1301,66 @@ mod tests {
         let err = cmd_trace_analyze(&[path.to_str().expect("utf8").to_string()])
             .expect_err("plain array rejected");
         assert!(err.contains("starServe"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_flight_dump_round_trips_through_both_analyzers() {
+        // The 80k rps single-instance point saturates the queue, so the
+        // default triggers fire deterministically and a dump is written.
+        let path =
+            std::env::temp_dir().join(format!("star_cli_flight_{}.json", std::process::id()));
+        let path_str = path.to_str().expect("utf8 temp path").to_string();
+        cmd_serve(&["80000".into(), "1".into(), format!("--flight={path_str}")])
+            .expect("serve --flight");
+        let text = std::fs::read_to_string(&path).expect("incident dump written");
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(value.get("traceEvents").is_some(), "Perfetto object form");
+        let dump = star::serve::IncidentDump::from_object_json(&value).expect("sidecar");
+        assert!(!dump.triggers.is_empty());
+        // Both the dedicated analyzer and trace-analyze (via sidecar
+        // detection) accept the file.
+        cmd_incident_analyze(std::slice::from_ref(&path_str)).expect("incident-analyze");
+        cmd_trace_analyze(std::slice::from_ref(&path_str)).expect("trace-analyze dispatch");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_flight_without_trigger_writes_nothing() {
+        // The default 16k rps / 2-instance point is underloaded: no
+        // trigger fires, and the dump path stays untouched.
+        let path =
+            std::env::temp_dir().join(format!("star_cli_noflight_{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        cmd_serve(&["--flight=".to_string() + path.to_str().expect("utf8")])
+            .expect("serve --flight quiet");
+        assert!(!path.exists(), "no incident, no dump file");
+    }
+
+    #[test]
+    fn incident_analyze_rejects_bad_inputs() {
+        assert!(cmd_incident_analyze(&[]).is_err());
+        assert!(cmd_incident_analyze(&["/definitely/not/here.json".into()]).is_err());
+        let path =
+            std::env::temp_dir().join(format!("star_cli_notdump_{}.json", std::process::id()));
+        std::fs::write(&path, "{\"traceEvents\": []}").expect("write plain object");
+        let err = cmd_incident_analyze(&[path.to_str().expect("utf8").to_string()])
+            .expect_err("plain chrome object rejected");
+        assert!(err.contains("starServeIncident"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_analyze_identifies_profiler_meta_traces() {
+        // A profiler meta-trace has a sidecar, just not a span sidecar —
+        // the error must say what the file *is*, not just what it isn't.
+        let path =
+            std::env::temp_dir().join(format!("star_cli_profdump_{}.json", std::process::id()));
+        let path_str = path.to_str().expect("utf8 temp path").to_string();
+        cmd_profile(&["8000".into(), "1".into(), format!("--trace={path_str}")])
+            .expect("profile --trace");
+        let err = cmd_trace_analyze(&[path_str]).expect_err("meta-trace rejected");
+        assert!(err.contains("starServeProfile"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

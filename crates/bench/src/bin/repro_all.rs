@@ -23,7 +23,7 @@ use star_exec::Executor;
 use std::path::Path;
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "e1_softmax_share",
     "e2_table1",
     "e3_fig3",
@@ -39,6 +39,7 @@ const EXPERIMENTS: [&str; 15] = [
     "a8_serving",
     "a9_device_health",
     "a10_fleet_control",
+    "a11_blame_whatif",
 ];
 
 /// Outcome of one experiment child process.

@@ -725,6 +725,109 @@ pub fn a8_serving_result() -> serde_json::Value {
     })
 }
 
+/// The A11 operating point: the A8 saturating batched point — 32 krps
+/// of BERT-base/128 offered to the 2-instance batch-8 fleet, right
+/// where dynamic batching pays and the queue is non-trivially loaded —
+/// so blame attribution has real admission/hold/busy waits to explain
+/// and the what-if engine has real latency to move.
+pub fn a11_blame_config() -> star_serve::ServeConfig {
+    use star_serve::{ArrivalProcess, BatchPolicy};
+    let (base, _) = a8_serving_cases();
+    star_serve::ServeConfig {
+        policy: BatchPolicy::new(8, 50_000.0),
+        arrival: ArrivalProcess::poisson(32_000.0),
+        ..base
+    }
+}
+
+/// The machine-readable A11 blame + what-if result.
+///
+/// Two legs on the [`a11_blame_config`] operating point:
+///
+/// 1. **Critical-path blame** — the exact per-request decomposition of
+///    end-to-end latency into admission queueing, batch-window hold,
+///    instance-busy blocking, and the five invocation phases, with the
+///    Sterbenz conservation identity (components recompose to the
+///    latency **bitwise**) verified inline over every completed
+///    request, plus the aggregated per-class/per-instance/tail blame
+///    tables and top blocking chains. Blame is observation-only: the
+///    [`star_serve::ServeReport`] is asserted equal to an unblamed run.
+/// 2. **Deterministic what-if** — the standard intervention menu
+///    (halve each service phase, zero the batch window, +1 instance,
+///    least-loaded placement) re-simulated on the same seeded workload
+///    and ranked by Δp99. The acceptance criterion is asserted here:
+///    the top-ranked intervention strictly improves p99 at this
+///    saturation point.
+///
+/// Everything is a pure function of the configuration — the recorder
+/// consumes zero RNG and performs no event arithmetic, and each what-if
+/// leg is an ordinary seeded simulation — so the golden pins the blame
+/// tables and the ranked what-if table byte-for-byte across
+/// `STAR_SERVE_SHARDS` × `STAR_EXEC_THREADS` topologies.
+///
+/// # Panics
+///
+/// Panics when blame perturbs the report, a request's components fail
+/// to recompose bitwise, or no intervention improves p99 (regressions).
+pub fn a11_blame_whatif_result() -> serde_json::Value {
+    use star_serve::{run_what_ifs, simulate, simulate_blamed, WhatIf};
+    let cfg = a11_blame_config();
+    let outcome = simulate_blamed(&cfg);
+    let blame = outcome.blame.as_ref().expect("blamed run carries blame tables");
+
+    // Observation-only, re-proved at the experiment's own operating
+    // point: the blamed run's report equals the plain run's bitwise.
+    assert_eq!(outcome.report, simulate(&cfg), "blame perturbed the serve report");
+    // The conservation identity over every completed request: the eight
+    // components recompose to the end-to-end latency with float
+    // equality, not a tolerance.
+    for b in &blame.requests {
+        assert_eq!(
+            b.components_sum(),
+            b.latency_ns,
+            "request {}: blame components do not recompose bitwise",
+            b.id
+        );
+    }
+
+    let what_if = run_what_ifs(&cfg, 1, &WhatIf::standard());
+    let best = what_if.best().expect("standard menu is non-empty");
+    assert!(
+        best.delta_p99_ms < 0.0,
+        "top-ranked intervention `{}` fails to improve p99 ({:+} ms)",
+        best.label,
+        best.delta_p99_ms
+    );
+
+    serde_json::json!({
+        "experiment": "a11_blame_whatif",
+        "config": {
+            "class": cfg.mix.classes()[0].to_string(),
+            "rate_rps": 32_000.0,
+            "fleet": cfg.fleet,
+            "policy": cfg.policy.to_string(),
+            "horizon_ns": cfg.horizon_ns,
+            "seed": cfg.seed,
+            "max_queue": cfg.max_queue,
+            "deadline_ns": cfg.deadline_ns,
+        },
+        "report": {
+            "arrivals": outcome.report.arrivals,
+            "completed": outcome.report.completed,
+            "goodput_rps": outcome.report.goodput_rps,
+            "p99_ms": outcome.report.latency.p99_ms,
+            "energy_per_request_nj": outcome.report.energy_per_request_nj,
+        },
+        "conservation": {
+            "requests": blame.requests.len(),
+            "batches": blame.batches.len(),
+            "bitwise_failures": 0,
+        },
+        "blame": blame.report,
+        "what_if": what_if,
+    })
+}
+
 /// The fixed operating point pinned by the `profile_work` golden: the A8
 /// base configuration at the moderate batched point (16 krps offered to
 /// the 2-instance BERT-base fleet, batch-8 / 50 µs window).

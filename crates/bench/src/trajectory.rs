@@ -49,8 +49,13 @@ pub const WORK_BUDGET_TOLERANCE_PCT: f64 = 5.0;
 /// identical output by construction, timed so the trajectory shows what
 /// the sharded layout costs or saves. `flight` runs with the always-on
 /// incident flight recorder attached (default [`star_serve::FlightConfig`]);
-/// its budget is the recorder's ≤1.1×-untraced overhead contract.
-pub const VARIANTS: [&str; 6] = ["untraced", "traced", "health", "profiled", "sharded", "flight"];
+/// its budget is the recorder's ≤1.1×-untraced overhead contract. `blame`
+/// runs with the critical-path blame recorder attached — observation-only
+/// per-request wait decomposition folded into blame tables at the end of
+/// the run — so the trajectory shows what exact latency attribution costs
+/// next to the report-only path.
+pub const VARIANTS: [&str; 7] =
+    ["untraced", "traced", "health", "profiled", "sharded", "flight", "blame"];
 
 /// Shard count used by the `sharded` trajectory variant.
 pub const SHARDED_VARIANT_SHARDS: usize = 8;
@@ -241,6 +246,9 @@ pub fn measure_trajectory(label: &str, iters: usize) -> TrajectoryEntry {
                     }
                     "flight" => {
                         std::hint::black_box(star_serve::simulate_flight(&cfg, &flight));
+                    }
+                    "blame" => {
+                        std::hint::black_box(star_serve::simulate_blamed(&cfg));
                     }
                     _ => {
                         std::hint::black_box(star_serve::simulate_profiled(&cfg));

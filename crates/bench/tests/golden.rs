@@ -1,9 +1,9 @@
 //! Golden-file regression tests for the machine-readable experiment
 //! results.
 //!
-//! The `e2_table1`, `e3_fig3`, `a8_serving`, `a9_device_health`, and
-//! `a10_fleet_control` binaries write `results/*.json` through the
-//! shared builders in
+//! The `e2_table1`, `e3_fig3`, `a8_serving`, `a9_device_health`,
+//! `a10_fleet_control`, and `a11_blame_whatif` binaries write
+//! `results/*.json` through the shared builders in
 //! `star_bench::experiments`; these tests call the *same* builders and
 //! compare against fixtures checked in under `tests/golden/`. The e2/e3
 //! builders are pure closed-form cost models (no RNG, no clock, no
@@ -11,7 +11,9 @@
 //! simulations whose event loops are totally ordered and whose sweeps
 //! reduce in case order (a9's health monitor additionally consumes zero
 //! RNG draws, and a10's control plane folds scale decisions into the
-//! same ordered event stream), so they are equally deterministic — including across
+//! same ordered event stream, and a11's blame recorder observes without
+//! perturbing before replaying each what-if leg as an ordinary seeded
+//! simulation), so they are equally deterministic — including across
 //! `STAR_EXEC_THREADS` worker counts. The vendored `serde_json`
 //! round-trips `f64` exactly, so the comparison is field-level *exact*
 //! equality — any drift in the cost model shows up as a named JSON path,
@@ -21,10 +23,11 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin repro_all -- \
-//!     e2_table1 e3_fig3 a8_serving a9_device_health a10_fleet_control
+//!     e2_table1 e3_fig3 a8_serving a9_device_health a10_fleet_control \
+//!     a11_blame_whatif
 //! cp results/e2_table1.json results/e3_fig3.json results/a8_serving.json \
 //!    results/a9_device_health.json results/a10_fleet_control.json \
-//!    crates/bench/tests/golden/
+//!    results/a11_blame_whatif.json crates/bench/tests/golden/
 //! ```
 
 use serde_json::Value;
@@ -118,6 +121,73 @@ fn a9_device_health_matches_golden() {
 #[test]
 fn a10_fleet_control_matches_golden() {
     assert_matches_golden("a10_fleet_control", &star_bench::a10_fleet_control_result());
+}
+
+#[test]
+fn a11_blame_whatif_matches_golden() {
+    // The blame tables and the ranked what-if table at the A8
+    // saturating point, byte-for-byte. The blame recorder consumes no
+    // RNG and performs no event arithmetic, and each what-if leg is an
+    // ordinary seeded simulation, so both tables are pure functions of
+    // the configuration; CI additionally diffs the regenerated file
+    // across `STAR_SERVE_SHARDS` × `STAR_EXEC_THREADS` legs.
+    assert_matches_golden("a11_blame_whatif", &star_bench::a11_blame_whatif_result());
+}
+
+#[test]
+fn a11_golden_reconciles_with_itself() {
+    // The fixture must encode the experiment's claims — a regenerated
+    // fixture that broke conservation, mis-ranked the what-if table, or
+    // lost the headline win would otherwise be accepted byte-for-byte.
+    let a11 = fixture("a11_blame_whatif");
+    // Blame covered every completed request and conservation held.
+    assert_eq!(number_at(&a11, "conservation/requests"), number_at(&a11, "report/completed"));
+    assert_eq!(number_at(&a11, "conservation/bitwise_failures"), 0.0);
+    assert_eq!(number_at(&a11, "blame/overall/requests"), number_at(&a11, "report/completed"));
+    // The aggregated component milliseconds sum to the total latency
+    // (loose here — the bitwise identity lives on the per-request ns
+    // rows, which the serve crate's proptests pin).
+    for section in ["overall", "tail"] {
+        let total = number_at(&a11, &format!("blame/{section}/total_ms"));
+        let parts: f64 = [
+            "admission_ms",
+            "hold_ms",
+            "busy_ms",
+            "overhead_ms",
+            "projection_ms",
+            "qk_fill_ms",
+            "softmax_stream_ms",
+            "av_drain_ms",
+        ]
+        .iter()
+        .map(|c| number_at(&a11, &format!("blame/{section}/{c}")))
+        .sum();
+        assert!(
+            (parts - total).abs() <= 1e-6 * total.max(1.0),
+            "{section}: components {parts} do not sum to total {total}"
+        );
+    }
+    // The blame-side p99 threshold is the report's p99 and the what-if
+    // baseline reproduces it: three views of one number.
+    assert_eq!(number_at(&a11, "blame/p99_latency_ms"), number_at(&a11, "report/p99_ms"));
+    assert_eq!(number_at(&a11, "what_if/baseline/p99_ms"), number_at(&a11, "report/p99_ms"));
+    // The what-if table is ranked by d-p99 and its top row improves it.
+    let rows = a11
+        .get("what_if")
+        .and_then(|w| w.get("interventions"))
+        .and_then(|v| v.as_array())
+        .expect("interventions array");
+    assert_eq!(rows.len(), 8, "five phase scalings + window + instance + placement");
+    let mut prev = f64::NEG_INFINITY;
+    for r in rows {
+        let delta = number_at(r, "delta_p99_ms");
+        assert!(delta >= prev, "what-if rows are not ranked by d-p99");
+        prev = delta;
+    }
+    assert!(
+        number_at(&rows[0], "delta_p99_ms") < 0.0,
+        "fixture's top intervention does not improve p99 at the saturation point"
+    );
 }
 
 #[test]

@@ -18,6 +18,11 @@
 //!   recorder (bounded ring of compact rows + trigger engine). Its
 //!   budget is ≤1.1× untraced — an order of magnitude cheaper than full
 //!   tracing, which is the whole point of recording retroactively.
+//! - `blame` — `simulate_blamed`: the critical-path blame recorder
+//!   (per-request wait decomposition + per-batch blocking edges, folded
+//!   into blame tables at the end of the run). Observation-only: it
+//!   consumes no RNG and does no event arithmetic, so the report is
+//!   bitwise identical to `untraced`.
 //!
 //! The measured traced/untraced ratio is recorded in DESIGN.md
 //! ("Observability") — re-run with `STAR_BENCH_BUDGET_MS=2000` for
@@ -28,9 +33,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use star_serve::{
-    simulate, simulate_flight, simulate_monitored, simulate_profiled, simulate_sharded,
-    simulate_traced, ArrivalProcess, BatchPolicy, ControlConfig, FlightConfig, HealthConfig,
-    ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
+    simulate, simulate_blamed, simulate_flight, simulate_monitored, simulate_profiled,
+    simulate_sharded, simulate_traced, ArrivalProcess, BatchPolicy, ControlConfig, FlightConfig,
+    HealthConfig, ModelKind, RequestClass, ServeConfig, ServiceModelConfig, WorkloadMix,
 };
 
 /// Shard count for the `sharded` variant — mirrors
@@ -67,6 +72,7 @@ fn bench_event_loop(c: &mut Criterion) {
         assert_eq!(plain, simulate_profiled(&cfg).report);
         assert_eq!(plain, simulate_sharded(&cfg, SHARDS));
         assert_eq!(plain, simulate_flight(&cfg, &flight_cfg).report);
+        assert_eq!(plain, simulate_blamed(&cfg).report);
         assert!(plain.arrivals > 0);
         group.bench_with_input(BenchmarkId::new("untraced", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate(cfg))
@@ -85,6 +91,9 @@ fn bench_event_loop(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("flight", rate as u64), &cfg, |b, cfg| {
             b.iter(|| simulate_flight(cfg, &flight_cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("blame", rate as u64), &cfg, |b, cfg| {
+            b.iter(|| simulate_blamed(cfg))
         });
     }
     group.finish();

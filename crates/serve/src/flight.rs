@@ -54,7 +54,7 @@
 
 use crate::model::ServiceModel;
 use crate::request::RequestClass;
-use crate::slo::BurnWindow;
+use crate::slo::{BurnSweep, BurnWindow};
 use crate::trace::RequestOutcome;
 use serde::{Deserialize, Serialize};
 use serde_json::{json, Value};
@@ -297,8 +297,9 @@ impl From<[f64; 9]> for EventRecord {
     }
 }
 
-/// Reads a fixed-width numeric row out of a content tree.
-fn row_from_content<const N: usize>(
+/// Reads a fixed-width numeric row out of a content tree (shared with
+/// the blame module's compact per-request rows).
+pub(crate) fn row_from_content<const N: usize>(
     content: &serde::Content,
     what: &str,
 ) -> Result<[f64; N], serde::DeError> {
@@ -824,67 +825,6 @@ impl EventView {
     }
 }
 
-/// Burn-trigger runtime state: an incremental version of the exact
-/// two-pointer trailing window `SloAnalysis::from_trace` slides over a
-/// finished trace, evaluated online over the live terminal stream.
-#[derive(Debug, Clone)]
-struct BurnState {
-    cfg: BurnTriggerConfig,
-    /// `(finish_ns, is_violation)` terminals inside the trailing window.
-    window: VecDeque<(f64, bool)>,
-    bad: u64,
-    peak_error_rate: f64,
-    first_breach_ns: Option<f64>,
-}
-
-impl BurnState {
-    fn budget(&self) -> f64 {
-        1.0 - self.cfg.target
-    }
-
-    fn push(&mut self, finish_ns: f64, violation: bool) {
-        self.window.push_back((finish_ns, violation));
-        if violation {
-            self.bad += 1;
-        }
-    }
-
-    /// Evicts terminals at or before the left edge and returns the
-    /// current `(burn_rate, in_window)`.
-    fn evaluate(&mut self, now: f64) -> (f64, usize) {
-        while let Some(&(t, bad)) = self.window.front() {
-            if t <= now - self.cfg.window_ns {
-                if bad {
-                    self.bad -= 1;
-                }
-                self.window.pop_front();
-            } else {
-                break;
-            }
-        }
-        if self.window.is_empty() {
-            return (0.0, 0);
-        }
-        let rate = self.bad as f64 / self.window.len() as f64;
-        if self.window.len() >= self.cfg.min_events {
-            self.peak_error_rate = self.peak_error_rate.max(rate);
-            if self.first_breach_ns.is_none() && rate / self.budget() >= self.cfg.threshold {
-                self.first_breach_ns = Some(now);
-            }
-        }
-        (rate / self.budget(), self.window.len())
-    }
-
-    fn burn_window(&self) -> BurnWindow {
-        BurnWindow {
-            window_ns: self.cfg.window_ns,
-            peak_error_rate: self.peak_error_rate,
-            peak_burn_rate: self.peak_error_rate / self.budget(),
-            first_breach_ns: self.first_breach_ns,
-        }
-    }
-}
-
 /// An incident being recorded: the frozen pre-window plus everything
 /// captured since the trigger.
 #[derive(Debug, Clone)]
@@ -907,7 +847,9 @@ pub struct FlightRecorder {
     policy_window_ns: f64,
     events: Ring<EventRecord>,
     terminals: Ring<TerminalRecord>,
-    burn: Option<BurnState>,
+    /// The shared trailing-window sweep from [`crate::slo`], run online
+    /// over the live terminal stream at the trigger's threshold/gate.
+    burn: Option<BurnSweep>,
     /// Expiry times inside the expiry-burst trailing window.
     expiries: VecDeque<f64>,
     /// Per-trigger "condition currently true" latches (indexed by
@@ -936,13 +878,10 @@ impl FlightRecorder {
         policy_window_ns: f64,
     ) -> Self {
         cfg.validate();
-        let burn = cfg.burn.clone().map(|c| BurnState {
-            cfg: c,
-            window: VecDeque::new(),
-            bad: 0,
-            peak_error_rate: 0.0,
-            first_breach_ns: None,
-        });
+        let burn = cfg
+            .burn
+            .as_ref()
+            .map(|c| BurnSweep::new(c.window_ns, 1.0 - c.target, c.threshold, c.min_events));
         let capacity = cfg.capacity;
         FlightRecorder {
             cfg,
@@ -1060,8 +999,9 @@ impl FlightRecorder {
         let mut fired: Vec<TriggerRecord> = Vec::new();
         if let Some(b) = self.burn.as_mut() {
             let (burn_rate, in_window) = b.evaluate(t_ns);
-            let threshold = b.cfg.threshold;
-            let min_events = b.cfg.min_events;
+            let trigger_cfg = self.cfg.burn.as_ref().expect("sweep is armed iff configured");
+            let threshold = trigger_cfg.threshold;
+            let min_events = trigger_cfg.min_events;
             let condition = in_window >= min_events && burn_rate >= threshold;
             if condition && !self.latched[0] {
                 fired.push(TriggerRecord {

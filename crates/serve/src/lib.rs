@@ -20,6 +20,7 @@
 //! | [`shard`] | Sharded event storage: per-shard heaps, deterministic cross-shard merge |
 //! | [`control`] | Fleet control plane: dequeue policies, autoscaler, heterogeneous placement |
 //! | [`flight`] | Incident flight recorder: bounded event ring, trigger engine, root-cause dumps |
+//! | [`blame`] | Critical-path blame attribution + the deterministic what-if engine |
 //! | [`slo`] | Exact latency quantiles, goodput, per-class breakdowns, burn-rate monitor |
 //! | [`trace`] | Per-request span trees, batch invocation spans, Perfetto export |
 //! | [`health`] | Wear ledgers, thermal/drift monitors, fleet degradation reporting |
@@ -59,6 +60,7 @@
 
 pub mod arrival;
 pub mod batch;
+pub mod blame;
 pub mod control;
 pub mod flight;
 pub mod health;
@@ -73,6 +75,11 @@ pub mod trace;
 
 pub use arrival::{generate_open_loop, ArrivalProcess, WorkloadMix};
 pub use batch::BatchPolicy;
+pub use blame::{
+    run_what_ifs, BatchBlame, BlameComponents, BlameOutcome, BlameRecorder, BlameReport,
+    BlockedPair, BlockingChain, ClassBlame, InstanceBlame, PhaseScale, RequestBlame, WhatIf,
+    WhatIfReport, WhatIfRow, BLAME_SIDECAR_KEY,
+};
 pub use control::{
     AutoscaleConfig, ClassShare, ControlConfig, ControlReport, DequeuePolicy, EdfPolicy,
     PlacementPolicy, ScaleDirection, ScaleEvent, WeightedFairPolicy,
@@ -88,17 +95,21 @@ pub use health::{
     HealthModel, HealthMonitor, HealthProjection, InstanceHealthReport, InstanceHealthSample,
     WearCounts, WearLedger, WearRates,
 };
-pub use model::{BatchCost, ClassService, InvocationPhases, ServiceModel, ServiceModelConfig};
+pub use model::{
+    BatchCost, ClassService, InvocationPhases, ServiceModel, ServiceModelConfig, ServicePhase,
+};
 pub use profile::{Pow2Hist, SimProfile, WorkCounters, HIST_BUCKETS, PROFILE_SIDECAR_KEY};
 pub use request::{ModelKind, Request, RequestClass, RequestRecord};
 pub use shard::{shards_from_env, ShardLayout, ShardedQueue, MAX_SHARDS, SHARDS_ENV};
 pub use sim::{
-    simulate, simulate_flight, simulate_full, simulate_full_on, simulate_monitored,
-    simulate_profiled, simulate_profiled_with, simulate_sharded, simulate_sharded_on,
-    simulate_sharded_with, simulate_traced, simulate_traced_monitored, ServeConfig, SimOutcome,
+    simulate, simulate_blamed, simulate_blamed_sharded, simulate_flight, simulate_full,
+    simulate_full_on, simulate_monitored, simulate_profiled, simulate_profiled_with,
+    simulate_scaled, simulate_sharded, simulate_sharded_on, simulate_sharded_with, simulate_traced,
+    simulate_traced_monitored, ServeConfig, SimOutcome,
 };
 pub use slo::{
-    BurnWindow, ClassSloReport, Exemplar, LatencyStats, ServeReport, SloAnalysis, SloPolicy,
+    BurnSweep, BurnWindow, ClassSloReport, Exemplar, LatencyStats, ServeReport, SloAnalysis,
+    SloPolicy,
 };
 pub use sweep::{grid, run_sweep, SweepCase, SweepResult};
 pub use trace::{

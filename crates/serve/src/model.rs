@@ -150,6 +150,54 @@ impl InvocationPhases {
     }
 }
 
+/// One of the five sequential phases of a batched invocation — the unit
+/// the what-if engine's `ScalePhase` intervention targets (see
+/// [`crate::blame`]). Each variant names the [`InvocationPhases`] term it
+/// scales and the physical lever behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServicePhase {
+    /// Per-batch invocation overhead (`invoke_overhead_ns`): host
+    /// dispatch, staging, reconfiguration.
+    Overhead,
+    /// The serialized per-request projection GEMMs
+    /// (`per_request_fixed_ns`).
+    Projection,
+    /// The `QKᵀ` row stage of the pipeline (`stages.qk`). Scaling it
+    /// moves both the fill term and — when it is the bottleneck — the
+    /// steady-state streaming rate, exactly as a faster MatMul engine
+    /// would.
+    QkFill,
+    /// The softmax row stage (`stages.softmax`) — the STAR engine's
+    /// latency lever (more replicated engines, a faster design).
+    SoftmaxStream,
+    /// The `P·V` row stage (`stages.av`): drain term plus its share of
+    /// the bottleneck rate.
+    AvDrain,
+}
+
+impl ServicePhase {
+    /// Every phase, in chronological order.
+    pub const ALL: [ServicePhase; 5] = [
+        ServicePhase::Overhead,
+        ServicePhase::Projection,
+        ServicePhase::QkFill,
+        ServicePhase::SoftmaxStream,
+        ServicePhase::AvDrain,
+    ];
+
+    /// Stable lower-snake name, matching the trace layer's span
+    /// categories.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServicePhase::Overhead => "overhead",
+            ServicePhase::Projection => "projection",
+            ServicePhase::QkFill => "qk_fill",
+            ServicePhase::SoftmaxStream => "softmax_stream",
+            ServicePhase::AvDrain => "av_drain",
+        }
+    }
+}
+
 /// The service-time oracle the event loop queries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceModel {
@@ -281,6 +329,47 @@ impl ServiceModel {
         InvocationPhases { overhead_ns, projection_ns, qk_fill_ns, softmax_stream_ns, av_drain_ns }
     }
 
+    /// Scales one service phase's latency lever by `factor` across every
+    /// class — the counterfactual hardware behind the what-if engine's
+    /// `ScalePhase` intervention ("what if softmax rows were 2× faster?").
+    ///
+    /// Only *latency* terms move; per-request dynamic energy stays put
+    /// (the background-power term still shifts with latency through
+    /// [`ServiceModel::batch_cost`], as it would on real hardware that
+    /// finishes earlier). `factor == 1.0` is an exact no-op: IEEE
+    /// multiplication by 1.0 is the identity, so the scaled model is
+    /// bitwise the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scale_phase(&mut self, phase: ServicePhase, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "phase scale factor must be finite positive");
+        match phase {
+            ServicePhase::Overhead => self.config.invoke_overhead_ns *= factor,
+            ServicePhase::Projection => {
+                for c in self.classes.values_mut() {
+                    c.per_request_fixed_ns *= factor;
+                }
+            }
+            ServicePhase::QkFill => {
+                for c in self.classes.values_mut() {
+                    c.stages.qk = c.stages.qk * factor;
+                }
+            }
+            ServicePhase::SoftmaxStream => {
+                for c in self.classes.values_mut() {
+                    c.stages.softmax = c.stages.softmax * factor;
+                }
+            }
+            ServicePhase::AvDrain => {
+                for c in self.classes.values_mut() {
+                    c.stages.av = c.stages.av * factor;
+                }
+            }
+        }
+    }
+
     /// The batch-of-one service latency — the zero-queueing floor every
     /// latency distribution sits on.
     pub fn unit_latency_ns(&self, class: RequestClass) -> f64 {
@@ -384,6 +473,36 @@ mod tests {
         assert!(p8.softmax_stream_ns > p1.softmax_stream_ns);
         // The fill phase is one row regardless of batch.
         assert_eq!(p1.qk_fill_ns, p8.qk_fill_ns);
+    }
+
+    #[test]
+    fn scale_phase_moves_only_its_lever() {
+        let class = RequestClass::new(ModelKind::BertBase, 128);
+        for phase in ServicePhase::ALL {
+            let baseline = model(&[class]);
+            let mut scaled = baseline.clone();
+            scaled.scale_phase(phase, 0.5);
+            // Halving any latency lever strictly shrinks the invocation.
+            assert!(
+                scaled.batch_cost(class, 8).latency_ns < baseline.batch_cost(class, 8).latency_ns,
+                "{phase:?}"
+            );
+            // The identity factor is bitwise a no-op.
+            let mut identity = baseline.clone();
+            identity.scale_phase(phase, 1.0);
+            assert_eq!(identity, baseline, "{phase:?}");
+            // Phase decomposition still reconciles exactly after scaling.
+            let p = scaled.invocation_phases(class, 8);
+            assert_eq!(p.sum(), scaled.batch_cost(class, 8).latency_ns, "{phase:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite positive")]
+    fn scale_phase_rejects_zero_factor() {
+        let class = RequestClass::new(ModelKind::Tiny, 8);
+        let mut m = model(&[class]);
+        m.scale_phase(ServicePhase::Overhead, 0.0);
     }
 
     #[test]

@@ -35,13 +35,14 @@
 
 use crate::arrival::{exp_sample, generate_open_loop, ArrivalProcess, WorkloadMix};
 use crate::batch::BatchPolicy;
+use crate::blame::{BlameOutcome, BlameRecorder};
 use crate::control::autoscale::ScalerState;
 use crate::control::{
     ClassShare, ControlConfig, ControlReport, DequeuePolicy, PlacementPolicy, ScaleDirection,
 };
 use crate::flight::{EventView, FlightConfig, FlightOutcome, FlightRecorder};
 use crate::health::{FleetHealthReport, HealthConfig, HealthMonitor};
-use crate::model::{ServiceModel, ServiceModelConfig};
+use crate::model::{ServiceModel, ServiceModelConfig, ServicePhase};
 use crate::profile::{phase, SimProfile};
 use crate::request::{Request, RequestClass, RequestRecord};
 use crate::shard::{shards_from_env, ReadyIndex, ShardLayout, ShardedQueue};
@@ -300,15 +301,23 @@ struct Sim<'a> {
     /// event arithmetic — recorder-on output is bitwise identical to
     /// recorder-off (see [`crate::flight`]).
     flight: Option<Box<FlightRecorder>>,
+    /// Critical-path blame recorder: per-request latency decomposition
+    /// and the blocking-chain table. Like every other observer it
+    /// consumes zero RNG draws and perturbs no event arithmetic —
+    /// blame-on output is bitwise identical to blame-off (see
+    /// [`crate::blame`]).
+    blame: Option<Box<BlameRecorder>>,
 }
 
 impl<'a> Sim<'a> {
+    #[allow(clippy::too_many_arguments)] // one flag per optional observer
     fn new(
         cfg: &'a ServeConfig,
         traced: bool,
         health: Option<&HealthConfig>,
         profiled: bool,
         flight: Option<&FlightConfig>,
+        blamed: bool,
         shards: usize,
         exec: &'a Executor,
     ) -> Self {
@@ -344,6 +353,14 @@ impl<'a> Sim<'a> {
                 classes.clone(),
                 capacity,
                 cfg.policy.window_ns,
+            ))
+        });
+        let blame = blamed.then(|| {
+            Box::new(BlameRecorder::new(
+                classes.clone(),
+                cfg.policy.window_ns,
+                cfg.control.dequeue.name(),
+                cfg.control.placement.name(),
             ))
         });
         let mut queues = BTreeMap::new();
@@ -409,6 +426,7 @@ impl<'a> Sim<'a> {
             health,
             profile: profiled.then(|| Box::new(SimProfile::new())),
             flight,
+            blame,
         }
     }
 
@@ -611,6 +629,9 @@ impl<'a> Sim<'a> {
                     None,
                 );
             }
+            if let Some(b) = self.blame.as_deref_mut() {
+                b.on_rejected();
+            }
             self.client_think_and_reissue(req.client, now);
             return;
         }
@@ -645,10 +666,13 @@ impl<'a> Sim<'a> {
         // changes no event arithmetic — the traced and untraced runs
         // stay bitwise identical.
         let tt = self.tick_if(self.trace.is_some());
-        let phases = self
-            .trace
-            .is_some()
+        // Blame reuses the same pure decomposition (no counters, no RNG)
+        // — computing it for either observer perturbs nothing.
+        let phases = (self.trace.is_some() || self.blame.is_some())
             .then(|| self.services[self.model_of[instance]].invocation_phases(batch.class, size));
+        if let (Some(b), Some(p)) = (self.blame.as_deref_mut(), phases.as_ref()) {
+            b.on_batch(instance, batch.class, batch.dispatch_ns, now, &batch.members, p);
+        }
         if let (Some(t), Some(p)) = (self.trace.as_mut(), phases.as_ref()) {
             t.batches.push(BatchTrace {
                 instance,
@@ -1089,6 +1113,9 @@ impl<'a> Sim<'a> {
                     None,
                 );
             }
+            if let Some(b) = self.blame.as_deref_mut() {
+                b.on_expired(now - req.arrive_ns);
+            }
             self.client_think_and_reissue(req.client, now);
         }
         members
@@ -1325,7 +1352,8 @@ impl<'a> Sim<'a> {
             *p
         });
         let flight = self.flight.take().map(|f| f.finalize(&self.services, &self.model_of));
-        SimOutcome { report, records: self.records, trace, health, profile, control, flight }
+        let blame = self.blame.take().map(|b| b.finalize());
+        SimOutcome { report, records: self.records, trace, health, profile, control, flight, blame }
     }
 }
 
@@ -1353,6 +1381,10 @@ pub struct SimOutcome {
     /// conservation counters (present when the recorder was attached;
     /// see [`crate::flight`]).
     pub flight: Option<FlightOutcome>,
+    /// Critical-path blame: per-request latency decomposition, the
+    /// blocking-chain table, and fleet-wide blame aggregation (present
+    /// when requested; see [`crate::blame`]).
+    pub blame: Option<BlameOutcome>,
 }
 
 /// Runs the serving simulation and returns its report.
@@ -1366,7 +1398,7 @@ pub struct SimOutcome {
 /// horizon, or queue bound; unknown classes).
 pub fn simulate(cfg: &ServeConfig) -> ServeReport {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, None, false, None, shards_from_env(), &exec).run().report
+    Sim::new(cfg, false, None, false, None, false, shards_from_env(), &exec).run().report
 }
 
 /// Like [`simulate`] with an explicit event-queue shard count, clamped
@@ -1380,7 +1412,7 @@ pub fn simulate(cfg: &ServeConfig) -> ServeReport {
 /// layout.
 pub fn simulate_sharded(cfg: &ServeConfig, shards: usize) -> ServeReport {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, None, false, None, shards, &exec).run().report
+    Sim::new(cfg, false, None, false, None, false, shards, &exec).run().report
 }
 
 /// The fully general sharded entry point: explicit shard count plus any
@@ -1396,7 +1428,7 @@ pub fn simulate_sharded_with(
     profiled: bool,
 ) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, traced, health, profiled, None, shards, &exec).run()
+    Sim::new(cfg, traced, health, profiled, None, false, shards, &exec).run()
 }
 
 /// [`simulate_sharded_with`] on a caller-supplied executor — the hook
@@ -1410,7 +1442,7 @@ pub fn simulate_sharded_on(
     profiled: bool,
     exec: &Executor,
 ) -> SimOutcome {
-    Sim::new(cfg, traced, health, profiled, None, shards, exec).run()
+    Sim::new(cfg, traced, health, profiled, None, false, shards, exec).run()
 }
 
 /// Like [`simulate`], but also collects per-request records and the full
@@ -1420,7 +1452,7 @@ pub fn simulate_sharded_on(
 /// arithmetic.
 pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, true, None, false, None, shards_from_env(), &exec).run()
+    Sim::new(cfg, true, None, false, None, false, shards_from_env(), &exec).run()
 }
 
 /// Like [`simulate`], with the device-health monitor attached: wear
@@ -1432,7 +1464,7 @@ pub fn simulate_traced(cfg: &ServeConfig) -> SimOutcome {
 /// and perturbs no event arithmetic — a test pins this).
 pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, Some(health), false, None, shards_from_env(), &exec).run()
+    Sim::new(cfg, false, Some(health), false, None, false, shards_from_env(), &exec).run()
 }
 
 /// [`simulate_traced`] plus the device-health monitor: the trace also
@@ -1441,7 +1473,7 @@ pub fn simulate_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcom
 /// export).
 pub fn simulate_traced_monitored(cfg: &ServeConfig, health: &HealthConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, true, Some(health), false, None, shards_from_env(), &exec).run()
+    Sim::new(cfg, true, Some(health), false, None, false, shards_from_env(), &exec).run()
 }
 
 /// Like [`simulate`], with the simulator's self-profiler attached: the
@@ -1452,7 +1484,7 @@ pub fn simulate_traced_monitored(cfg: &ServeConfig, health: &HealthConfig) -> Si
 /// (a test pins this).
 pub fn simulate_profiled(cfg: &ServeConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, None, true, None, shards_from_env(), &exec).run()
+    Sim::new(cfg, false, None, true, None, false, shards_from_env(), &exec).run()
 }
 
 /// The fully general entry point: any combination of tracing, health
@@ -1465,7 +1497,7 @@ pub fn simulate_profiled_with(
     health: Option<&HealthConfig>,
 ) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, traced, health, true, None, shards_from_env(), &exec).run()
+    Sim::new(cfg, traced, health, true, None, false, shards_from_env(), &exec).run()
 }
 
 /// Like [`simulate`], with the incident flight recorder attached: the
@@ -1477,7 +1509,45 @@ pub fn simulate_profiled_with(
 /// `flight_equivalence` suite pins both).
 pub fn simulate_flight(cfg: &ServeConfig, flight: &FlightConfig) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, false, None, false, Some(flight), shards_from_env(), &exec).run()
+    Sim::new(cfg, false, None, false, Some(flight), false, shards_from_env(), &exec).run()
+}
+
+/// Like [`simulate`], with the critical-path blame recorder attached:
+/// the outcome carries a [`BlameOutcome`] splitting every request's
+/// latency into causally-attributed waits with a bitwise conservation
+/// identity. Blame is observation-only — it consumes zero RNG draws
+/// and perturbs no event arithmetic, so the returned [`ServeReport`]
+/// is bitwise identical to the unblamed run at any shard × thread
+/// count (the `blame_equivalence` suite pins both).
+pub fn simulate_blamed(cfg: &ServeConfig) -> SimOutcome {
+    let exec = Executor::from_env();
+    Sim::new(cfg, false, None, false, None, true, shards_from_env(), &exec).run()
+}
+
+/// [`simulate_blamed`] with an explicit event-queue shard count.
+pub fn simulate_blamed_sharded(cfg: &ServeConfig, shards: usize) -> SimOutcome {
+    let exec = Executor::from_env();
+    Sim::new(cfg, false, None, false, None, true, shards, &exec).run()
+}
+
+/// Runs the simulation with one service phase's latency lever scaled —
+/// the what-if engine's counterfactual hook (see [`crate::blame`]).
+/// The scaling is applied to the constructed service models, not the
+/// configuration, so intervention runs never perturb config
+/// serialization; `scale = None` is exactly [`simulate_sharded`].
+pub fn simulate_scaled(
+    cfg: &ServeConfig,
+    shards: usize,
+    scale: Option<(ServicePhase, f64)>,
+) -> ServeReport {
+    let exec = Executor::from_env();
+    let mut sim = Sim::new(cfg, false, None, false, None, false, shards, &exec);
+    if let Some((phase, factor)) = scale {
+        for s in &mut sim.services {
+            s.scale_phase(phase, factor);
+        }
+    }
+    sim.run().report
 }
 
 /// The fully general entry point: explicit shard count plus any
@@ -1492,14 +1562,16 @@ pub fn simulate_full(
     health: Option<&HealthConfig>,
     profiled: bool,
     flight: Option<&FlightConfig>,
+    blamed: bool,
 ) -> SimOutcome {
     let exec = Executor::from_env();
-    Sim::new(cfg, traced, health, profiled, flight, shards, &exec).run()
+    Sim::new(cfg, traced, health, profiled, flight, blamed, shards, &exec).run()
 }
 
 /// [`simulate_full`] on a caller-supplied executor — the hook the
 /// differential suites use to vary worker counts in-process instead of
 /// through `STAR_EXEC_THREADS`.
+#[allow(clippy::too_many_arguments)] // one flag per optional observer
 pub fn simulate_full_on(
     cfg: &ServeConfig,
     shards: usize,
@@ -1507,9 +1579,10 @@ pub fn simulate_full_on(
     health: Option<&HealthConfig>,
     profiled: bool,
     flight: Option<&FlightConfig>,
+    blamed: bool,
     exec: &Executor,
 ) -> SimOutcome {
-    Sim::new(cfg, traced, health, profiled, flight, shards, exec).run()
+    Sim::new(cfg, traced, health, profiled, flight, blamed, shards, exec).run()
 }
 
 #[cfg(test)]
@@ -1880,7 +1953,7 @@ mod tests {
         let plain = simulate(&cfg);
         let hc = HealthConfig::default();
         let fc = crate::flight::FlightConfig::default();
-        let full = simulate_full(&cfg, 1, true, Some(&hc), true, Some(&fc));
+        let full = simulate_full(&cfg, 1, true, Some(&hc), true, Some(&fc), true);
         assert_eq!(plain, full.report, "all four observers attached, still bitwise equal");
         // The work counters do not depend on which observers ride along
         // (flight on_event runs inside SAMPLE_HOOKS, not a new phase).

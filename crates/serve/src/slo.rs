@@ -27,7 +27,7 @@
 use crate::request::RequestClass;
 use crate::trace::{RequestOutcome, ServeTrace};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Exact order-statistic summary of a latency sample set, in
 /// milliseconds.
@@ -206,6 +206,108 @@ pub struct BurnWindow {
     pub first_breach_ns: Option<f64>,
 }
 
+/// The incremental two-pointer trailing-window sweep behind every
+/// burn-rate number in the workspace — one implementation shared by the
+/// batch analysis ([`SloAnalysis::from_trace`] feeds a finished terminal
+/// timeline through it) and the flight recorder's online burn trigger
+/// (`crate::flight` evaluates it per event against a live stream).
+///
+/// Push terminals in time order with [`BurnSweep::push`], then call
+/// [`BurnSweep::evaluate`] with the current time to evict everything at
+/// or before the left edge `now − window_ns` and read the trailing
+/// `(burn_rate, in_window)`. Peaks and the first-breach instant latch
+/// only when at least `min_events` terminals are in the window, and a
+/// breach means `rate / budget >= threshold` — the batch analysis uses
+/// `threshold = 1.0, min_events = 1`, which reproduces the plain
+/// `rate >= budget` test bit-for-bit (for positive doubles `r`, `b`,
+/// `r >= b ⟺ fl(r/b) >= 1.0`: unequal doubles differ by at least one
+/// ulp, which the division's half-ulp rounding error cannot bridge).
+#[derive(Debug, Clone)]
+pub struct BurnSweep {
+    window_ns: f64,
+    budget: f64,
+    threshold: f64,
+    min_events: usize,
+    /// `(finish_ns, is_violation)` terminals inside the trailing window.
+    window: VecDeque<(f64, bool)>,
+    bad: u64,
+    peak_error_rate: f64,
+    first_breach_ns: Option<f64>,
+}
+
+impl BurnSweep {
+    /// A sweep over trailing windows of `window_ns` against `budget`
+    /// (the error budget `1 − target`), breaching at
+    /// `burn >= threshold` once `min_events` terminals are in window
+    /// (`0` and `1` are equivalent: the gate only runs on a non-empty
+    /// window).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the window, budget, and threshold are finite and
+    /// positive.
+    pub fn new(window_ns: f64, budget: f64, threshold: f64, min_events: usize) -> Self {
+        assert!(window_ns.is_finite() && window_ns > 0.0, "burn window must be positive");
+        assert!(budget.is_finite() && budget > 0.0, "error budget must be positive");
+        assert!(threshold.is_finite() && threshold > 0.0, "burn threshold must be positive");
+        BurnSweep {
+            window_ns,
+            budget,
+            threshold,
+            min_events,
+            window: VecDeque::new(),
+            bad: 0,
+            peak_error_rate: 0.0,
+            first_breach_ns: None,
+        }
+    }
+
+    /// Appends one terminal. Terminals must arrive in time order.
+    pub fn push(&mut self, finish_ns: f64, violation: bool) {
+        self.window.push_back((finish_ns, violation));
+        if violation {
+            self.bad += 1;
+        }
+    }
+
+    /// Evicts terminals at or before the left edge and returns the
+    /// current `(burn_rate, in_window)` — `(0.0, 0)` when the window is
+    /// empty.
+    pub fn evaluate(&mut self, now: f64) -> (f64, usize) {
+        while let Some(&(t, bad)) = self.window.front() {
+            if t <= now - self.window_ns {
+                if bad {
+                    self.bad -= 1;
+                }
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.window.is_empty() {
+            return (0.0, 0);
+        }
+        let rate = self.bad as f64 / self.window.len() as f64;
+        if self.window.len() >= self.min_events {
+            self.peak_error_rate = self.peak_error_rate.max(rate);
+            if self.first_breach_ns.is_none() && rate / self.budget >= self.threshold {
+                self.first_breach_ns = Some(now);
+            }
+        }
+        (rate / self.budget, self.window.len())
+    }
+
+    /// The sweep's findings so far as a [`BurnWindow`].
+    pub fn burn_window(&self) -> BurnWindow {
+        BurnWindow {
+            window_ns: self.window_ns,
+            peak_error_rate: self.peak_error_rate,
+            peak_burn_rate: self.peak_error_rate / self.budget,
+            first_breach_ns: self.first_breach_ns,
+        }
+    }
+}
+
 /// One worst-request exemplar: a slow request with its span-phase
 /// decomposition, the row of the "where did the time go" table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -267,35 +369,14 @@ impl SloAnalysis {
             .windows_ns
             .iter()
             .map(|&window_ns| {
-                let mut peak_error_rate: f64 = 0.0;
-                let mut first_breach_ns = None;
-                let mut left = 0usize;
-                let mut bad_in_window = 0u64;
-                for right in 0..events.len() {
-                    if events[right].2 {
-                        bad_in_window += 1;
-                    }
-                    // Trailing window (t − w, t]: evict events at or
-                    // before the left edge.
-                    while events[left].0 <= events[right].0 - window_ns {
-                        if events[left].2 {
-                            bad_in_window -= 1;
-                        }
-                        left += 1;
-                    }
-                    let in_window = (right - left + 1) as f64;
-                    let rate = bad_in_window as f64 / in_window;
-                    peak_error_rate = peak_error_rate.max(rate);
-                    if first_breach_ns.is_none() && rate >= budget {
-                        first_breach_ns = Some(events[right].0);
-                    }
+                // The shared sweep at threshold 1.0 / min_events 1 is the
+                // plain `rate >= budget` breach test, bit-for-bit.
+                let mut sweep = BurnSweep::new(window_ns, budget, 1.0, 1);
+                for &(t, _, violation) in &events {
+                    sweep.push(t, violation);
+                    sweep.evaluate(t);
                 }
-                BurnWindow {
-                    window_ns,
-                    peak_error_rate,
-                    peak_burn_rate: peak_error_rate / budget,
-                    first_breach_ns,
-                }
+                sweep.burn_window()
             })
             .collect();
 
@@ -515,6 +596,70 @@ mod tests {
         assert_eq!(a.exemplars.len(), 2);
         let pc = &a.per_class[0];
         assert_eq!((pc.arrivals, pc.completed, pc.rejected), (3, 2, 1));
+    }
+
+    #[test]
+    fn burn_sweep_matches_naive_window_recompute() {
+        // A deterministic, clumpy terminal timeline with a violation
+        // burst in the middle.
+        let mut events: Vec<(f64, bool)> = (0..200u64)
+            .map(|i| {
+                let t = ((i * i) % 977) as f64 * 37.0 + i as f64;
+                (t, i % 7 == 0 || (60..75).contains(&i))
+            })
+            .collect();
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(window_ns, budget) in &[(100.0, 0.01), (1500.0, 0.05), (1e6, 0.25)] {
+            let mut sweep = BurnSweep::new(window_ns, budget, 1.0, 1);
+            // Naive O(n²) recompute of the same trailing windows.
+            let mut peak: f64 = 0.0;
+            let mut first_breach = None;
+            for (right, &(t, _)) in events.iter().enumerate() {
+                sweep.push(t, events[right].1);
+                sweep.evaluate(t);
+                let in_window: Vec<_> =
+                    events[..=right].iter().filter(|e| e.0 > t - window_ns).collect();
+                let bad = in_window.iter().filter(|e| e.1).count();
+                let rate = bad as f64 / in_window.len() as f64;
+                peak = peak.max(rate);
+                if first_breach.is_none() && rate >= budget {
+                    first_breach = Some(t);
+                }
+            }
+            let w = sweep.burn_window();
+            assert_eq!(w.peak_error_rate, peak, "window {window_ns}");
+            assert_eq!(w.peak_burn_rate, peak / budget, "window {window_ns}");
+            assert_eq!(w.first_breach_ns, first_breach, "window {window_ns}");
+        }
+    }
+
+    #[test]
+    fn burn_sweep_gates_on_min_events_and_threshold() {
+        let mut s = BurnSweep::new(10.0, 0.1, 2.0, 3);
+        // One all-bad terminal: burn 10, but below the min-events gate —
+        // nothing latches.
+        s.push(1.0, true);
+        let (burn, n) = s.evaluate(1.0);
+        assert_eq!(n, 1);
+        assert!((burn - 10.0).abs() < 1e-12);
+        assert_eq!(s.burn_window().peak_error_rate, 0.0);
+        assert!(s.burn_window().first_breach_ns.is_none());
+        // Three terminals, two bad: rate 2/3, burn ≈ 6.7 ≥ threshold 2.
+        s.push(2.0, false);
+        s.push(3.0, true);
+        s.evaluate(3.0);
+        assert_eq!(s.burn_window().first_breach_ns, Some(3.0));
+        assert!((s.burn_window().peak_error_rate - 2.0 / 3.0).abs() < 1e-12);
+        // Far-future evaluation evicts everything.
+        assert_eq!(s.evaluate(1e6), (0.0, 0));
+        // The latched peak and breach survive eviction.
+        assert_eq!(s.burn_window().first_breach_ns, Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "error budget")]
+    fn burn_sweep_rejects_zero_budget() {
+        let _ = BurnSweep::new(10.0, 0.0, 1.0, 1);
     }
 
     #[test]

@@ -94,8 +94,10 @@ fn recorder_output_is_bitwise_invisible_across_the_gallery() {
     let exec = Executor::serial();
     for (name, cfg) in configs() {
         for shards in [1usize, 8] {
-            let off = simulate_full_on(&cfg, shards, true, Some(&health), false, None, &exec);
-            let on = simulate_full_on(&cfg, shards, true, Some(&health), false, Some(&fc), &exec);
+            let off =
+                simulate_full_on(&cfg, shards, true, Some(&health), false, None, false, &exec);
+            let on =
+                simulate_full_on(&cfg, shards, true, Some(&health), false, Some(&fc), false, &exec);
             assert_eq!(off.report, on.report, "{name} @ {shards} shards: report diverged");
             assert_eq!(off.records, on.records, "{name} @ {shards} shards: records diverged");
             assert_eq!(
@@ -115,12 +117,13 @@ fn recorder_never_perturbs_telemetry_bytes() {
     let fc = flight_config();
     let cfg = stress_config();
     let exec = Executor::serial();
-    let (_, off) =
-        star_telemetry::with_scoped(|| simulate_full_on(&cfg, 1, false, None, false, None, &exec));
+    let (_, off) = star_telemetry::with_scoped(|| {
+        simulate_full_on(&cfg, 1, false, None, false, None, false, &exec)
+    });
     let off_json = serde_json::to_string(&off.to_json()).expect("serialize");
     for shards in [1usize, 8] {
         let (_, on) = star_telemetry::with_scoped(|| {
-            simulate_full_on(&cfg, shards, false, None, false, Some(&fc), &exec)
+            simulate_full_on(&cfg, shards, false, None, false, Some(&fc), false, &exec)
         });
         let on_json = serde_json::to_string(&on.to_json()).expect("serialize");
         assert_eq!(off_json, on_json, "telemetry bytes diverged at {shards} shards");
@@ -132,7 +135,7 @@ fn incident_dumps_are_byte_identical_across_shard_and_thread_grids() {
     let fc = flight_config();
     for (name, cfg) in configs() {
         let baseline =
-            simulate_full_on(&cfg, 1, false, None, false, Some(&fc), &Executor::serial());
+            simulate_full_on(&cfg, 1, false, None, false, Some(&fc), false, &Executor::serial());
         let want = dump_bytes(&baseline);
         if name == "stress" {
             assert!(!want.is_empty(), "{name}: the stress shape must produce an incident");
@@ -140,7 +143,8 @@ fn incident_dumps_are_byte_identical_across_shard_and_thread_grids() {
         for shards in [1usize, 8] {
             for threads in [1usize, 8] {
                 let exec = Executor::new(threads);
-                let run = simulate_full_on(&cfg, shards, false, None, false, Some(&fc), &exec);
+                let run =
+                    simulate_full_on(&cfg, shards, false, None, false, Some(&fc), false, &exec);
                 assert_eq!(
                     want,
                     dump_bytes(&run),
@@ -155,9 +159,10 @@ fn incident_dumps_are_byte_identical_across_shard_and_thread_grids() {
 fn flight_outcome_counters_are_grid_invariant() {
     let fc = flight_config();
     let cfg = stress_config();
-    let baseline = simulate_full_on(&cfg, 1, false, None, false, Some(&fc), &Executor::serial())
-        .flight
-        .expect("flight");
+    let baseline =
+        simulate_full_on(&cfg, 1, false, None, false, Some(&fc), false, &Executor::serial())
+            .flight
+            .expect("flight");
     assert_eq!(
         baseline.events_seen,
         baseline.events_retained + baseline.events_evicted,
@@ -171,7 +176,7 @@ fn flight_outcome_counters_are_grid_invariant() {
     for shards in [8usize] {
         for threads in [1usize, 8] {
             let exec = Executor::new(threads);
-            let run = simulate_full_on(&cfg, shards, false, None, false, Some(&fc), &exec)
+            let run = simulate_full_on(&cfg, shards, false, None, false, Some(&fc), false, &exec)
                 .flight
                 .expect("flight");
             assert_eq!(baseline, run, "@ {shards} shards x {threads} threads");
@@ -195,11 +200,11 @@ proptest! {
         cfg.arrival = ArrivalProcess::poisson(rate);
         let fc = flight_config();
         let exec = Executor::serial();
-        let off = simulate_full_on(&cfg, 1, false, None, false, None, &exec);
-        let on = simulate_full_on(&cfg, 1, false, None, false, Some(&fc), &exec);
+        let off = simulate_full_on(&cfg, 1, false, None, false, None, false, &exec);
+        let on = simulate_full_on(&cfg, 1, false, None, false, Some(&fc), false, &exec);
         prop_assert_eq!(&off.report, &on.report);
         prop_assert_eq!(&off.records, &on.records);
-        let sharded = simulate_full_on(&cfg, shards, false, None, false, Some(&fc), &exec);
+        let sharded = simulate_full_on(&cfg, shards, false, None, false, Some(&fc), false, &exec);
         prop_assert_eq!(&on.report, &sharded.report);
         prop_assert_eq!(dump_bytes(&on), dump_bytes(&sharded));
     }

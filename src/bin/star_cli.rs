@@ -62,7 +62,8 @@ COMMANDS:
                                    time-to-first-violation, per-class
                                    goodput/p99, and the k slowest requests
                                    with their span decomposition (default 5).
-                                   Incident dumps from `serve --flight` are
+                                   Incident dumps from `serve --flight` and
+                                   blame dumps from `blame --trace` are
                                    recognized and re-analyzed too
     incident-analyze <file>        re-analyze a `serve --flight` incident
                                    dump: triggers, captured window, latency
@@ -105,6 +106,31 @@ COMMANDS:
                                    fleet (default 1:4, `off` pins it).
                                    Defaults: 8000 rps low phase, fleet 1,
                                    batch 8, 50 us window, wfq/least-loaded
+    blame [rate] [fleet] [batch] [window_us] [--trace[=PATH]] [--shards=N]
+                                   run the serve simulation with the
+                                   critical-path blame recorder: every
+                                   request's latency split into causally
+                                   attributed waits (admission queueing,
+                                   batch-window hold, instance-busy, and
+                                   the five invocation phases) that sum
+                                   back to the latency bitwise, plus
+                                   per-class/per-instance blame tables,
+                                   mean-vs-p99-tail comparison, and the
+                                   top blocking chains. With --trace,
+                                   also write the tables plus a Perfetto
+                                   view as JSON (default path
+                                   blame_trace.json). Blame is pure
+                                   observation: the report is bitwise
+                                   identical to an unblamed run
+    whatif [rate] [fleet] [batch] [window_us] [--shards=N]
+                                   deterministic what-if profiling: re-run
+                                   the same seeded workload under each
+                                   standard intervention (halve each
+                                   service phase, zero the batch window,
+                                   +1 instance, least-loaded placement)
+                                   and print the ranked Δp99/Δgoodput/
+                                   Δenergy table — an exact, replayable
+                                   form of causal profiling
     help                           this message
 
 Paper formats: CNEWS = q5.2 (8 bits), MRPC = q5.3 (9 bits), CoLA = q4.2 (7 bits).";
@@ -125,6 +151,8 @@ fn main() -> ExitCode {
         "health" => cmd_health(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "control" => cmd_control(&args[1..]),
+        "blame" => cmd_blame(&args[1..]),
+        "whatif" => cmd_whatif(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -398,7 +426,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let shards = shards.unwrap_or_else(shards_from_env);
     let flight_cfg = flight_path.is_some().then(FlightConfig::default);
     let outcome =
-        simulate_full(&cfg, shards, trace_path.is_some(), None, false, flight_cfg.as_ref());
+        simulate_full(&cfg, shards, trace_path.is_some(), None, false, flight_cfg.as_ref(), false);
     let (r, trace, flight) = (outcome.report, outcome.trace, outcome.flight);
 
     println!("serving {class} on {fleet} STAR instance(s), policy {}:", cfg.policy);
@@ -839,6 +867,131 @@ fn cmd_control(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the serve-family default config (BERT-base/128 Poisson
+/// traffic against a 2 ms SLO) from the shared positional arguments.
+fn serve_point_config(positional: &[&String]) -> Result<star::serve::ServeConfig, String> {
+    use star::serve::{
+        ArrivalProcess, BatchPolicy, ControlConfig, ModelKind, RequestClass, ServeConfig,
+        ServiceModelConfig, WorkloadMix,
+    };
+    let rate: f64 = parse_positive(positional.first().copied(), 16_000.0, "arrival rate (rps)")?;
+    if !rate.is_finite() {
+        return Err("arrival rate must be finite".into());
+    }
+    let fleet: usize = parse_positive(positional.get(1).copied(), 2, "fleet size")?;
+    let batch: usize = parse_positive(positional.get(2).copied(), 8, "batch size")?;
+    let window_us: f64 = match positional.get(3) {
+        Some(a) => a.parse().map_err(|_| format!("`{a}` is not a window in us"))?,
+        None => 50.0,
+    };
+    if !(window_us.is_finite() && window_us >= 0.0) {
+        return Err("window must be finite and non-negative".into());
+    }
+    Ok(ServeConfig {
+        fleet,
+        policy: BatchPolicy::new(batch, window_us * 1e3),
+        arrival: ArrivalProcess::poisson(rate),
+        mix: WorkloadMix::single(RequestClass::new(ModelKind::BertBase, 128)),
+        horizon_ns: 1e8,
+        seed: 2023,
+        max_queue: 256,
+        deadline_ns: 2e6,
+        service: ServiceModelConfig::default(),
+        control: ControlConfig::default(),
+    })
+}
+
+fn cmd_blame(args: &[String]) -> Result<(), String> {
+    use star::serve::{shards_from_env, simulate_full, BLAME_SIDECAR_KEY};
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut shards: Option<usize> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if a == "--trace" {
+            trace_path = Some(std::path::PathBuf::from("blame_trace.json"));
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            if p.is_empty() {
+                return Err("--trace= needs a path".into());
+            }
+            trace_path = Some(p.into());
+        } else if let Some(n) = a.strip_prefix("--shards=") {
+            shards = Some(parse_shards(n)?);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let cfg = serve_point_config(&positional)?;
+    let shards = shards.unwrap_or_else(shards_from_env);
+    let outcome = simulate_full(&cfg, shards, false, None, false, None, true);
+    let r = &outcome.report;
+    let blame = outcome.blame.as_ref().expect("blamed run carries blame tables");
+
+    println!(
+        "critical-path blame: {} on {} STAR instance(s), policy {}:",
+        cfg.mix.classes()[0],
+        cfg.fleet,
+        cfg.policy
+    );
+    println!(
+        "  simulated: arrivals {}   completed {}   goodput {:.0} rps   p99 {:.3} ms",
+        r.arrivals, r.completed, r.goodput_rps, r.latency.p99_ms
+    );
+    println!("  (the report above is bitwise identical to an unblamed run)\n");
+    print!("{}", blame.render());
+    if let Some(path) = trace_path {
+        let json = serde_json::to_string(&blame.to_object_json()).map_err(|e| e.to_string())?;
+        std::fs::write(&path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "  blame dump: {} requests, {} batches -> {} (open in https://ui.perfetto.dev; \
+             tables ride in the `{BLAME_SIDECAR_KEY}` sidecar)",
+            blame.requests.len(),
+            blame.batches.len(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_whatif(args: &[String]) -> Result<(), String> {
+    use star::serve::{run_what_ifs, shards_from_env, WhatIf};
+    let mut shards: Option<usize> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if let Some(n) = a.strip_prefix("--shards=") {
+            shards = Some(parse_shards(n)?);
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag `{a}`"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let cfg = serve_point_config(&positional)?;
+    let shards = shards.unwrap_or_else(shards_from_env);
+    let report = run_what_ifs(&cfg, shards, &WhatIf::standard());
+
+    println!(
+        "what-if profile: {} on {} STAR instance(s), policy {} — each row is the \
+         same seeded workload re-simulated under one intervention:",
+        cfg.mix.classes()[0],
+        cfg.fleet,
+        cfg.policy
+    );
+    print!("{}", report.render());
+    if let Some(best) = report.best() {
+        if best.delta_p99_ms < 0.0 {
+            println!(
+                "  optimize this next: {} ({:+.3} ms p99, {:+.0} rps goodput)",
+                best.label, best.delta_p99_ms, best.delta_goodput_rps
+            );
+        } else {
+            println!("  no intervention in the menu improves p99 at this operating point");
+        }
+    }
+    Ok(())
+}
+
 /// Renders an [`star::serve::SloAnalysis`] as the burn-rate / per-class /
 /// exemplar table block shared by `serve --trace` and `trace-analyze`.
 fn print_slo_analysis(a: &star::serve::SloAnalysis) {
@@ -1033,8 +1186,8 @@ fn cmd_incident_analyze(args: &[String]) -> Result<(), String> {
 
 fn cmd_trace_analyze(args: &[String]) -> Result<(), String> {
     use star::serve::{
-        IncidentDump, ServeTrace, SloAnalysis, SloPolicy, FLIGHT_SIDECAR_KEY, PROFILE_SIDECAR_KEY,
-        TRACE_SIDECAR_KEY,
+        BlameOutcome, IncidentDump, ServeTrace, SloAnalysis, SloPolicy, BLAME_SIDECAR_KEY,
+        FLIGHT_SIDECAR_KEY, PROFILE_SIDECAR_KEY, TRACE_SIDECAR_KEY,
     };
     let path = args
         .first()
@@ -1047,8 +1200,20 @@ fn cmd_trace_analyze(args: &[String]) -> Result<(), String> {
     let value: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     // Dispatch on the machine-readable sidecar key: serve traces carry
-    // `starServe`, incident dumps `starServeIncident`, profiler
-    // meta-traces `starServeProfile`.
+    // `starServe`, incident dumps `starServeIncident`, blame dumps
+    // `starServeBlame`, profiler meta-traces `starServeProfile`.
+    if value.get(BLAME_SIDECAR_KEY).is_some() {
+        let blame = BlameOutcome::from_object_json(&value)?;
+        println!(
+            "{path}: blame dump ({} requests, {} batches, {} classes, p99 {:.3} ms)",
+            blame.requests.len(),
+            blame.batches.len(),
+            blame.classes.len(),
+            blame.report.p99_latency_ms
+        );
+        print!("{}", blame.render());
+        return Ok(());
+    }
     if value.get(FLIGHT_SIDECAR_KEY).is_some() {
         let dump = IncidentDump::from_object_json(&value)?;
         println!(
@@ -1069,7 +1234,8 @@ fn cmd_trace_analyze(args: &[String]) -> Result<(), String> {
         }
         return Err(format!(
             "{path} carries none of the recognized sidecar keys \
-             (`{TRACE_SIDECAR_KEY}`, `{FLIGHT_SIDECAR_KEY}`, `{PROFILE_SIDECAR_KEY}`)"
+             (`{TRACE_SIDECAR_KEY}`, `{FLIGHT_SIDECAR_KEY}`, `{BLAME_SIDECAR_KEY}`, \
+             `{PROFILE_SIDECAR_KEY}`)"
         ));
     }
     let trace = ServeTrace::from_object_json(&value)?;
@@ -1248,6 +1414,73 @@ mod tests {
         assert!(cmd_control(&["--autoscale=4:1".into()]).is_err());
         assert!(cmd_control(&["--autoscale=a:b".into()]).is_err());
         assert!(cmd_control(&["--shards=0".into()]).is_err());
+    }
+
+    #[test]
+    fn blame_command_runs() {
+        cmd_blame(&[]).expect("blame defaults");
+        cmd_blame(&["8000".into(), "1".into(), "1".into(), "0".into()]).expect("blame explicit");
+        cmd_blame(&["8000".into(), "1".into(), "--shards=4".into()]).expect("blame sharded");
+    }
+
+    #[test]
+    fn blame_command_rejects_bad_arguments() {
+        assert!(cmd_blame(&["abc".into()]).is_err());
+        assert!(cmd_blame(&["0".into()]).is_err());
+        assert!(cmd_blame(&["8000".into(), "0".into()]).is_err());
+        assert!(cmd_blame(&["8000".into(), "1".into(), "0".into()]).is_err());
+        assert!(cmd_blame(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
+        assert!(cmd_blame(&["inf".into()]).is_err());
+        assert!(cmd_blame(&["--trace=".into()]).is_err());
+        assert!(cmd_blame(&["--shards=0".into()]).is_err());
+        assert!(cmd_blame(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn whatif_command_runs() {
+        cmd_whatif(&["8000".into(), "1".into(), "4".into(), "50".into()]).expect("whatif explicit");
+        cmd_whatif(&["8000".into(), "1".into(), "--shards=4".into()]).expect("whatif sharded");
+    }
+
+    #[test]
+    fn whatif_command_rejects_bad_arguments() {
+        assert!(cmd_whatif(&["abc".into()]).is_err());
+        assert!(cmd_whatif(&["0".into()]).is_err());
+        assert!(cmd_whatif(&["8000".into(), "0".into()]).is_err());
+        assert!(cmd_whatif(&["8000".into(), "1".into(), "0".into()]).is_err());
+        assert!(cmd_whatif(&["8000".into(), "1".into(), "2".into(), "-5".into()]).is_err());
+        assert!(cmd_whatif(&["inf".into()]).is_err());
+        assert!(cmd_whatif(&["--shards=0".into()]).is_err());
+        assert!(cmd_whatif(&["--trace".into()]).is_err());
+    }
+
+    #[test]
+    fn blame_dump_round_trips_through_trace_analyze() {
+        let path = std::env::temp_dir().join(format!("star_cli_blame_{}.json", std::process::id()));
+        let path_str = path.to_str().expect("utf8 temp path").to_string();
+        cmd_blame(&["8000".into(), "1".into(), format!("--trace={path_str}")])
+            .expect("blame --trace");
+        let text = std::fs::read_to_string(&path).expect("blame dump written");
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(value.get("traceEvents").is_some(), "Perfetto object form");
+        let blame = star::serve::BlameOutcome::from_object_json(&value).expect("sidecar");
+        for b in &blame.requests {
+            assert_eq!(b.components_sum(), b.latency_ns, "conservation survives the round trip");
+        }
+        cmd_trace_analyze(std::slice::from_ref(&path_str)).expect("trace-analyze dispatch");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_sidecar_error_names_all_keys() {
+        let path = std::env::temp_dir().join(format!("star_cli_nokey_{}.json", std::process::id()));
+        std::fs::write(&path, "{\"traceEvents\": []}").expect("write plain object");
+        let err = cmd_trace_analyze(&[path.to_str().expect("utf8").to_string()])
+            .expect_err("plain chrome object rejected");
+        for key in ["starServe", "starServeIncident", "starServeBlame", "starServeProfile"] {
+            assert!(err.contains(key), "error must name `{key}`: {err}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
